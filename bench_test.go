@@ -1,0 +1,419 @@
+// Package fasttrack_bench regenerates every table and figure of the paper
+// as a testing.B benchmark. Each benchmark runs the corresponding
+// experiment at a reduced scale and reports the figure's headline numbers
+// as custom metrics, so `go test -bench=. -benchmem` doubles as a
+// reproduction summary. Use cmd/ftexp for the full paper-scale sweeps.
+package fasttrack_bench
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"fasttrack/internal/core"
+	"fasttrack/internal/experiments"
+	"fasttrack/internal/fpga"
+)
+
+// benchScale sizes the sweeps for benchmark iterations.
+func benchScale() experiments.Scale {
+	return experiments.Scale{
+		Quota:           200,
+		Rates:           []float64{0.05, 0.3, 1.0},
+		MaxN:            8,
+		TraceBenchmarks: 2,
+		Seed:            1,
+	}
+}
+
+func BenchmarkTable1RouterCosts(b *testing.B) {
+	var rows []experiments.Table1Row
+	for i := 0; i < b.N; i++ {
+		rows = experiments.Table1Data()
+	}
+	for _, r := range rows {
+		if r.Modeled && strings.HasPrefix(r.Name, "Hoplite") {
+			b.ReportMetric(float64(r.LUTs), "hoplite-LUTs/32b")
+		}
+		if r.Modeled && strings.Contains(r.Name, "FT(Full)") {
+			b.ReportMetric(float64(r.LUTs), "ft-full-LUTs/32b")
+		}
+	}
+}
+
+func BenchmarkFig1AreaBandwidth(b *testing.B) {
+	var pts []experiments.Fig1Point
+	for i := 0; i < b.N; i++ {
+		pts = experiments.Fig1Data()
+	}
+	for _, p := range pts {
+		if p.Name == "FastTrack" {
+			b.ReportMetric(p.BandwidthPktNS, "ft-pkt/ns")
+		}
+	}
+}
+
+func BenchmarkFig4VirtualExpress(b *testing.B) {
+	var pts []experiments.WirePoint
+	for i := 0; i < b.N; i++ {
+		pts = experiments.Fig4Data()
+	}
+	for _, p := range pts {
+		if p.Distance == 256 && p.Hops == 0 {
+			b.ReportMetric(p.MHz, "d256-h0-MHz")
+		}
+	}
+}
+
+func BenchmarkFig6PhysicalExpress(b *testing.B) {
+	var pts []experiments.WirePoint
+	for i := 0; i < b.N; i++ {
+		pts = experiments.Fig6Data()
+	}
+	for _, p := range pts {
+		if p.Distance == 8 && p.Hops == 8 {
+			b.ReportMetric(p.MHz, "bypass8x8-MHz")
+		}
+	}
+}
+
+func BenchmarkTable2Resources(b *testing.B) {
+	var rows []experiments.Table2Row
+	for i := 0; i < b.N; i++ {
+		rows = experiments.Table2Data()
+	}
+	for _, r := range rows {
+		if r.Config == "FT(64,2,1)" {
+			b.ReportMetric(float64(r.LUTs), "ft221-LUTs")
+			b.ReportMetric(r.MHz, "ft221-MHz")
+		}
+	}
+}
+
+func BenchmarkFig10Routability(b *testing.B) {
+	var cells []experiments.Fig10Cell
+	for i := 0; i < b.N; i++ {
+		cells = experiments.Fig10Data()
+	}
+	feasible := 0
+	for _, c := range cells {
+		if c.MHz > 0 {
+			feasible++
+		}
+	}
+	b.ReportMetric(float64(feasible), "feasible-cells")
+}
+
+// syntheticRatio runs a sweep and reports the FT(64,2,1)/Hoplite sustained
+// rate ratio at saturation for the given pattern.
+func syntheticRatio(b *testing.B, pattern string) {
+	b.Helper()
+	sc := benchScale()
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.Fig11Data(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var ft, hop float64
+		for _, p := range pts {
+			if p.Pattern == pattern && p.InjectionRate == 1.0 {
+				switch p.Config {
+				case "FT(64,2,1)":
+					ft = p.SustainedRate
+				case "Hoplite":
+					hop = p.SustainedRate
+				}
+			}
+		}
+		ratio = ft / hop
+	}
+	b.ReportMetric(ratio, pattern+"-speedup")
+}
+
+func BenchmarkFig11SustainedRate(b *testing.B) {
+	syntheticRatio(b, "RANDOM")
+}
+
+func BenchmarkFig12AvgLatency(b *testing.B) {
+	sc := benchScale()
+	var ft, hop float64
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.Fig11Data(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range pts {
+			if p.Pattern == "RANDOM" && p.InjectionRate == 1.0 {
+				switch p.Config {
+				case "FT(64,2,1)":
+					ft = p.AvgLatency
+				case "Hoplite":
+					hop = p.AvgLatency
+				}
+			}
+		}
+	}
+	b.ReportMetric(hop/ft, "latency-reduction")
+}
+
+func BenchmarkFig13IsoWiring(b *testing.B) {
+	sc := benchScale()
+	var ft, h3 float64
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.Fig13Data(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range pts {
+			if p.Pattern == "RANDOM/64PE" && p.InjectionRate == 1.0 {
+				switch p.Config {
+				case "FT(64,2,1)":
+					ft = p.SustainedRate
+				case "Hoplite-3x":
+					h3 = p.SustainedRate
+				}
+			}
+		}
+	}
+	b.ReportMetric(ft/h3, "vs-hoplite3x")
+}
+
+func BenchmarkFig14CostAware(b *testing.B) {
+	sc := benchScale()
+	var pts []experiments.CostPoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		pts, err = experiments.Fig14Data(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, p := range pts {
+		if p.Config == "FT(64,2,1)" {
+			b.ReportMetric(p.ThroughputMPPS, "ft221-Mpkt/s")
+		}
+	}
+}
+
+// traceSuite reports the geometric-mean speedup of a Fig 15 suite.
+func traceSuite(b *testing.B, run func(experiments.Scale) ([]experiments.SpeedupPoint, error)) {
+	b.Helper()
+	sc := benchScale()
+	var pts []experiments.SpeedupPoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		pts, err = run(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	prod, n := 1.0, 0
+	var best float64
+	for _, p := range pts {
+		prod *= p.Speedup
+		n++
+		if p.Speedup > best {
+			best = p.Speedup
+		}
+	}
+	if n > 0 {
+		b.ReportMetric(math.Pow(prod, 1/float64(n)), "geomean-speedup")
+		b.ReportMetric(best, "best-speedup")
+	}
+}
+
+func BenchmarkFig15aSpMV(b *testing.B) {
+	traceSuite(b, experiments.Fig15aData)
+}
+
+func BenchmarkFig15bGraph(b *testing.B) {
+	traceSuite(b, experiments.Fig15bData)
+}
+
+func BenchmarkFig15cDataflow(b *testing.B) {
+	traceSuite(b, experiments.Fig15cData)
+}
+
+func BenchmarkFig15dOverlay(b *testing.B) {
+	traceSuite(b, experiments.Fig15dData)
+}
+
+func BenchmarkFig16LatencyHistogram(b *testing.B) {
+	sc := benchScale()
+	var res []experiments.Fig16Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.Fig16Data(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	worst := map[string]int64{}
+	for _, r := range res {
+		worst[r.Config] = r.WorstLatency
+	}
+	if worst["FT(64,2,1)"] > 0 {
+		b.ReportMetric(float64(worst["Hoplite"])/float64(worst["FT(64,2,1)"]), "worstcase-reduction")
+	}
+}
+
+func BenchmarkFig17VaryD(b *testing.B) {
+	sc := benchScale()
+	var pts []experiments.Fig17Point
+	for i := 0; i < b.N; i++ {
+		var err error
+		pts, err = experiments.Fig17Data(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, p := range pts {
+		if p.PEs == 64 && p.D == 2 && !p.RExtreme {
+			b.ReportMetric(p.SustainedRate, "d2-rate")
+		}
+		if p.PEs == 64 && p.D == 4 && !p.RExtreme {
+			b.ReportMetric(p.SustainedRate, "d4-rate")
+		}
+	}
+}
+
+func BenchmarkFig18aLinkUsage(b *testing.B) {
+	sc := benchScale()
+	var res []experiments.Fig18Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.Fig18Data(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range res {
+		if r.Config == "FT(64,2,1)" {
+			b.ReportMetric(float64(r.ExpressHops), "express-hops")
+		}
+	}
+}
+
+func BenchmarkFig18bDeflections(b *testing.B) {
+	sc := benchScale()
+	var res []experiments.Fig18Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.Fig18Data(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	total := func(r experiments.Fig18Result) float64 {
+		var t int64
+		for _, v := range r.Misroutes {
+			t += v
+		}
+		return float64(t)
+	}
+	var hop, ft float64
+	for _, r := range res {
+		switch r.Config {
+		case "Hoplite":
+			hop = total(r)
+		case "FT(64,2,1)":
+			ft = total(r)
+		}
+	}
+	if ft > 0 {
+		b.ReportMetric(hop/ft, "misroute-reduction")
+	}
+}
+
+func BenchmarkFig19Energy(b *testing.B) {
+	sc := benchScale()
+	var pts []experiments.CostPoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		pts, err = experiments.Fig14Data(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var ftE, hopE float64
+	for _, p := range pts {
+		switch p.Config {
+		case "FT(64,2,1)":
+			ftE = p.EnergyJ
+		case "Hoplite":
+			hopE = p.EnergyJ
+		}
+	}
+	if ftE > 0 {
+		b.ReportMetric(hopE/ftE, "energy-advantage")
+	}
+}
+
+// BenchmarkRouterStep measures the raw simulator: cycles per second for an
+// 8×8 FastTrack network at saturation (engineering metric, not a paper
+// figure).
+func BenchmarkRouterStep(b *testing.B) {
+	cfg := core.FastTrack(8, 2, 1)
+	net, err := cfg.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Step(int64(i))
+	}
+}
+
+// BenchmarkWireModel measures the FPGA delay model.
+func BenchmarkWireModel(b *testing.B) {
+	dev := fpga.Virtex7_485T()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += dev.RouteDelay(1 + i%256)
+	}
+	_ = sink
+}
+
+// BenchmarkExtPipeline reports the Hyperflex ablation's headline: Mpkt/s
+// with one express pipeline stage relative to none.
+func BenchmarkExtPipeline(b *testing.B) {
+	sc := benchScale()
+	var pts []experiments.PipelinePoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		pts, err = experiments.ExtPipelineData(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if len(pts) >= 2 && pts[0].ThroughputMPPS > 0 {
+		b.ReportMetric(pts[1].ThroughputMPPS/pts[0].ThroughputMPPS, "stage1-gain")
+	}
+}
+
+// BenchmarkExtBuffered reports the simulated Fig 1 packets/ns ratio of
+// FastTrack over the buffered mesh.
+func BenchmarkExtBuffered(b *testing.B) {
+	sc := benchScale()
+	var pts []experiments.BufferedPoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		pts, err = experiments.ExtBufferedData(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var buf, ft float64
+	for _, p := range pts {
+		switch p.Config {
+		case "BufferedMesh(d=4)":
+			buf = p.PktPerNS
+		case "FT(64,2,1)":
+			ft = p.PktPerNS
+		}
+	}
+	if buf > 0 {
+		b.ReportMetric(ft/buf, "ft-vs-buffered")
+	}
+}

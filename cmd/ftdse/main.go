@@ -1,0 +1,62 @@
+// Command ftdse explores the NoC design space for a system size and prints
+// every evaluated point plus the throughput-vs-LUTs Pareto frontier —
+// the paper's "judiciously choose D and R" methodology as a tool.
+//
+// Example:
+//
+//	ftdse -n 8 -width 256 -pattern RANDOM -rate 1.0 -variants
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"fasttrack/internal/dse"
+)
+
+func main() {
+	n := flag.Int("n", 8, "torus width (NoC is NxN)")
+	width := flag.Int("width", 256, "datapath width in bits")
+	pattern := flag.String("pattern", "RANDOM", "traffic pattern")
+	rate := flag.Float64("rate", 1.0, "injection rate")
+	packets := flag.Int("packets", 300, "packets per PE")
+	variants := flag.Bool("variants", false, "also evaluate FTlite(Inject) routers")
+	channels := flag.Int("channels", 3, "max multi-channel Hoplite replication")
+	seed := flag.Uint64("seed", 1, "random seed")
+	flag.Parse()
+
+	pts, err := dse.Explore(dse.Options{
+		N: *n, WidthBits: *width,
+		Pattern: *pattern, Rate: *rate, PacketsPerPE: *packets,
+		MaxChannels: *channels, Variants: *variants, Seed: *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ftdse:", err)
+		os.Exit(1)
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "design\tLUTs\tFFs\twires\tMHz\tW\tsustained\tMpkt/s\tlat(ns)\tnJ/pkt\tpareto")
+	for _, p := range pts {
+		if !p.Routable {
+			fmt.Fprintf(tw, "%s\t%d\t%d\t%dx\tNA\tNA\tNA\tNA\tNA\tNA\t\n",
+				p.Name, p.LUTs, p.FFs, p.WireFactor)
+			continue
+		}
+		mark := ""
+		if p.Pareto {
+			mark = "*"
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%dx\t%.0f\t%.1f\t%.4f\t%.0f\t%.0f\t%.2f\t%s\n",
+			p.Name, p.LUTs, p.FFs, p.WireFactor, p.ClockMHz, p.PowerW,
+			p.SustainedRate, p.ThroughputMPPS, p.AvgLatencyNS, p.EnergyPerPacketNJ, mark)
+	}
+	tw.Flush()
+
+	fmt.Println("\nPareto frontier (max throughput / min LUTs):")
+	for _, p := range dse.Frontier(pts) {
+		fmt.Printf("  %-18s %8d LUTs  %8.0f Mpkt/s\n", p.Name, p.LUTs, p.ThroughputMPPS)
+	}
+}

@@ -1,0 +1,63 @@
+// Command ftexp regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	ftexp -list
+//	ftexp -run fig11            # one experiment
+//	ftexp -run all              # everything, paper order
+//	ftexp -run fig15a -quick    # CI-sized sweep
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"fasttrack/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	run := flag.String("run", "all", "experiment id to run, or 'all'")
+	quick := flag.Bool("quick", false, "use the reduced-scale sweep")
+	seed := flag.Uint64("seed", 1, "random seed for all workloads")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.AllWithExtensions() {
+			fmt.Printf("%-12s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	sc := experiments.FullScale()
+	if *quick {
+		sc = experiments.QuickScale()
+	}
+	sc.Seed = *seed
+
+	var todo []experiments.Experiment
+	switch *run {
+	case "all":
+		todo = experiments.AllWithExtensions()
+	case "paper":
+		todo = experiments.All()
+	default:
+		e, err := experiments.ByID(*run)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		todo = []experiments.Experiment{e}
+	}
+
+	for _, e := range todo {
+		start := time.Now()
+		if err := e.Run(os.Stdout, sc); err != nil {
+			fmt.Fprintf(os.Stderr, "ftexp: %s failed: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,118 @@
+// Command ftsim runs one NoC configuration against a synthetic workload
+// and prints the paper's measurements: sustained rate, latency statistics,
+// link usage, deflections, and the FPGA model's cost/frequency/power view.
+//
+// Examples:
+//
+//	ftsim -noc ft -n 8 -d 2 -r 1 -pattern RANDOM -rate 0.5
+//	ftsim -noc hoplite -n 16 -pattern TRANSPOSE -rate 1.0
+//	ftsim -noc multi -channels 3 -n 8 -pattern RANDOM -rate 1.0
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fasttrack/internal/core"
+	"fasttrack/internal/noc"
+	"fasttrack/internal/viz"
+)
+
+func main() {
+	kind := flag.String("noc", "ft", "network kind: hoplite | ft | multi")
+	n := flag.Int("n", 8, "torus width (NoC is NxN)")
+	d := flag.Int("d", 2, "FastTrack express link length D")
+	r := flag.Int("r", 1, "FastTrack depopulation factor R")
+	variant := flag.String("variant", "full", "FastTrack router variant: full | inject")
+	channels := flag.Int("channels", 2, "channel count for -noc multi")
+	width := flag.Int("width", 256, "datapath width in bits (FPGA model)")
+	pattern := flag.String("pattern", "RANDOM", "traffic pattern: RANDOM|LOCAL|BITCOMPL|TRANSPOSE|TORNADO")
+	rate := flag.Float64("rate", 0.5, "injection rate per PE per cycle")
+	quota := flag.Int("packets", 1000, "packets generated per PE")
+	seed := flag.Uint64("seed", 1, "random seed")
+	regulateRate := flag.Float64("regulate", 0, "token-bucket injection regulation rate (0 = off)")
+	heatmap := flag.Bool("heatmap", false, "render a per-source mean-latency heatmap")
+	flag.Parse()
+
+	var cfg core.Config
+	switch *kind {
+	case "hoplite":
+		cfg = core.Hoplite(*n)
+	case "ft":
+		cfg = core.FastTrack(*n, *d, *r)
+		if *variant == "inject" {
+			cfg = cfg.WithVariant(core.VariantInject)
+		}
+	case "multi":
+		cfg = core.MultiChannel(*n, *channels)
+	default:
+		fmt.Fprintf(os.Stderr, "ftsim: unknown -noc %q\n", *kind)
+		os.Exit(2)
+	}
+	cfg = cfg.WithWidth(*width)
+
+	res, err := core.RunSynthetic(cfg, core.SyntheticOptions{
+		Pattern: *pattern, Rate: *rate, PacketsPerPE: *quota, Seed: *seed,
+		RegulateRate: *regulateRate,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ftsim: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("config          %s (%dx%d, %db)\n", cfg, *n, *n, *width)
+	fmt.Printf("workload        %s @ %.2f inj rate, %d pkts/PE, seed %d\n", *pattern, *rate, *quota, *seed)
+	fmt.Printf("cycles          %d\n", res.Cycles)
+	fmt.Printf("delivered       %d\n", res.Delivered)
+	fmt.Printf("sustained rate  %.4f pkt/cycle/PE\n", res.SustainedRate)
+	fmt.Printf("latency         avg %.1f  p50 %d  p99 %d  worst %d cycles\n",
+		res.AvgLatency, res.P50, res.P99, res.WorstLatency)
+	fmt.Printf("link usage      %d short hops, %d express hops\n",
+		res.Counters.ShortTraversals, res.Counters.ExpressTraversals)
+	fmt.Printf("deflections     %d misroutes, %d express denials, %d injection stalls\n",
+		res.Counters.TotalDeflections(), res.Counters.TotalExpressDenied(), res.Counters.InjectionStalls)
+	for p := noc.Port(0); p < noc.NumPorts; p++ {
+		m := res.Counters.MisroutesByInput[p]
+		e := res.Counters.ExpressDeniedByInput[p]
+		if m > 0 || e > 0 {
+			fmt.Printf("  %-5s misroutes %-10d express-denied %d\n", p, m, e)
+		}
+	}
+
+	if *heatmap {
+		vals := make([]float64, len(res.PerSource))
+		for i := range res.PerSource {
+			if res.PerSource[i].Count() == 0 {
+				vals[i] = -1
+			} else {
+				vals[i] = res.PerSource[i].Mean()
+			}
+		}
+		fmt.Println()
+		if err := viz.Heatmap(os.Stdout, "mean latency by source PE", *n, *n, vals); err != nil {
+			fmt.Fprintf(os.Stderr, "ftsim: %v\n", err)
+		}
+	}
+
+	spec, err := cfg.Spec()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ftsim: %v\n", err)
+		os.Exit(1)
+	}
+	dev := core.Virtex7()
+	luts, ffs := spec.Resources()
+	mhz := spec.ClockMHz(dev)
+	fmt.Printf("\nFPGA model (%s)\n", dev.Name)
+	if mhz == 0 {
+		fmt.Printf("  does not route at %db (utilization %.2f)\n", *width, spec.Utilization(dev))
+		return
+	}
+	fmt.Printf("  resources     %d LUTs, %d FFs (util %.0f%% of channel tracks)\n",
+		luts, ffs, 100*spec.Utilization(dev))
+	fmt.Printf("  clock         %.0f MHz\n", mhz)
+	fmt.Printf("  power         %.1f W (dynamic, saturated)\n", spec.PowerW(dev))
+	fmt.Printf("  throughput    %.1f Mpkt/s (%.3f pkt/ns peak switch BW)\n",
+		res.SustainedRate*float64(*n**n)*mhz, spec.PeakBandwidth(dev))
+	fmt.Printf("  energy        %.4f J for this workload\n", spec.EnergyJ(dev, res.Cycles))
+}

@@ -1,0 +1,135 @@
+// Command fttrace generates, inspects, and replays the application
+// communication traces behind the paper's Fig 15 case studies.
+//
+// Examples:
+//
+//	fttrace -list
+//	fttrace -suite spmv -bench add20 -n 8 > add20.trace
+//	fttrace -suite lu -bench s953_4568 -n 8 -stats
+//	fttrace -replay add20.trace -noc ft -n 8 -d 2 -r 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fasttrack/internal/core"
+	"fasttrack/internal/trace"
+	"fasttrack/internal/workloads/dataflow"
+	"fasttrack/internal/workloads/graphwl"
+	"fasttrack/internal/workloads/overlay"
+	"fasttrack/internal/workloads/spmv"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list suites and benchmarks")
+	suite := flag.String("suite", "", "suite: spmv | graph | lu | overlay")
+	bench := flag.String("bench", "", "benchmark name within the suite")
+	n := flag.Int("n", 8, "torus width (trace targets NxN PEs)")
+	stats := flag.Bool("stats", false, "print trace statistics instead of the trace")
+	replay := flag.String("replay", "", "replay a trace file on a NoC instead of generating")
+	nocKind := flag.String("noc", "ft", "replay network: hoplite | ft")
+	d := flag.Int("d", 2, "FastTrack D for replay")
+	r := flag.Int("r", 1, "FastTrack R for replay")
+	seed := flag.Uint64("seed", 1, "seed for synthetic trace generation")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("spmv:")
+		for _, m := range spmv.Benchmarks() {
+			fmt.Printf("  %s\n", m)
+		}
+		fmt.Println("graph:")
+		for _, b := range graphwl.Benchmarks() {
+			fmt.Printf("  %s\n", b.Graph)
+		}
+		fmt.Println("lu:")
+		for _, m := range dataflow.Benchmarks() {
+			fmt.Printf("  %s\n", m)
+		}
+		fmt.Println("overlay:")
+		for _, b := range overlay.Benchmarks() {
+			fmt.Printf("  %s\n", b.Name)
+		}
+		return
+	}
+
+	if *replay != "" {
+		f, err := os.Open(*replay)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		tr, err := trace.Read(f)
+		if err != nil {
+			fatal(err)
+		}
+		cfg := core.Hoplite(*n)
+		if *nocKind == "ft" {
+			cfg = core.FastTrack(*n, *d, *r)
+		}
+		res, err := core.RunTrace(cfg, tr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s on %s: %d cycles, %d messages, avg latency %.1f, worst %d\n",
+			tr.Name, cfg, res.Cycles, res.Delivered, res.AvgLatency, res.WorstLatency)
+		return
+	}
+
+	tr, err := generate(*suite, *bench, *n, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	if *stats {
+		s := tr.ComputeStats(*n, *n)
+		fmt.Printf("trace %s: %d PEs, %d events (%d self), max fan-in %d, critical path %d, avg fwd distance %.1f\n",
+			tr.Name, tr.PEs, s.Events, s.SelfEvents, s.MaxFanIn, s.CritPathLen, s.AvgDistance)
+		return
+	}
+	if err := tr.Write(os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+func generate(suite, bench string, n int, seed uint64) (*trace.Trace, error) {
+	switch suite {
+	case "spmv":
+		for _, m := range spmv.Benchmarks() {
+			if m.Name == bench {
+				return spmv.Trace(m, n, n, spmv.Options{})
+			}
+		}
+	case "graph":
+		for _, b := range graphwl.Benchmarks() {
+			if b.Graph.Name == bench {
+				return graphwl.Trace(b.Graph, b.PartitionFor(n*n), n, n, graphwl.Options{})
+			}
+		}
+	case "lu":
+		for _, m := range dataflow.Benchmarks() {
+			if m.Name == bench {
+				return dataflow.Trace(m, n, n, dataflow.Options{})
+			}
+		}
+	case "overlay":
+		for _, b := range overlay.Benchmarks() {
+			if b.Name == bench {
+				active := 32
+				if n*n < 2*active {
+					active = n * n / 2
+				}
+				return overlay.Trace(b, n, n, active, seed)
+			}
+		}
+	default:
+		return nil, fmt.Errorf("fttrace: unknown suite %q (spmv|graph|lu|overlay)", suite)
+	}
+	return nil, fmt.Errorf("fttrace: benchmark %q not found in suite %s (try -list)", bench, suite)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fttrace:", err)
+	os.Exit(1)
+}

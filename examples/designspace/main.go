@@ -1,0 +1,66 @@
+// Design-space walkthrough (paper §IV/§V): pick D and R for a FastTrack
+// NoC on a real device budget. Shows the three coupled views the paper
+// uses — wire technology (how far a cycle reaches), FPGA cost/routability
+// (what fits), and simulation (what performs) — for an 8×8, 256-bit NoC.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fasttrack/internal/core"
+)
+
+func main() {
+	dev := core.Virtex7()
+	const n, width = 8, 256
+
+	// 1. Technology: how many router tiles can one express hop bypass at
+	// the NoC's clock? (The paper's Fig 6 feasibility argument.)
+	fmt.Printf("wire technology on %s:\n", dev.Name)
+	for _, mhz := range []float64{250, 300, 400} {
+		reach := dev.MaxExpressReach(mhz)
+		fmt.Printf("  at %3.0f MHz a single-cycle bypass spans %3d SLICEs (~%d tiles of an 8x8 grid)\n",
+			mhz, reach, reach/(2*dev.SliceCols/n))
+	}
+	fmt.Println()
+
+	// 2. Cost and routability: enumerate the FT(N²,D,R) space that fits.
+	fmt.Printf("%-12s %8s %8s %7s %6s %7s %9s\n",
+		"config", "LUTs", "FFs", "wires", "MHz", "power", "routable")
+	var feasible []core.Config
+	for _, dr := range [][2]int{{1, 1}, {2, 1}, {2, 2}, {4, 1}, {4, 2}, {4, 4}} {
+		cfg := core.FastTrack(n, dr[0], dr[1]).WithWidth(width)
+		spec, err := cfg.Spec()
+		if err != nil {
+			log.Fatal(err)
+		}
+		luts, ffs := spec.Resources()
+		ok := spec.Routable(dev)
+		mark := "yes"
+		if !ok {
+			mark = "NO (util > 1)"
+		} else {
+			feasible = append(feasible, cfg)
+		}
+		fmt.Printf("%-12s %8d %8d %6dx %6.0f %6.1fW %9s\n",
+			cfg, luts, ffs, spec.WireFactor(), spec.ClockMHz(dev), spec.PowerW(dev), mark)
+	}
+	fmt.Println()
+
+	// 3. Performance: simulate the feasible set and report delivered
+	// packets per second — cycle rate × modeled clock (Fig 14's metric).
+	fmt.Printf("%-12s %10s %8s %14s\n", "config", "sustained", "MHz", "Mpackets/s")
+	for _, cfg := range feasible {
+		res, err := core.RunSynthetic(cfg, core.SyntheticOptions{
+			Pattern: "RANDOM", Rate: 1.0, PacketsPerPE: 500, Seed: 3,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		spec, _ := cfg.Spec()
+		mhz := spec.ClockMHz(dev)
+		fmt.Printf("%-12s %10.4f %8.0f %14.0f\n",
+			cfg, res.SustainedRate, mhz, res.SustainedRate*float64(n*n)*mhz)
+	}
+}

@@ -1,0 +1,57 @@
+// Quickstart: build the paper's three headline NoCs, push uniform-random
+// traffic through them at saturation, and print the throughput/latency
+// comparison of Fig 11/12 in a few lines of code.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fasttrack/internal/core"
+)
+
+func main() {
+	configs := []core.Config{
+		core.Hoplite(8),         // the baseline bufferless torus
+		core.FastTrack(8, 2, 2), // depopulated FastTrack (cheaper)
+		core.FastTrack(8, 2, 1), // fully-populated FastTrack
+		core.MultiChannel(8, 3), // iso-wiring comparator for FT(64,2,1)
+	}
+
+	fmt.Println("64-PE NoCs, RANDOM traffic at 100% injection, 1000 packets/PE")
+	fmt.Printf("%-12s %10s %12s %12s %10s\n", "config", "sustained", "avg latency", "worst", "cycles")
+
+	var base float64
+	for _, cfg := range configs {
+		res, err := core.RunSynthetic(cfg, core.SyntheticOptions{
+			Pattern:      "RANDOM",
+			Rate:         1.0,
+			PacketsPerPE: 1000,
+			Seed:         1,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		note := ""
+		if cfg.Kind == core.KindHoplite {
+			base = res.SustainedRate
+		} else if base > 0 {
+			note = fmt.Sprintf("  (%.1fx Hoplite)", res.SustainedRate/base)
+		}
+		fmt.Printf("%-12s %10.4f %12.1f %12d %10d%s\n",
+			cfg, res.SustainedRate, res.AvgLatency, res.WorstLatency, res.Cycles, note)
+	}
+
+	// The FPGA model answers "what does that cost on a Virtex-7?"
+	dev := core.Virtex7()
+	fmt.Println("\nFPGA view (256-bit datapath, xc7vx485t-2):")
+	for _, cfg := range configs {
+		spec, err := cfg.Spec()
+		if err != nil {
+			log.Fatal(err)
+		}
+		luts, ffs := spec.Resources()
+		fmt.Printf("%-12s %7d LUTs %7d FFs %6.0f MHz %6.1f W  wires x%d\n",
+			cfg, luts, ffs, spec.ClockMHz(dev), spec.PowerW(dev), spec.WireFactor())
+	}
+}

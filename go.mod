@@ -1,0 +1,3 @@
+module fasttrack
+
+go 1.22

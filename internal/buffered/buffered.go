@@ -1,0 +1,224 @@
+// Package buffered implements a classic buffered, credit-flow-controlled
+// NoC router in the style the paper's Table I/Fig 1 quote for CONNECT and
+// Split-Merge: a bidirectional 2-D mesh with an input FIFO per port and
+// dimension-ordered XY routing. It exists as a simulated counterpoint to
+// the bufferless designs — high packets/cycle, but (per the FPGA cost
+// model) many LUTs and a slow clock, which is exactly the Fig 1 tradeoff
+// the paper draws.
+//
+// XY routing on a mesh (no wraparound) with one FIFO per input is
+// deadlock-free, so no virtual channels are needed.
+package buffered
+
+import (
+	"fmt"
+
+	"fasttrack/internal/noc"
+)
+
+// port indices within a router.
+const (
+	pN = iota // from/to the north neighbour (y-1)
+	pS
+	pE
+	pW
+	pPE // client injection queue
+	numPorts
+	pExit = numPorts // delivery pseudo-output
+)
+
+// Config parameterizes the mesh.
+type Config struct {
+	// Depth is the input FIFO capacity in packets (default 4).
+	Depth int
+}
+
+// Network is a W×H buffered bidirectional mesh.
+type Network struct {
+	w, h  int
+	depth int
+
+	// queues[i][p] is the input FIFO of port p at router i.
+	queues [][numPorts][]noc.Packet
+	// snapshot of queue lengths at cycle start, for credit checks.
+	lens [][numPorts]int
+	// rr[i][out] is the round-robin pointer per output arbiter.
+	rr [][numPorts + 1]uint8
+
+	offers    []slot
+	accepted  []bool
+	delivered []noc.Packet
+	inFlight  int
+	counters  noc.Counters
+}
+
+type slot struct {
+	p  noc.Packet
+	ok bool
+}
+
+// New builds an idle W×H buffered mesh.
+func New(w, h int, cfg Config) (*Network, error) {
+	if w < 2 || h < 2 {
+		return nil, fmt.Errorf("buffered: dimensions %dx%d too small", w, h)
+	}
+	if cfg.Depth == 0 {
+		cfg.Depth = 4
+	}
+	if cfg.Depth < 1 {
+		return nil, fmt.Errorf("buffered: FIFO depth %d must be positive", cfg.Depth)
+	}
+	n := w * h
+	return &Network{
+		w: w, h: h, depth: cfg.Depth,
+		queues:   make([][numPorts][]noc.Packet, n),
+		lens:     make([][numPorts]int, n),
+		rr:       make([][numPorts + 1]uint8, n),
+		offers:   make([]slot, n),
+		accepted: make([]bool, n),
+	}, nil
+}
+
+// Width returns the mesh width.
+func (nw *Network) Width() int { return nw.w }
+
+// Height returns the mesh height.
+func (nw *Network) Height() int { return nw.h }
+
+// NumPEs returns the client count.
+func (nw *Network) NumPEs() int { return nw.w * nw.h }
+
+// Offer presents p for injection at PE pe this cycle.
+func (nw *Network) Offer(pe int, p noc.Packet) { nw.offers[pe] = slot{p: p, ok: true} }
+
+// Accepted reports whether the offer at pe entered the injection FIFO.
+func (nw *Network) Accepted(pe int) bool { return nw.accepted[pe] }
+
+// Delivered returns packets delivered in the last Step; the slice is reused.
+func (nw *Network) Delivered() []noc.Packet { return nw.delivered }
+
+// InFlight returns the number of packets buffered in the network.
+func (nw *Network) InFlight() int { return nw.inFlight }
+
+// Counters returns the network-wide event counters.
+func (nw *Network) Counters() *noc.Counters { return &nw.counters }
+
+// desiredOutput implements XY dimension-ordered routing on the mesh.
+func (nw *Network) desiredOutput(p noc.Packet, x, y int) int {
+	switch {
+	case p.Dst.X > x:
+		return pE
+	case p.Dst.X < x:
+		return pW
+	case p.Dst.Y > y:
+		return pS
+	case p.Dst.Y < y:
+		return pN
+	default:
+		return pExit
+	}
+}
+
+// neighbour returns the router index and input port reached through out.
+func (nw *Network) neighbour(x, y, out int) (idx, inPort int) {
+	switch out {
+	case pE:
+		return y*nw.w + x + 1, pW
+	case pW:
+		return y*nw.w + x - 1, pE
+	case pS:
+		return (y+1)*nw.w + x, pN
+	case pN:
+		return (y-1)*nw.w + x, pS
+	}
+	panic("buffered: bad output")
+}
+
+// Step advances the mesh one cycle: every output arbiter moves at most one
+// packet, gated by downstream credits computed from cycle-start occupancy.
+func (nw *Network) Step(now int64) {
+	nw.delivered = nw.delivered[:0]
+
+	// Accept injections into PE FIFOs first (they see last cycle's space).
+	for pe, off := range nw.offers {
+		nw.accepted[pe] = false
+		if !off.ok {
+			continue
+		}
+		nw.offers[pe] = slot{}
+		if len(nw.queues[pe][pPE]) < nw.depth {
+			p := off.p
+			p.Inject = now
+			nw.queues[pe][pPE] = append(nw.queues[pe][pPE], p)
+			nw.inFlight++
+			nw.accepted[pe] = true
+		} else {
+			nw.counters.InjectionStalls++
+		}
+	}
+
+	// Snapshot occupancy for credit checks: a move this cycle is allowed
+	// only into a FIFO that had space at cycle start (conservative, like
+	// registered credit counters in hardware).
+	for i := range nw.queues {
+		for p := 0; p < numPorts; p++ {
+			nw.lens[i][p] = len(nw.queues[i][p])
+		}
+	}
+
+	for y := 0; y < nw.h; y++ {
+		for x := 0; x < nw.w; x++ {
+			nw.routeOne(x, y)
+		}
+	}
+	nw.counters.Delivered += int64(len(nw.delivered))
+}
+
+// routeOne runs the output arbiters of router (x, y). Each input port can
+// source at most one move per cycle (a FIFO has one read port).
+func (nw *Network) routeOne(x, y int) {
+	i := y*nw.w + x
+	var popped [numPorts]bool
+	// For each output, find the first input (round-robin) whose head wants
+	// it and whose downstream has credit.
+	for out := 0; out <= numPorts; out++ {
+		start := int(nw.rr[i][out])
+		for k := 0; k < numPorts; k++ {
+			in := (start + k) % numPorts
+			q := nw.queues[i][in]
+			// Consider only packets present at cycle start, one per input.
+			if popped[in] || nw.lens[i][in] == 0 || len(q) == 0 {
+				continue
+			}
+			head := q[0]
+			if nw.desiredOutput(head, x, y) != out {
+				continue
+			}
+			if out == pExit {
+				nw.pop(i, in)
+				popped[in] = true
+				nw.inFlight--
+				nw.delivered = append(nw.delivered, head)
+			} else {
+				nidx, nport := nw.neighbour(x, y, out)
+				if nw.lens[nidx][nport] >= nw.depth {
+					break // downstream full; the output idles this cycle
+				}
+				nw.pop(i, in)
+				popped[in] = true
+				head.ShortHops++
+				nw.counters.ShortTraversals++
+				nw.queues[nidx][nport] = append(nw.queues[nidx][nport], head)
+			}
+			nw.rr[i][out] = uint8((in + 1) % numPorts)
+			break
+		}
+	}
+}
+
+func (nw *Network) pop(i, in int) {
+	q := nw.queues[i][in]
+	copy(q, q[1:])
+	nw.queues[i][in] = q[:len(q)-1]
+	nw.lens[i][in]--
+}

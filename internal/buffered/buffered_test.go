@@ -1,0 +1,144 @@
+package buffered
+
+import (
+	"testing"
+
+	"fasttrack/internal/noc"
+	"fasttrack/internal/sim"
+	"fasttrack/internal/traffic"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(1, 4, Config{}); err == nil {
+		t.Error("1-wide mesh should be rejected")
+	}
+	if _, err := New(4, 4, Config{Depth: -1}); err == nil {
+		t.Error("negative depth should be rejected")
+	}
+}
+
+// TestSinglePacketXYRoute checks dimension-ordered shortest-path routing on
+// the bidirectional mesh: one cycle per hop plus one for injection-FIFO
+// read and one for exit.
+func TestSinglePacketXYRoute(t *testing.T) {
+	for _, tc := range []struct {
+		src, dst noc.Coord
+		hops     int32
+	}{
+		{noc.Coord{X: 0, Y: 0}, noc.Coord{X: 3, Y: 0}, 3},
+		{noc.Coord{X: 3, Y: 0}, noc.Coord{X: 0, Y: 0}, 3}, // westward (no wraparound needed)
+		{noc.Coord{X: 0, Y: 3}, noc.Coord{X: 0, Y: 0}, 3}, // northward
+		{noc.Coord{X: 0, Y: 3}, noc.Coord{X: 3, Y: 0}, 6},
+	} {
+		nw, err := New(4, 4, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pe := noc.PEIndex(tc.src, 4)
+		nw.Offer(pe, noc.Packet{ID: 1, Src: tc.src, Dst: tc.dst})
+		nw.Step(0)
+		if !nw.Accepted(pe) {
+			t.Fatal("injection refused on idle mesh")
+		}
+		var got *noc.Packet
+		for c := int64(1); c < 50 && got == nil; c++ {
+			nw.Step(c)
+			if len(nw.Delivered()) == 1 {
+				p := nw.Delivered()[0]
+				got = &p
+			}
+		}
+		if got == nil {
+			t.Fatalf("%v->%v never delivered", tc.src, tc.dst)
+		}
+		if got.ShortHops != tc.hops {
+			t.Errorf("%v->%v took %d hops, want %d", tc.src, tc.dst, got.ShortHops, tc.hops)
+		}
+	}
+}
+
+// TestBackpressure: with depth-1 FIFOs, a blocked stream stalls injection
+// rather than dropping packets.
+func TestBackpressure(t *testing.T) {
+	nw, err := New(4, 4, Config{Depth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := noc.Coord{X: 0, Y: 0}
+	pe := noc.PEIndex(src, 4)
+	stalls := 0
+	for c := int64(0); c < 20; c++ {
+		nw.Offer(pe, noc.Packet{ID: c, Src: src, Dst: noc.Coord{X: 3, Y: 3}, Gen: c})
+		nw.Step(c)
+		if !nw.Accepted(pe) {
+			stalls++
+		}
+	}
+	if stalls == 0 {
+		t.Error("depth-1 injection FIFO should stall a per-cycle stream")
+	}
+	if nw.Counters().InjectionStalls == 0 {
+		t.Error("stall counter not incremented")
+	}
+}
+
+// TestDrainsAllPatterns runs every synthetic pattern through the mesh with
+// conservation checks — buffered XY on a mesh must be deadlock-free.
+func TestDrainsAllPatterns(t *testing.T) {
+	for _, pat := range traffic.Patterns() {
+		nw, err := New(8, 8, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wl := traffic.NewSynthetic(8, 8, pat, 1.0, 150, 3)
+		res, err := sim.Run(nw, wl, sim.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", pat.Name(), err)
+		}
+		if res.Delivered != res.Injected {
+			t.Fatalf("%s: conservation violated", pat.Name())
+		}
+		if res.TimedOut {
+			t.Fatalf("%s: timed out", pat.Name())
+		}
+	}
+}
+
+// TestHigherPerCycleThroughputThanHoplite: the buffered mesh's claim to
+// fame is packets/cycle — it should saturate above bufferless Hoplite on
+// RANDOM traffic (it then loses on packets/ns once clock and cost enter,
+// which is the paper's Fig 1 argument).
+func TestHigherPerCycleThroughputThanHoplite(t *testing.T) {
+	nw, err := New(8, 8, Config{Depth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl := traffic.NewSynthetic(8, 8, traffic.Random{}, 1.0, 400, 5)
+	res, err := sim.Run(nw, wl, sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Baseline Hoplite saturates around 0.11 pkt/cycle/PE on 8×8 RANDOM.
+	if res.SustainedRate < 0.15 {
+		t.Errorf("buffered mesh sustained %.3f, expected well above Hoplite's ~0.11", res.SustainedRate)
+	}
+}
+
+// TestDeeperFIFOsHelpUnderLoad: throughput must not fall as buffering grows.
+func TestDeeperFIFOsHelpUnderLoad(t *testing.T) {
+	rate := func(depth int) float64 {
+		nw, err := New(8, 8, Config{Depth: depth})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wl := traffic.NewSynthetic(8, 8, traffic.Random{}, 1.0, 250, 9)
+		res, err := sim.Run(nw, wl, sim.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.SustainedRate
+	}
+	if r1, r8 := rate(1), rate(8); r8 < r1 {
+		t.Errorf("depth 8 (%.3f) should not underperform depth 1 (%.3f)", r8, r1)
+	}
+}

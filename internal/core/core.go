@@ -1,0 +1,236 @@
+// Package core is the public face of the FastTrack reproduction: a single
+// configuration type that can build any of the paper's NoCs (baseline
+// Hoplite, FastTrack FT(N²,D,R) in both router variants, multi-channel
+// Hoplite), evaluate its FPGA cost/frequency/power on the Virtex-7 model,
+// and run synthetic or application-trace workloads on it.
+//
+// Typical use:
+//
+//	cfg := core.FastTrack(8, 2, 1)            // FT(64,2,1)
+//	net, _ := cfg.Build()                     // cycle-accurate network
+//	res, _ := core.RunSynthetic(cfg, core.SyntheticOptions{
+//	    Pattern: "RANDOM", Rate: 0.5, PacketsPerPE: 1000, Seed: 1,
+//	})
+//	fmt.Println(res.SustainedRate, res.AvgLatency)
+package core
+
+import (
+	"fmt"
+
+	"fasttrack/internal/fasttrack"
+	"fasttrack/internal/fpga"
+	"fasttrack/internal/hoplite"
+	"fasttrack/internal/multichannel"
+	"fasttrack/internal/noc"
+	"fasttrack/internal/regulate"
+	"fasttrack/internal/sim"
+	"fasttrack/internal/trace"
+	"fasttrack/internal/traffic"
+)
+
+// Re-exported vocabulary so callers need only this package.
+type (
+	// Network is the cycle-accurate NoC interface.
+	Network = noc.Network
+	// Packet is the unit of transfer.
+	Packet = noc.Packet
+	// Coord is a torus coordinate.
+	Coord = noc.Coord
+	// Result is a simulation summary.
+	Result = sim.Result
+	// Trace is an application communication trace.
+	Trace = trace.Trace
+	// Variant selects the FastTrack router microarchitecture.
+	Variant = fasttrack.Variant
+	// Device is an FPGA technology model.
+	Device = fpga.Device
+)
+
+// FastTrack router variants.
+const (
+	VariantFull   = fasttrack.VariantFull
+	VariantInject = fasttrack.VariantInject
+)
+
+// Kind selects the network family.
+type Kind uint8
+
+// Network families.
+const (
+	KindHoplite Kind = iota
+	KindFastTrack
+	KindMultiChannel
+)
+
+// Config fully describes a NoC instance.
+type Config struct {
+	Kind Kind
+	// N is the torus width; the NoC is N×N.
+	N int
+	// D and R parameterize FastTrack (express length, depopulation).
+	D, R int
+	// Variant selects the FastTrack router microarchitecture.
+	Variant Variant
+	// Channels is the replication factor for KindMultiChannel.
+	Channels int
+	// WidthBits is the datapath width used by the FPGA cost/clock/power
+	// models (cycle behaviour is width-independent); 0 means 256.
+	WidthBits int
+	// ExpressPipeline adds register stages to FastTrack express links
+	// (§VII Hyperflex discussion): higher clock, longer express latency.
+	ExpressPipeline int
+}
+
+// Hoplite returns the baseline configuration for an n×n torus.
+func Hoplite(n int) Config { return Config{Kind: KindHoplite, N: n} }
+
+// FastTrack returns an FT(n², d, r) configuration with Full routers.
+func FastTrack(n, d, r int) Config {
+	return Config{Kind: KindFastTrack, N: n, D: d, R: r, Variant: VariantFull}
+}
+
+// MultiChannel returns a k-channel Hoplite configuration.
+func MultiChannel(n, k int) Config {
+	return Config{Kind: KindMultiChannel, N: n, Channels: k}
+}
+
+// WithWidth returns a copy of c with the datapath width set.
+func (c Config) WithWidth(bits int) Config {
+	c.WidthBits = bits
+	return c
+}
+
+// WithVariant returns a copy of c with the FastTrack router variant set.
+func (c Config) WithVariant(v Variant) Config {
+	c.Variant = v
+	return c
+}
+
+// WithPipeline returns a copy of c with extra express-link register stages.
+func (c Config) WithPipeline(stages int) Config {
+	c.ExpressPipeline = stages
+	return c
+}
+
+func (c Config) widthBits() int {
+	if c.WidthBits == 0 {
+		return 256
+	}
+	return c.WidthBits
+}
+
+// String renders the paper's notation for the configuration.
+func (c Config) String() string {
+	switch c.Kind {
+	case KindHoplite:
+		return "Hoplite"
+	case KindFastTrack:
+		s := fmt.Sprintf("FT(%d,%d,%d)", c.N*c.N, c.D, c.R)
+		if c.Variant == VariantInject {
+			s += "-inject"
+		}
+		return s
+	case KindMultiChannel:
+		if c.Channels <= 1 {
+			return "Hoplite"
+		}
+		return fmt.Sprintf("Hoplite-%dx", c.Channels)
+	}
+	return fmt.Sprintf("Config(kind=%d)", c.Kind)
+}
+
+// Build constructs the cycle-accurate network.
+func (c Config) Build() (Network, error) {
+	switch c.Kind {
+	case KindHoplite:
+		return hoplite.New(c.N, c.N)
+	case KindFastTrack:
+		top, err := fasttrack.NewTopology(c.N, c.D, c.R)
+		if err != nil {
+			return nil, err
+		}
+		return fasttrack.New(fasttrack.Config{
+			Topology: top, Variant: c.Variant, ExpressPipeline: c.ExpressPipeline,
+		})
+	case KindMultiChannel:
+		return multichannel.New(c.N, c.N, c.Channels)
+	}
+	return nil, fmt.Errorf("core: unknown network kind %d", c.Kind)
+}
+
+// Spec returns the FPGA-model view of the configuration for cost,
+// frequency, routability and power queries.
+func (c Config) Spec() (fpga.NoCSpec, error) {
+	switch c.Kind {
+	case KindHoplite:
+		return fpga.HopliteSpec(c.N, c.widthBits(), 1), nil
+	case KindFastTrack:
+		s, err := fpga.FastTrackSpec(c.N, c.D, c.R, c.widthBits(), c.Variant)
+		if err == nil {
+			s.FT.ExpressPipeline = c.ExpressPipeline
+		}
+		return s, err
+	case KindMultiChannel:
+		return fpga.HopliteSpec(c.N, c.widthBits(), c.Channels), nil
+	}
+	return fpga.NoCSpec{}, fmt.Errorf("core: unknown network kind %d", c.Kind)
+}
+
+// Virtex7 returns the paper's target device model.
+func Virtex7() *Device { return fpga.Virtex7_485T() }
+
+// SyntheticOptions parameterizes RunSynthetic.
+type SyntheticOptions struct {
+	// Pattern is a paper label: RANDOM, LOCAL, BITCOMPL, TRANSPOSE (also
+	// TORNADO).
+	Pattern string
+	// Rate is the per-PE injection probability per cycle (0..1].
+	Rate float64
+	// PacketsPerPE is the per-PE generation quota (paper: 1000).
+	PacketsPerPE int
+	// Seed fixes the random streams.
+	Seed uint64
+	// MaxCycles optionally bounds the run.
+	MaxCycles int64
+	// RegulateRate, when positive, throttles every PE with a HopliteRT-
+	// style token bucket to this injection rate (RegulateBurst packets of
+	// burst, default 1).
+	RegulateRate  float64
+	RegulateBurst float64
+}
+
+// RunSynthetic builds cfg's network and drives it with a statistical
+// workload, returning the paper's throughput/latency measurements.
+func RunSynthetic(cfg Config, opts SyntheticOptions) (Result, error) {
+	pat, err := traffic.ByName(opts.Pattern)
+	if err != nil {
+		return Result{}, err
+	}
+	net, err := cfg.Build()
+	if err != nil {
+		return Result{}, err
+	}
+	var wl sim.Workload = traffic.NewSynthetic(net.Width(), net.Height(), pat, opts.Rate, opts.PacketsPerPE, opts.Seed)
+	if opts.RegulateRate > 0 {
+		wl, err = regulate.New(wl, net.NumPEs(), opts.RegulateRate, opts.RegulateBurst)
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	return sim.Run(net, wl, sim.Options{MaxCycles: opts.MaxCycles})
+}
+
+// RunTrace builds cfg's network and replays an application trace with
+// dependency-driven injection, returning completion time and latency
+// statistics.
+func RunTrace(cfg Config, tr *Trace) (Result, error) {
+	net, err := cfg.Build()
+	if err != nil {
+		return Result{}, err
+	}
+	wl, err := trace.NewWorkload(tr, net.Width(), net.Height())
+	if err != nil {
+		return Result{}, err
+	}
+	return sim.Run(net, wl, sim.Options{})
+}

@@ -1,0 +1,181 @@
+// Package dse is a design-space explorer over the NoC configurations this
+// repository can build: it enumerates baseline, multi-channel and FastTrack
+// designs for a system size, evaluates each on the FPGA model (cost, clock,
+// routability, power) and in simulation (sustained rate), and extracts the
+// Pareto frontier — automating the paper's §IV-A/§VI cost-aware design
+// methodology ("judiciously choose D and R").
+package dse
+
+import (
+	"fmt"
+	"sort"
+
+	"fasttrack/internal/core"
+)
+
+// Options scopes an exploration.
+type Options struct {
+	// N is the torus width (the NoC is N×N).
+	N int
+	// WidthBits is the datapath width (0 = 256).
+	WidthBits int
+	// Pattern and Rate drive the throughput measurement (defaults: RANDOM
+	// at 1.0).
+	Pattern string
+	Rate    float64
+	// PacketsPerPE is the simulation quota (0 = 300).
+	PacketsPerPE int
+	// MaxChannels bounds the multi-channel alternatives (0 = 3).
+	MaxChannels int
+	// Variants toggles FTlite(Inject) candidates in addition to Full.
+	Variants bool
+	// Seed fixes the workload streams.
+	Seed uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.WidthBits == 0 {
+		o.WidthBits = 256
+	}
+	if o.Pattern == "" {
+		o.Pattern = "RANDOM"
+	}
+	if o.Rate == 0 {
+		o.Rate = 1.0
+	}
+	if o.PacketsPerPE == 0 {
+		o.PacketsPerPE = 300
+	}
+	if o.MaxChannels == 0 {
+		o.MaxChannels = 3
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Point is one evaluated design.
+type Point struct {
+	Config core.Config
+	Name   string
+
+	LUTs, FFs  int
+	ClockMHz   float64
+	PowerW     float64
+	WireFactor int
+	Routable   bool
+
+	SustainedRate  float64 // pkt/cycle/PE
+	ThroughputMPPS float64 // delivered packets/s network-wide, in millions
+	AvgLatencyNS   float64
+	// EnergyPerPacketNJ is dynamic energy divided by delivered packets.
+	EnergyPerPacketNJ float64
+
+	// Pareto marks membership in the throughput-vs-LUTs frontier.
+	Pareto bool
+}
+
+// candidates enumerates the legal design points for opts.
+func candidates(o Options) []core.Config {
+	var cands []core.Config
+	for k := 1; k <= o.MaxChannels; k++ {
+		cands = append(cands, core.MultiChannel(o.N, k).WithWidth(o.WidthBits))
+	}
+	variants := []core.Variant{core.VariantFull}
+	if o.Variants {
+		variants = append(variants, core.VariantInject)
+	}
+	for d := 1; d <= o.N/2; d++ {
+		for r := 1; r <= d; r++ {
+			if d%r != 0 || o.N%r != 0 {
+				continue
+			}
+			for _, v := range variants {
+				if v == core.VariantInject && o.N%d != 0 {
+					continue
+				}
+				cands = append(cands, core.FastTrack(o.N, d, r).WithVariant(v).WithWidth(o.WidthBits))
+			}
+		}
+	}
+	return cands
+}
+
+// Explore evaluates every candidate and marks the Pareto frontier
+// (maximize throughput, minimize LUTs) among routable designs.
+func Explore(opts Options) ([]Point, error) {
+	o := opts.withDefaults()
+	dev := core.Virtex7()
+	var pts []Point
+	for _, cfg := range candidates(o) {
+		spec, err := cfg.Spec()
+		if err != nil {
+			return nil, fmt.Errorf("dse: %s: %w", cfg, err)
+		}
+		p := Point{Config: cfg, Name: cfg.String(), WireFactor: spec.WireFactor()}
+		p.LUTs, p.FFs = spec.Resources()
+		p.Routable = spec.Routable(dev)
+		if !p.Routable {
+			pts = append(pts, p)
+			continue
+		}
+		p.ClockMHz = spec.ClockMHz(dev)
+		p.PowerW = spec.PowerW(dev)
+
+		res, err := core.RunSynthetic(cfg, core.SyntheticOptions{
+			Pattern: o.Pattern, Rate: o.Rate, PacketsPerPE: o.PacketsPerPE, Seed: o.Seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("dse: %s: %w", cfg, err)
+		}
+		p.SustainedRate = res.SustainedRate
+		p.ThroughputMPPS = res.SustainedRate * float64(o.N*o.N) * p.ClockMHz
+		if p.ClockMHz > 0 {
+			p.AvgLatencyNS = res.AvgLatency / p.ClockMHz * 1000
+			if res.Delivered > 0 {
+				joules := spec.EnergyJ(dev, res.Cycles)
+				p.EnergyPerPacketNJ = joules / float64(res.Delivered) * 1e9
+			}
+		}
+		pts = append(pts, p)
+	}
+	markPareto(pts)
+	sort.Slice(pts, func(i, j int) bool { return pts[i].LUTs < pts[j].LUTs })
+	return pts, nil
+}
+
+// markPareto flags the non-dominated routable points under (max throughput,
+// min LUTs).
+func markPareto(pts []Point) {
+	for i := range pts {
+		if !pts[i].Routable {
+			continue
+		}
+		dominated := false
+		for j := range pts {
+			if i == j || !pts[j].Routable {
+				continue
+			}
+			betterOrEqual := pts[j].ThroughputMPPS >= pts[i].ThroughputMPPS && pts[j].LUTs <= pts[i].LUTs
+			strictlyBetter := pts[j].ThroughputMPPS > pts[i].ThroughputMPPS || pts[j].LUTs < pts[i].LUTs
+			if betterOrEqual && strictlyBetter {
+				dominated = true
+				break
+			}
+		}
+		pts[i].Pareto = !dominated
+	}
+}
+
+// Frontier returns only the Pareto-optimal points, cheapest first.
+func Frontier(pts []Point) []Point {
+	var out []Point
+	for _, p := range pts {
+		if p.Pareto {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].LUTs < out[j].LUTs })
+	return out
+}

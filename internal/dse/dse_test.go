@@ -1,0 +1,96 @@
+package dse
+
+import (
+	"strings"
+	"testing"
+)
+
+func explore(t *testing.T) []Point {
+	t.Helper()
+	pts, err := Explore(Options{N: 8, PacketsPerPE: 150, Variants: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) < 6 {
+		t.Fatalf("only %d candidates explored", len(pts))
+	}
+	return pts
+}
+
+func TestExploreEvaluatesEverything(t *testing.T) {
+	pts := explore(t)
+	names := map[string]bool{}
+	for _, p := range pts {
+		names[p.Name] = true
+		if p.Routable && (p.ThroughputMPPS <= 0 || p.ClockMHz <= 0) {
+			t.Errorf("%s routable but unevaluated: %+v", p.Name, p)
+		}
+		if p.LUTs <= 0 {
+			t.Errorf("%s has no cost", p.Name)
+		}
+	}
+	for _, want := range []string{"Hoplite", "Hoplite-3x", "FT(64,2,1)", "FT(64,2,2)", "FT(64,2,1)-inject"} {
+		if !names[want] {
+			t.Errorf("candidate %s missing (have %v)", want, names)
+		}
+	}
+}
+
+func TestParetoFrontierIsNonDominated(t *testing.T) {
+	pts := explore(t)
+	front := Frontier(pts)
+	if len(front) == 0 {
+		t.Fatal("empty frontier")
+	}
+	for _, f := range front {
+		for _, p := range pts {
+			if !p.Routable || p.Name == f.Name {
+				continue
+			}
+			if p.ThroughputMPPS >= f.ThroughputMPPS && p.LUTs <= f.LUTs &&
+				(p.ThroughputMPPS > f.ThroughputMPPS || p.LUTs < f.LUTs) {
+				t.Errorf("frontier point %s dominated by %s", f.Name, p.Name)
+			}
+		}
+	}
+	// The frontier must be monotone: more LUTs only if more throughput.
+	for i := 1; i < len(front); i++ {
+		if front[i].ThroughputMPPS <= front[i-1].ThroughputMPPS {
+			t.Errorf("frontier not monotone at %s", front[i].Name)
+		}
+	}
+	// Plain Hoplite is the cheapest routable design, so it is always on
+	// the frontier.
+	if front[0].Name != "Hoplite" {
+		t.Errorf("cheapest frontier point is %s, want Hoplite", front[0].Name)
+	}
+	// Some FastTrack design must make the frontier — the paper's thesis.
+	hasFT := false
+	for _, f := range front {
+		if strings.HasPrefix(f.Name, "FT(") {
+			hasFT = true
+		}
+	}
+	if !hasFT {
+		t.Error("no FastTrack design on the Pareto frontier")
+	}
+}
+
+func TestUnroutableCandidatesAreKept(t *testing.T) {
+	pts, err := Explore(Options{N: 8, WidthBits: 512, PacketsPerPE: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawNA := false
+	for _, p := range pts {
+		if !p.Routable {
+			sawNA = true
+			if p.Pareto {
+				t.Errorf("unroutable %s marked Pareto", p.Name)
+			}
+		}
+	}
+	if !sawNA {
+		t.Error("expected some 512b designs to fail routability on 8x8")
+	}
+}

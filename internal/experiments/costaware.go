@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"fasttrack/internal/core"
+)
+
+// fig13Configs are the iso-wiring contenders: FT(N²,2,1) uses 3 tracks per
+// channel like Hoplite-3x; FT(N²,2,2) uses 2 like Hoplite-2x.
+func fig13Configs(n int) []core.Config {
+	return []core.Config{
+		core.MultiChannel(n, 3),
+		core.Hoplite(n),
+		core.FastTrack(n, 2, 2),
+		core.FastTrack(n, 2, 1),
+	}
+}
+
+// Fig13Data sweeps RANDOM traffic for N = 16, 64, 256 PEs across Hoplite,
+// Hoplite-3x and the two FastTrack configurations.
+func Fig13Data(sc Scale) ([]RatePoint, error) {
+	var pts []RatePoint
+	for _, n := range []int{4, 8, 16} {
+		if sc.MaxN > 0 && n > sc.MaxN {
+			continue
+		}
+		sub, err := sweepSynthetic(sc, fig13Configs(n), []string{"RANDOM"})
+		if err != nil {
+			return nil, err
+		}
+		for i := range sub {
+			sub[i].Pattern = fmt.Sprintf("RANDOM/%dPE", n*n)
+		}
+		pts = append(pts, sub...)
+	}
+	return pts, nil
+}
+
+// RunFig13 renders sustained rate and average latency for the iso-wiring
+// comparison.
+func RunFig13(w io.Writer, sc Scale) error {
+	header(w, "fig13", "Multi-channel Hoplite vs FastTrack (iso-wiring), RANDOM traffic")
+	pts, err := Fig13Data(sc)
+	if err != nil {
+		return err
+	}
+	t := newTable(w, "System", "Config", "InjRate", "Sustained", "AvgLatency")
+	for _, p := range pts {
+		t.row(p.Pattern, p.Config, fmt.Sprintf("%.2f", p.InjectionRate),
+			fmt.Sprintf("%.4f", p.SustainedRate), fmt.Sprintf("%.1f", p.AvgLatency))
+	}
+	return t.flush()
+}
+
+// CostPoint is one scatter point of Fig 14 / Fig 19: a configuration's
+// delivered throughput against its FPGA cost.
+type CostPoint struct {
+	Config string
+	// ThroughputMPPS is sustained rate × PEs × modeled clock, in million
+	// packets per second — the paper's Fig 14 y-axis.
+	ThroughputMPPS float64
+	LUTs           int
+	WireCount      float64
+	EnergyJ        float64
+	PowerW         float64
+	SustainedRate  float64
+	Cycles         int64
+}
+
+// fig14Configs are the 8×8 contenders of Figs 14 and 19.
+func fig14Configs(n int) []core.Config {
+	return []core.Config{
+		core.MultiChannel(n, 3),
+		core.Hoplite(n),
+		core.MultiChannel(n, 2),
+		core.FastTrack(n, 2, 2),
+		core.FastTrack(n, 2, 1),
+	}
+}
+
+// Fig14Data measures saturation throughput at 100% RANDOM injection and
+// pairs it with modeled LUT area, wire count, power and energy. Fig 19
+// reuses the same points.
+func Fig14Data(sc Scale) ([]CostPoint, error) {
+	dev := core.Virtex7()
+	n := sc.capN(8)
+	var pts []CostPoint
+	for _, cfg := range fig14Configs(n) {
+		res, err := saturationThroughput(cfg, sc)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", cfg, err)
+		}
+		spec, err := cfg.Spec()
+		if err != nil {
+			return nil, err
+		}
+		luts, _ := spec.Resources()
+		mhz := spec.ClockMHz(dev)
+		pts = append(pts, CostPoint{
+			Config:         cfg.String(),
+			ThroughputMPPS: res.SustainedRate * float64(n*n) * mhz,
+			LUTs:           luts,
+			WireCount:      spec.WireCount(),
+			EnergyJ:        spec.EnergyJ(dev, res.Cycles),
+			PowerW:         spec.PowerW(dev),
+			SustainedRate:  res.SustainedRate,
+			Cycles:         res.Cycles,
+		})
+	}
+	return pts, nil
+}
+
+// RunFig14 renders the area- and wire-aware throughput comparison.
+func RunFig14(w io.Writer, sc Scale) error {
+	header(w, "fig14", "Cost-aware throughput, 8x8 RANDOM at 100% injection")
+	pts, err := Fig14Data(sc)
+	if err != nil {
+		return err
+	}
+	t := newTable(w, "Config", "LUTs", "WireCount", "Throughput(Mpkt/s)", "Sustained")
+	for _, p := range pts {
+		t.row(p.Config, p.LUTs, fmt.Sprintf("%.0f", p.WireCount),
+			fmt.Sprintf("%.1f", p.ThroughputMPPS), fmt.Sprintf("%.4f", p.SustainedRate))
+	}
+	return t.flush()
+}
+
+// RunFig19 renders the throughput-energy tradeoff from the same runs.
+func RunFig19(w io.Writer, sc Scale) error {
+	header(w, "fig19", "Throughput-energy tradeoffs, 64-PE RANDOM workload")
+	pts, err := Fig14Data(sc)
+	if err != nil {
+		return err
+	}
+	t := newTable(w, "Config", "Throughput(Mpkt/s)", "Power(W)", "Energy(J)")
+	for _, p := range pts {
+		t.row(p.Config, fmt.Sprintf("%.1f", p.ThroughputMPPS),
+			fmt.Sprintf("%.1f", p.PowerW), fmt.Sprintf("%.4g", p.EnergyJ))
+	}
+	return t.flush()
+}

@@ -1,0 +1,402 @@
+package experiments
+
+// Extension experiments beyond the paper's figures: ablations of the design
+// choices DESIGN.md calls out (router variant, express pipelining per the
+// §VII Hyperflex discussion, zero-load analysis, latency fairness). They
+// are registered with ext- identifiers and run by ftexp like any figure.
+
+import (
+	"fmt"
+	"io"
+
+	"fasttrack/internal/analysis"
+	"fasttrack/internal/buffered"
+	"fasttrack/internal/core"
+	"fasttrack/internal/fpga"
+	"fasttrack/internal/message"
+	"fasttrack/internal/sim"
+	"fasttrack/internal/stats"
+	"fasttrack/internal/traffic"
+)
+
+// Extensions returns the beyond-the-paper experiments.
+func Extensions() []Experiment {
+	return []Experiment{
+		{ID: "ext-variants", Title: "Ablation: FT(Full) vs FTlite(Inject) router microarchitecture", Run: RunExtVariants},
+		{ID: "ext-pipeline", Title: "Ablation: Hyperflex-style express link pipelining (paper §VII)", Run: RunExtPipeline},
+		{ID: "ext-zeroload", Title: "Zero-load latency profile and provable Hoplite bounds", Run: RunExtZeroLoad},
+		{ID: "ext-fairness", Title: "Per-source latency fairness (Jain index) under saturation", Run: RunExtFairness},
+		{ID: "ext-cacheline", Title: "Cacheline serialization vs datapath width (§VI-B)", Run: RunExtCacheline},
+		{ID: "ext-buffered", Title: "Buffered mesh vs bufferless NoCs (simulated Fig 1)", Run: RunExtBuffered},
+	}
+}
+
+// VariantPoint compares the two router microarchitectures at one rate.
+type VariantPoint struct {
+	Variant       string
+	InjectionRate float64
+	SustainedRate float64
+	AvgLatency    float64
+	LUTs          int
+}
+
+// ExtVariantsData measures the cost/performance gap between the Full and
+// Inject routers on an 8×8 FT(64,2,1) under RANDOM traffic.
+func ExtVariantsData(sc Scale) ([]VariantPoint, error) {
+	n := sc.capN(8)
+	var pts []VariantPoint
+	for _, v := range []core.Variant{core.VariantFull, core.VariantInject} {
+		cfg := core.FastTrack(n, 2, 1).WithVariant(v)
+		spec, err := cfg.Spec()
+		if err != nil {
+			return nil, err
+		}
+		luts, _ := spec.Resources()
+		for _, rate := range sc.Rates {
+			res, err := core.RunSynthetic(cfg, core.SyntheticOptions{
+				Pattern: "RANDOM", Rate: rate, PacketsPerPE: sc.Quota, Seed: sc.Seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			pts = append(pts, VariantPoint{
+				Variant: v.String(), InjectionRate: rate,
+				SustainedRate: res.SustainedRate, AvgLatency: res.AvgLatency,
+				LUTs: luts,
+			})
+		}
+	}
+	return pts, nil
+}
+
+// RunExtVariants renders the variant ablation.
+func RunExtVariants(w io.Writer, sc Scale) error {
+	header(w, "ext-variants", "FT(Full) vs FTlite(Inject), 64-PE RANDOM traffic")
+	pts, err := ExtVariantsData(sc)
+	if err != nil {
+		return err
+	}
+	t := newTable(w, "Variant", "LUTs", "InjRate", "Sustained", "AvgLatency")
+	for _, p := range pts {
+		t.row(p.Variant, p.LUTs, fmt.Sprintf("%.2f", p.InjectionRate),
+			fmt.Sprintf("%.4f", p.SustainedRate), fmt.Sprintf("%.1f", p.AvgLatency))
+	}
+	return t.flush()
+}
+
+// PipelinePoint is one express-pipelining depth sample.
+type PipelinePoint struct {
+	Stages         int
+	ClockMHz       float64
+	SustainedRate  float64
+	AvgLatencyCyc  float64
+	AvgLatencyNS   float64
+	ThroughputMPPS float64
+}
+
+// ExtPipelineData sweeps express pipeline depth on an FT(64,4,1) — the
+// configuration whose long express wires limit the clock — quantifying the
+// §VII tradeoff: pipelining restores frequency but adds cycles per express
+// hop.
+func ExtPipelineData(sc Scale) ([]PipelinePoint, error) {
+	dev := core.Virtex7()
+	n := sc.capN(8)
+	var pts []PipelinePoint
+	for stages := 0; stages <= 3; stages++ {
+		cfg := core.FastTrack(n, 4, 1).WithPipeline(stages).WithWidth(128)
+		spec, err := cfg.Spec()
+		if err != nil {
+			return nil, err
+		}
+		mhz := spec.ClockMHz(dev)
+		res, err := core.RunSynthetic(cfg, core.SyntheticOptions{
+			Pattern: "RANDOM", Rate: 1.0, PacketsPerPE: sc.Quota, Seed: sc.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, PipelinePoint{
+			Stages:         stages,
+			ClockMHz:       mhz,
+			SustainedRate:  res.SustainedRate,
+			AvgLatencyCyc:  res.AvgLatency,
+			AvgLatencyNS:   res.AvgLatency / mhz * 1000,
+			ThroughputMPPS: res.SustainedRate * float64(n*n) * mhz,
+		})
+	}
+	return pts, nil
+}
+
+// RunExtPipeline renders the pipelining ablation.
+func RunExtPipeline(w io.Writer, sc Scale) error {
+	header(w, "ext-pipeline", "Express link pipelining on FT(64,4,1) @128b, RANDOM saturation")
+	pts, err := ExtPipelineData(sc)
+	if err != nil {
+		return err
+	}
+	t := newTable(w, "Stages", "MHz", "Sustained", "AvgLat(cyc)", "AvgLat(ns)", "Mpkt/s")
+	for _, p := range pts {
+		t.row(p.Stages, fmt.Sprintf("%.0f", p.ClockMHz),
+			fmt.Sprintf("%.4f", p.SustainedRate),
+			fmt.Sprintf("%.1f", p.AvgLatencyCyc),
+			fmt.Sprintf("%.1f", p.AvgLatencyNS),
+			fmt.Sprintf("%.0f", p.ThroughputMPPS))
+	}
+	return t.flush()
+}
+
+// RunExtZeroLoad renders exact zero-load latency profiles plus the provable
+// Hoplite in-flight bound.
+func RunExtZeroLoad(w io.Writer, sc Scale) error {
+	n := sc.capN(8)
+	header(w, "ext-zeroload", fmt.Sprintf("Zero-load latency over all PE pairs, %dx%d", n, n))
+	t := newTable(w, "Config", "MeanLat", "MaxLat", "ExpressShare")
+	for _, cfg := range []core.Config{
+		core.Hoplite(n),
+		core.FastTrack(n, 2, 2),
+		core.FastTrack(n, 2, 1),
+		core.FastTrack(n, 2, 1).WithVariant(core.VariantInject),
+	} {
+		zl, err := analysis.ZeroLoadProfile(cfg)
+		if err != nil {
+			return err
+		}
+		t.row(zl.Config, fmt.Sprintf("%.2f", zl.Mean), zl.Max,
+			fmt.Sprintf("%.0f%%", 100*zl.ExpressShare))
+	}
+	if err := t.flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "provable Hoplite in-flight bound (worst pair): %d cycles\n",
+		analysis.HopliteNetworkBound(n))
+	return nil
+}
+
+// FairnessPoint summarizes per-source latency dispersion for one config.
+type FairnessPoint struct {
+	Config      string
+	JainIndex   float64
+	MeanOfMeans float64
+	WorstMean   float64
+}
+
+// ExtFairnessData measures how evenly saturated RANDOM latency is
+// distributed across source PEs. Deflection NoCs favour some positions;
+// express links shorten the unlucky paths and raise the Jain index.
+func ExtFairnessData(sc Scale) ([]FairnessPoint, error) {
+	n := sc.capN(8)
+	var pts []FairnessPoint
+	for _, cfg := range fig11Configs(n) {
+		res, err := core.RunSynthetic(cfg, core.SyntheticOptions{
+			Pattern: "RANDOM", Rate: 1.0, PacketsPerPE: sc.Quota, Seed: sc.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		means := make([]float64, 0, len(res.PerSource))
+		var sum, worst float64
+		for i := range res.PerSource {
+			if res.PerSource[i].Count() == 0 {
+				continue
+			}
+			m := res.PerSource[i].Mean()
+			means = append(means, m)
+			sum += m
+			if m > worst {
+				worst = m
+			}
+		}
+		pt := FairnessPoint{Config: cfg.String(), JainIndex: stats.JainIndex(means), WorstMean: worst}
+		if len(means) > 0 {
+			pt.MeanOfMeans = sum / float64(len(means))
+		}
+		pts = append(pts, pt)
+	}
+	return pts, nil
+}
+
+// RunExtFairness renders the fairness ablation.
+func RunExtFairness(w io.Writer, sc Scale) error {
+	header(w, "ext-fairness", "Per-source latency fairness, 64-PE RANDOM at saturation")
+	pts, err := ExtFairnessData(sc)
+	if err != nil {
+		return err
+	}
+	t := newTable(w, "Config", "JainIndex", "MeanLat", "WorstSourceMean")
+	for _, p := range pts {
+		t.row(p.Config, fmt.Sprintf("%.4f", p.JainIndex),
+			fmt.Sprintf("%.1f", p.MeanOfMeans), fmt.Sprintf("%.1f", p.WorstMean))
+	}
+	return t.flush()
+}
+
+// CachelinePoint measures 512-bit cacheline transfer efficiency at one
+// datapath width.
+type CachelinePoint struct {
+	Config       string
+	WidthBits    int
+	FlitsPerLine int
+	ClockMHz     float64
+	LinesPerSec  float64 // millions of cachelines per second, network-wide
+	AvgLatencyNS float64 // message completion latency
+	Routable     bool
+}
+
+// ExtCachelineData transfers 512-bit cachelines over a 4×4 FT(16,2,1) and
+// Hoplite at datapath widths from 64 to 512 bits. Wide datapaths move a
+// line per packet but clock lower and may not route; narrow ones serialize.
+func ExtCachelineData(sc Scale) ([]CachelinePoint, error) {
+	dev := core.Virtex7()
+	const n, lineBits = 4, 512
+	var pts []CachelinePoint
+	for _, cfg := range []core.Config{core.Hoplite(n), core.FastTrack(n, 2, 1)} {
+		for _, width := range []int{64, 128, 256, 512, 1024} {
+			wc := cfg.WithWidth(width)
+			spec, err := wc.Spec()
+			if err != nil {
+				return nil, err
+			}
+			pt := CachelinePoint{
+				Config: wc.String(), WidthBits: width,
+				FlitsPerLine: (lineBits + width - 1) / width,
+				Routable:     spec.Routable(dev),
+			}
+			if pt.Routable {
+				pt.ClockMHz = spec.ClockMHz(dev)
+				res, ms, err := runCachelines(wc, lineBits, width, sc)
+				if err != nil {
+					return nil, err
+				}
+				lines := float64(ms.MessagesDelivered())
+				seconds := float64(res.Cycles) / (pt.ClockMHz * 1e6)
+				pt.LinesPerSec = lines / seconds / 1e6
+				pt.AvgLatencyNS = ms.MessageLatency().Mean() / pt.ClockMHz * 1000
+			}
+			pts = append(pts, pt)
+		}
+	}
+	return pts, nil
+}
+
+func runCachelines(cfg core.Config, lineBits, width int, sc Scale) (sim.Result, *message.Stream, error) {
+	net, err := cfg.Build()
+	if err != nil {
+		return sim.Result{}, nil, err
+	}
+	ms, err := message.NewStream(net.Width(), net.Height(), lineBits, width, 1.0, sc.Quota, sc.Seed)
+	if err != nil {
+		return sim.Result{}, nil, err
+	}
+	res, err := sim.Run(net, ms, sim.Options{})
+	return res, ms, err
+}
+
+// RunExtCacheline renders the serialization study.
+func RunExtCacheline(w io.Writer, sc Scale) error {
+	header(w, "ext-cacheline", "512-bit cacheline transfers on a 4x4 NoC vs datapath width")
+	pts, err := ExtCachelineData(sc)
+	if err != nil {
+		return err
+	}
+	t := newTable(w, "Config", "Width", "Flits/line", "MHz", "Mlines/s", "AvgLat(ns)")
+	for _, p := range pts {
+		if !p.Routable {
+			t.row(p.Config, p.WidthBits, p.FlitsPerLine, "NA", "NA", "NA")
+			continue
+		}
+		t.row(p.Config, p.WidthBits, p.FlitsPerLine,
+			fmt.Sprintf("%.0f", p.ClockMHz),
+			fmt.Sprintf("%.1f", p.LinesPerSec),
+			fmt.Sprintf("%.0f", p.AvgLatencyNS))
+	}
+	return t.flush()
+}
+
+// BufferedPoint compares router families on the Fig 1 axes, with the
+// buffered design simulated rather than quoted from the literature.
+type BufferedPoint struct {
+	Config        string
+	LUTsPerRouter int
+	ClockMHz      float64
+	SustainedRate float64 // pkt/cycle/PE at saturation
+	PktPerNS      float64 // delivered network throughput in packets/ns
+	AvgLatencyNS  float64
+}
+
+// ExtBufferedData runs saturated RANDOM traffic through the buffered mesh,
+// baseline Hoplite and FT(64,2,1) at 32-bit width, converting cycles to
+// wall-clock with each design's modeled frequency — Fig 1's area-bandwidth
+// tradeoff reproduced end-to-end from simulation.
+func ExtBufferedData(sc Scale) ([]BufferedPoint, error) {
+	dev := core.Virtex7()
+	n := sc.capN(8)
+	var pts []BufferedPoint
+
+	run := func(name string, build func() (core.Network, error), luts int, mhz float64) error {
+		net, err := build()
+		if err != nil {
+			return err
+		}
+		wl := traffic.NewSynthetic(net.Width(), net.Height(), traffic.Random{}, 1.0, sc.Quota, sc.Seed)
+		res, err := sim.Run(net, wl, sim.Options{})
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		pts = append(pts, BufferedPoint{
+			Config:        name,
+			LUTsPerRouter: luts,
+			ClockMHz:      mhz,
+			SustainedRate: res.SustainedRate,
+			PktPerNS:      res.SustainedRate * float64(n*n) * mhz / 1000,
+			AvgLatencyNS:  res.AvgLatency / mhz * 1000,
+		})
+		return nil
+	}
+
+	const width = 32
+	bl, _ := fpga.BufferedRouterCost(width, 4)
+	if err := run("BufferedMesh(d=4)", func() (core.Network, error) {
+		return buffered.New(n, n, buffered.Config{Depth: 4})
+	}, bl, dev.BufferedMeshClockMHz(n, width)); err != nil {
+		return nil, err
+	}
+
+	hop := core.Hoplite(n).WithWidth(width)
+	hs, err := hop.Spec()
+	if err != nil {
+		return nil, err
+	}
+	hl, _ := hs.Resources()
+	if err := run("Hoplite", func() (core.Network, error) { return hop.Build() },
+		hl/(n*n), hs.ClockMHz(dev)); err != nil {
+		return nil, err
+	}
+
+	ft := core.FastTrack(n, 2, 1).WithWidth(width)
+	fs, err := ft.Spec()
+	if err != nil {
+		return nil, err
+	}
+	fl, _ := fs.Resources()
+	if err := run("FT(64,2,1)", func() (core.Network, error) { return ft.Build() },
+		fl/(n*n), fs.ClockMHz(dev)); err != nil {
+		return nil, err
+	}
+	return pts, nil
+}
+
+// RunExtBuffered renders the simulated Fig 1 comparison.
+func RunExtBuffered(w io.Writer, sc Scale) error {
+	header(w, "ext-buffered", "Buffered mesh vs bufferless NoCs, 32b, RANDOM saturation (simulated Fig 1)")
+	pts, err := ExtBufferedData(sc)
+	if err != nil {
+		return err
+	}
+	t := newTable(w, "Config", "LUTs/router", "MHz", "pkt/cyc/PE", "pkt/ns", "AvgLat(ns)")
+	for _, p := range pts {
+		t.row(p.Config, p.LUTsPerRouter, fmt.Sprintf("%.0f", p.ClockMHz),
+			fmt.Sprintf("%.4f", p.SustainedRate), fmt.Sprintf("%.2f", p.PktPerNS),
+			fmt.Sprintf("%.0f", p.AvgLatencyNS))
+	}
+	return t.flush()
+}

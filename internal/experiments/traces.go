@@ -1,0 +1,223 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"fasttrack/internal/core"
+	"fasttrack/internal/trace"
+	"fasttrack/internal/workloads/dataflow"
+	"fasttrack/internal/workloads/graphwl"
+	"fasttrack/internal/workloads/overlay"
+	"fasttrack/internal/workloads/spmv"
+)
+
+// SpeedupPoint is one bar of the paper's Fig 15: workload completion-time
+// speedup of the best FastTrack configuration over baseline Hoplite at the
+// same PE count.
+type SpeedupPoint struct {
+	Benchmark     string
+	PEs           int
+	HopliteCycles int64
+	BestFTCycles  int64
+	BestFTConfig  string
+	Speedup       float64
+}
+
+// ftCandidates returns the FastTrack configurations tried per torus width;
+// the paper reports the best configuration per benchmark.
+func ftCandidates(n int) []core.Config {
+	var cands []core.Config
+	if n >= 4 {
+		cands = append(cands, core.FastTrack(n, 2, 1))
+	}
+	if n >= 8 {
+		cands = append(cands, core.FastTrack(n, 2, 2))
+	}
+	if len(cands) == 0 {
+		cands = append(cands, core.FastTrack(n, 1, 1))
+	}
+	return cands
+}
+
+// traceSpeedup measures one benchmark trace on Hoplite and the FastTrack
+// candidates.
+func traceSpeedup(tr *trace.Trace, n int) (SpeedupPoint, error) {
+	pt := SpeedupPoint{Benchmark: tr.Name, PEs: n * n}
+	hop, err := core.RunTrace(core.Hoplite(n), tr)
+	if err != nil {
+		return pt, fmt.Errorf("%s on Hoplite %dx%d: %w", tr.Name, n, n, err)
+	}
+	pt.HopliteCycles = hop.Cycles
+	for _, cfg := range ftCandidates(n) {
+		res, err := core.RunTrace(cfg, tr)
+		if err != nil {
+			return pt, fmt.Errorf("%s on %s: %w", tr.Name, cfg, err)
+		}
+		if pt.BestFTCycles == 0 || res.Cycles < pt.BestFTCycles {
+			pt.BestFTCycles = res.Cycles
+			pt.BestFTConfig = cfg.String()
+		}
+	}
+	pt.Speedup = float64(pt.HopliteCycles) / float64(pt.BestFTCycles)
+	return pt, nil
+}
+
+func renderSpeedups(w io.Writer, pts []SpeedupPoint) error {
+	t := newTable(w, "Benchmark", "PEs", "HopliteCycles", "BestFT", "FTCycles", "Speedup")
+	for _, p := range pts {
+		t.row(p.Benchmark, p.PEs, p.HopliteCycles, p.BestFTConfig, p.BestFTCycles,
+			fmt.Sprintf("%.2fx", p.Speedup))
+	}
+	return t.flush()
+}
+
+// fig15Sizes filters the torus widths a suite sweeps by the scale cap.
+func fig15Sizes(sc Scale, sizes ...int) []int {
+	var out []int
+	for _, n := range sizes {
+		if sc.MaxN == 0 || n <= sc.MaxN {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// traceJob generates one benchmark trace for one system size.
+type traceJob struct {
+	n   int
+	pes int // reported PE count override (0 = n*n)
+	gen func() (*trace.Trace, error)
+}
+
+// runTraceJobs generates and measures trace speedups across CPU cores.
+func runTraceJobs(jobs []traceJob) ([]SpeedupPoint, error) {
+	pts := make([]SpeedupPoint, len(jobs))
+	err := forEachParallel(len(jobs), func(i int) error {
+		tr, err := jobs[i].gen()
+		if err != nil {
+			return err
+		}
+		pt, err := traceSpeedup(tr, jobs[i].n)
+		if err != nil {
+			return err
+		}
+		if jobs[i].pes > 0 {
+			pt.PEs = jobs[i].pes
+		}
+		pts[i] = pt
+		return nil
+	})
+	return pts, err
+}
+
+// Fig15aData runs the SpMV suite across PE counts.
+func Fig15aData(sc Scale) ([]SpeedupPoint, error) {
+	mats := spmv.Benchmarks()
+	mats = mats[:sc.capBenchmarks(len(mats))]
+	var jobs []traceJob
+	for _, m := range mats {
+		m := m
+		for _, n := range fig15Sizes(sc, 2, 4, 8, 16) {
+			n := n
+			jobs = append(jobs, traceJob{n: n, gen: func() (*trace.Trace, error) {
+				return spmv.Trace(m, n, n, spmv.Options{})
+			}})
+		}
+	}
+	return runTraceJobs(jobs)
+}
+
+// RunFig15a renders the SpMV speedups.
+func RunFig15a(w io.Writer, sc Scale) error {
+	header(w, "fig15a", "Sparse matrix-vector multiplication trace speedups")
+	pts, err := Fig15aData(sc)
+	if err != nil {
+		return err
+	}
+	return renderSpeedups(w, pts)
+}
+
+// Fig15bData runs the graph analytics suite.
+func Fig15bData(sc Scale) ([]SpeedupPoint, error) {
+	benches := graphwl.Benchmarks()
+	benches = benches[:sc.capBenchmarks(len(benches))]
+	var jobs []traceJob
+	for _, b := range benches {
+		b := b
+		for _, n := range fig15Sizes(sc, 4, 8, 16) {
+			n := n
+			jobs = append(jobs, traceJob{n: n, gen: func() (*trace.Trace, error) {
+				return graphwl.Trace(b.Graph, b.PartitionFor(n*n), n, n, graphwl.Options{})
+			}})
+		}
+	}
+	return runTraceJobs(jobs)
+}
+
+// RunFig15b renders the graph analytics speedups.
+func RunFig15b(w io.Writer, sc Scale) error {
+	header(w, "fig15b", "Graph analytics trace speedups")
+	pts, err := Fig15bData(sc)
+	if err != nil {
+		return err
+	}
+	return renderSpeedups(w, pts)
+}
+
+// Fig15cData runs the Token LU dataflow suite (latency-bound).
+func Fig15cData(sc Scale) ([]SpeedupPoint, error) {
+	mats := dataflow.Benchmarks()
+	mats = mats[:sc.capBenchmarks(len(mats))]
+	var jobs []traceJob
+	for _, m := range mats {
+		m := m
+		for _, n := range fig15Sizes(sc, 8, 16) {
+			n := n
+			jobs = append(jobs, traceJob{n: n, gen: func() (*trace.Trace, error) {
+				return dataflow.Trace(m, n, n, dataflow.Options{})
+			}})
+		}
+	}
+	return runTraceJobs(jobs)
+}
+
+// RunFig15c renders the LU dataflow speedups.
+func RunFig15c(w io.Writer, sc Scale) error {
+	header(w, "fig15c", "Token LU factorization dataflow trace speedups")
+	pts, err := Fig15cData(sc)
+	if err != nil {
+		return err
+	}
+	return renderSpeedups(w, pts)
+}
+
+// Fig15dData runs the multiprocessor overlay suite: 32 active threads
+// mapped onto the lower half of an 8×8 overlay NoC.
+func Fig15dData(sc Scale) ([]SpeedupPoint, error) {
+	benches := overlay.Benchmarks()
+	benches = benches[:sc.capBenchmarks(len(benches))]
+	n := sc.capN(8)
+	active := 32
+	if n*n/2 < active {
+		active = n * n / 2
+	}
+	var jobs []traceJob
+	for _, b := range benches {
+		b := b
+		jobs = append(jobs, traceJob{n: n, pes: active, gen: func() (*trace.Trace, error) {
+			return overlay.Trace(b, n, n, active, sc.Seed)
+		}})
+	}
+	return runTraceJobs(jobs)
+}
+
+// RunFig15d renders the overlay speedups.
+func RunFig15d(w io.Writer, sc Scale) error {
+	header(w, "fig15d", "Multiprocessor overlay (PARSEC-like) trace speedups, 32 threads")
+	pts, err := Fig15dData(sc)
+	if err != nil {
+		return err
+	}
+	return renderSpeedups(w, pts)
+}

@@ -1,0 +1,184 @@
+package fasttrack
+
+import (
+	"fasttrack/internal/noc"
+)
+
+// slot is a link register: a packet plus a valid bit.
+type slot struct {
+	p  noc.Packet
+	ok bool
+}
+
+// output indices into the per-router staging arrays.
+const (
+	oESh = iota
+	oEEx
+	oSSh
+	oSEx
+	numOuts
+)
+
+// Network is an N×N FastTrack torus. Create with New.
+type Network struct {
+	cfg Config
+	n   int
+
+	// Link registers, indexed by router index (y*n + x). Express registers
+	// exist for every router but are only ever populated at routers whose
+	// class carries the corresponding ports.
+	wShIn, wExIn []slot
+	nShIn, nExIn []slot
+
+	// Hyperflex-style express pipelines (Config.ExpressPipeline > 0):
+	// xPipe[i][k] are the extra register stages of the X express link
+	// leaving router i, oldest first; likewise yPipe for Y links.
+	xPipe, yPipe [][]slot
+
+	// Output staging for the current Step, one slot per router per output.
+	outs [numOuts][]slot
+
+	offers    []slot
+	accepted  []bool
+	delivered []noc.Packet
+	inFlight  int
+	counters  noc.Counters
+}
+
+// New builds an idle FastTrack network for the given configuration.
+func New(cfg Config) (*Network, error) {
+	if _, err := NewTopology(cfg.Topology.N, cfg.Topology.D, cfg.Topology.R); err != nil {
+		return nil, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := cfg.Topology.N
+	sz := n * n
+	nw := &Network{
+		cfg:   cfg,
+		n:     n,
+		wShIn: make([]slot, sz), wExIn: make([]slot, sz),
+		nShIn: make([]slot, sz), nExIn: make([]slot, sz),
+		offers:   make([]slot, sz),
+		accepted: make([]bool, sz),
+	}
+	for i := range nw.outs {
+		nw.outs[i] = make([]slot, sz)
+	}
+	if cfg.ExpressPipeline > 0 {
+		nw.xPipe = make([][]slot, sz)
+		nw.yPipe = make([][]slot, sz)
+		for i := range nw.xPipe {
+			nw.xPipe[i] = make([]slot, cfg.ExpressPipeline)
+			nw.yPipe[i] = make([]slot, cfg.ExpressPipeline)
+		}
+	}
+	return nw, nil
+}
+
+// shiftPipe advances one express-link pipeline: in enters the youngest
+// stage and the oldest stage pops out.
+func shiftPipe(pipe []slot, in slot) (out slot) {
+	out = pipe[0]
+	copy(pipe, pipe[1:])
+	pipe[len(pipe)-1] = in
+	return out
+}
+
+// Config returns the network's configuration.
+func (nw *Network) Config() Config { return nw.cfg }
+
+// Width returns the torus width in routers.
+func (nw *Network) Width() int { return nw.n }
+
+// Height returns the torus height in routers.
+func (nw *Network) Height() int { return nw.n }
+
+// NumPEs returns the client count.
+func (nw *Network) NumPEs() int { return nw.n * nw.n }
+
+// Offer presents p for injection at PE pe this cycle.
+func (nw *Network) Offer(pe int, p noc.Packet) { nw.offers[pe] = slot{p: p, ok: true} }
+
+// Accepted reports whether the offer at pe was injected in the last Step.
+func (nw *Network) Accepted(pe int) bool { return nw.accepted[pe] }
+
+// Delivered returns packets delivered in the last Step; the slice is reused.
+func (nw *Network) Delivered() []noc.Packet { return nw.delivered }
+
+// InFlight returns the number of packets inside the network.
+func (nw *Network) InFlight() int { return nw.inFlight }
+
+// Counters returns the network-wide event counters.
+func (nw *Network) Counters() *noc.Counters { return &nw.counters }
+
+// Step advances the network one clock cycle.
+func (nw *Network) Step(now int64) {
+	nw.delivered = nw.delivered[:0]
+	for o := range nw.outs {
+		outs := nw.outs[o]
+		for i := range outs {
+			outs[i] = slot{}
+		}
+	}
+
+	for y := 0; y < nw.n; y++ {
+		for x := 0; x < nw.n; x++ {
+			nw.route(x, y, now)
+		}
+	}
+
+	nw.latch()
+}
+
+// latch moves output staging onto the downstream input registers. Short
+// links connect adjacent routers; express links connect routers D apart and
+// are traversed in a single cycle — the FastTrack premise.
+func (nw *Network) latch() {
+	n, d := nw.n, nw.cfg.Topology.D
+	for y := 0; y < n; y++ {
+		for x := 0; x < n; x++ {
+			i := y*n + x
+			if s := nw.outs[oESh][i]; s.ok {
+				s.p.ShortHops++
+				nw.counters.ShortTraversals++
+				nw.wShIn[y*n+(x+1)%n] = s
+			} else {
+				nw.wShIn[y*n+(x+1)%n] = slot{}
+			}
+			if s := nw.outs[oSSh][i]; s.ok {
+				s.p.ShortHops++
+				nw.counters.ShortTraversals++
+				nw.nShIn[((y+1)%n)*n+x] = s
+			} else {
+				nw.nShIn[((y+1)%n)*n+x] = slot{}
+			}
+			ex := nw.outs[oEEx][i]
+			if ex.ok {
+				ex.p.ExpressHops++
+				nw.counters.ExpressTraversals++
+			}
+			if nw.xPipe != nil {
+				ex = shiftPipe(nw.xPipe[i], ex)
+			}
+			nw.wExIn[y*n+(x+d)%n] = ex
+
+			sy := nw.outs[oSEx][i]
+			if sy.ok {
+				sy.p.ExpressHops++
+				nw.counters.ExpressTraversals++
+			}
+			if nw.yPipe != nil {
+				sy = shiftPipe(nw.yPipe[i], sy)
+			}
+			nw.nExIn[((y+d)%n)*n+x] = sy
+		}
+	}
+}
+
+func (nw *Network) deliver(p noc.Packet) {
+	nw.inFlight--
+	nw.counters.Delivered++
+	nw.delivered = append(nw.delivered, p)
+}

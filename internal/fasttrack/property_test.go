@@ -1,0 +1,198 @@
+package fasttrack
+
+import (
+	"testing"
+	"testing/quick"
+
+	"fasttrack/internal/noc"
+	"fasttrack/internal/sim"
+	"fasttrack/internal/traffic"
+)
+
+// legalConfig derives a valid FT configuration from arbitrary fuzz bytes.
+func legalConfig(a, b, c, d byte) Config {
+	ns := []int{4, 6, 8, 12}
+	n := ns[int(a)%len(ns)]
+	var dims []int
+	for dd := 1; dd <= n/2; dd++ {
+		dims = append(dims, dd)
+	}
+	dd := dims[int(b)%len(dims)]
+	var rs []int
+	for r := 1; r <= dd; r++ {
+		if dd%r == 0 && n%r == 0 {
+			rs = append(rs, r)
+		}
+	}
+	r := rs[int(c)%len(rs)]
+	v := VariantFull
+	if d%2 == 1 && n%dd == 0 {
+		v = VariantInject
+	}
+	top, err := NewTopology(n, dd, r)
+	if err != nil {
+		panic(err)
+	}
+	return Config{Topology: top, Variant: v}
+}
+
+// TestPropertyRandomTrafficAlwaysDrains is the livelock-freedom property:
+// any legal configuration under sustained random traffic delivers every
+// generated packet (sim.Run's stall tripwire and conservation check fail
+// otherwise).
+func TestPropertyRandomTrafficAlwaysDrains(t *testing.T) {
+	f := func(a, b, c, d byte, seed uint64) bool {
+		cfg := legalConfig(a, b, c, d)
+		nw, err := New(cfg)
+		if err != nil {
+			t.Logf("New(%+v): %v", cfg, err)
+			return false
+		}
+		wl := traffic.NewSynthetic(nw.Width(), nw.Height(), traffic.Random{}, 0.8, 40, seed)
+		res, err := sim.Run(nw, wl, sim.Options{MaxCycles: 400000})
+		if err != nil || res.TimedOut {
+			t.Logf("%v on %v seed %d: err=%v timedOut=%v delivered=%d",
+				cfg.Topology, cfg.Variant, seed, err, res.TimedOut, res.Delivered)
+			return false
+		}
+		return res.Delivered == res.Injected
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyHotspotDrains aims half of all traffic at one PE — the
+// adversarial case for deflection NoCs, since the exit port serializes and
+// everything else circulates.
+func TestPropertyHotspotDrains(t *testing.T) {
+	f := func(a, b, c, d byte, hot uint8, seed uint64) bool {
+		cfg := legalConfig(a, b, c, d)
+		nw, err := New(cfg)
+		if err != nil {
+			return false
+		}
+		n := nw.Width()
+		pat := traffic.Hotspot{Hot: noc.PECoord(int(hot)%(n*n), n), Fraction: 0.5}
+		wl := traffic.NewSynthetic(n, n, pat, 1.0, 25, seed)
+		res, err := sim.Run(nw, wl, sim.Options{MaxCycles: 800000})
+		if err != nil || res.TimedOut {
+			t.Logf("%v/%v hotspot %v: err=%v timedOut=%v", cfg.Topology, cfg.Variant, pat.Hot, err, res.TimedOut)
+			return false
+		}
+		return res.Delivered == res.Injected
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertySinglePacketExactDelivery fuzzes (config, src, dst) and
+// checks a lone packet arrives at its destination within the DOR bound and
+// with hop counts consistent with its latency (express hops advance D
+// positions per cycle, so hops ≤ cycles).
+func TestPropertySinglePacketExactDelivery(t *testing.T) {
+	f := func(a, b, c, d byte, se, de uint16) bool {
+		cfg := legalConfig(a, b, c, d)
+		nw, err := New(cfg)
+		if err != nil {
+			return false
+		}
+		n := nw.Width()
+		src := noc.PECoord(int(se)%(n*n), n)
+		dst := noc.PECoord(int(de)%(n*n), n)
+		pe := noc.PEIndex(src, n)
+		nw.Offer(pe, noc.Packet{ID: 7, Src: src, Dst: dst})
+		nw.Step(0)
+		if !nw.Accepted(pe) {
+			return false // idle network must accept
+		}
+		deliveredAt := int64(-1)
+		var got noc.Packet
+		if len(nw.Delivered()) == 1 {
+			deliveredAt, got = 0, nw.Delivered()[0]
+		}
+		for cyc := int64(1); cyc <= int64(2*n); cyc++ {
+			if deliveredAt >= 0 {
+				break
+			}
+			nw.Step(cyc)
+			if len(nw.Delivered()) == 1 {
+				deliveredAt, got = cyc, nw.Delivered()[0]
+			}
+		}
+		if deliveredAt < 0 || got.Dst != dst {
+			t.Logf("%v/%v %v->%v: not delivered", cfg.Topology, cfg.Variant, src, dst)
+			return false
+		}
+		bound := int64(noc.RingDelta(src.X, dst.X, n) + noc.RingDelta(src.Y, dst.Y, n))
+		if deliveredAt > bound {
+			t.Logf("%v/%v %v->%v: latency %d > DOR bound %d", cfg.Topology, cfg.Variant, src, dst, deliveredAt, bound)
+			return false
+		}
+		if int64(got.ShortHops)+int64(got.ExpressHops) != deliveredAt {
+			t.Logf("%v/%v %v->%v: hops %d+%d != cycles %d",
+				cfg.Topology, cfg.Variant, src, dst, got.ShortHops, got.ExpressHops, deliveredAt)
+			return false
+		}
+		if got.Deflections != 0 {
+			t.Logf("lone packet deflected")
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyExpressNeverCarriesMisalignedInject: in the Inject variant,
+// packets on the express plane always have offsets that are multiples of D
+// — sample final hop counts as a proxy: any express usage implies both
+// deltas were aligned at injection.
+func TestPropertyExpressNeverCarriesMisalignedInject(t *testing.T) {
+	top, err := NewTopology(8, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(se, de uint16) bool {
+		nw, err := New(Config{Topology: top, Variant: VariantInject})
+		if err != nil {
+			return false
+		}
+		src := noc.PECoord(int(se)%64, 8)
+		dst := noc.PECoord(int(de)%64, 8)
+		if src == dst {
+			return true
+		}
+		pe := noc.PEIndex(src, 8)
+		nw.Offer(pe, noc.Packet{ID: 1, Src: src, Dst: dst})
+		nw.Step(0)
+		var got *noc.Packet
+		for cyc := int64(1); cyc < 40 && got == nil; cyc++ {
+			nw.Step(cyc)
+			if len(nw.Delivered()) == 1 {
+				p := nw.Delivered()[0]
+				got = &p
+			}
+		}
+		if got == nil {
+			return false
+		}
+		dx := noc.RingDelta(src.X, dst.X, 8)
+		dy := noc.RingDelta(src.Y, dst.Y, 8)
+		aligned := dx%2 == 0 && dy%2 == 0
+		if !aligned && got.ExpressHops > 0 {
+			t.Logf("%v->%v misaligned but used express", src, dst)
+			return false
+		}
+		if aligned && got.ShortHops > 0 {
+			t.Logf("%v->%v aligned but used short links on an idle network", src, dst)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

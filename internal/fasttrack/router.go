@@ -1,0 +1,351 @@
+package fasttrack
+
+import (
+	"fmt"
+
+	"fasttrack/internal/noc"
+)
+
+// cand is one entry in an input's output-port preference list.
+type cand struct {
+	out uint8
+	// deliver marks the NoC exit tap: the packet leaves through the named
+	// driver but is handed to the client instead of the downstream link.
+	deliver bool
+	// misroute marks candidates that move the packet away from its
+	// dimension-ordered path (true deflections, counted on the packet).
+	misroute bool
+}
+
+// prefs is a fixed-capacity preference list (no per-packet allocation on the
+// hot path). add deduplicates by output port so defensive tails never shadow
+// a smarter earlier candidate.
+type prefs struct {
+	c    [8]cand
+	n    int
+	seen [numOuts]bool
+}
+
+func (p *prefs) add(out uint8, deliver, misroute bool) {
+	if p.seen[out] {
+		return
+	}
+	p.seen[out] = true
+	p.c[p.n] = cand{out: out, deliver: deliver, misroute: misroute}
+	p.n++
+}
+
+// arb holds the per-router, per-cycle arbitration state.
+type arb struct {
+	taken  [numOuts]bool
+	exists [numOuts]bool
+}
+
+// route arbitrates one router for the current cycle. Inputs are processed in
+// the paper's static priority order — WEx > NEx > WSh > NSh > PE — so
+// express turning traffic preempts everything, X-ring traffic preempts
+// Y-ring traffic, and client injection only uses ports left idle by
+// in-flight packets (§IV-C).
+func (nw *Network) route(x, y int, now int64) {
+	t := nw.cfg.Topology
+	i := y*nw.n + x
+	a := arb{exists: [numOuts]bool{
+		oESh: true,
+		oSSh: true,
+		oEEx: t.HasXExpress(x),
+		oSEx: t.HasYExpress(y),
+	}}
+
+	if s := nw.wExIn[i]; s.ok {
+		nw.place(&a, i, noc.PortWEx, s.p, x, y)
+	}
+	if s := nw.nExIn[i]; s.ok {
+		nw.place(&a, i, noc.PortNEx, s.p, x, y)
+	}
+	if s := nw.wShIn[i]; s.ok {
+		nw.place(&a, i, noc.PortWSh, s.p, x, y)
+	}
+	if s := nw.nShIn[i]; s.ok {
+		nw.place(&a, i, noc.PortNSh, s.p, x, y)
+	}
+	nw.injectAt(&a, i, x, y, now)
+}
+
+// place assigns one in-flight input packet to an output following its
+// preference list. Bufferless routers must never drop an in-flight packet;
+// the priority discipline plus the recoverable emergency tails make the
+// assignment total, so running out of ports is a router bug and panics.
+func (nw *Network) place(a *arb, i int, port noc.Port, p noc.Packet, x, y int) {
+	pr := nw.prefsFor(port, p, x, y)
+	for k := 0; k < pr.n; k++ {
+		c := pr.c[k]
+		if !a.exists[c.out] || a.taken[c.out] {
+			continue
+		}
+		a.taken[c.out] = true
+		if c.misroute {
+			nw.counters.MisroutesByInput[port]++
+			p.Deflections++
+		} else if k > 0 {
+			nw.counters.ExpressDeniedByInput[port]++
+		}
+		if c.deliver {
+			nw.deliver(p)
+		} else {
+			nw.outs[c.out][i] = slot{p: p, ok: true}
+		}
+		return
+	}
+	panic(fmt.Sprintf("fasttrack: router (%d,%d) overcommitted: input %v packet %v->%v has no free output",
+		x, y, port, p.Src, p.Dst))
+}
+
+// prefsFor builds the output preference list for an in-flight packet on the
+// given input port at router (x, y).
+//
+// The lists implement the paper's rules: dimension-ordered routing with
+// express links used only when the remaining offset is a multiple of D
+// ("destination reachable entirely within the express network"), express→
+// short transfers only at turns and exits, short→express upgrades on Full
+// routers only, and the §IV-D livelock repertoire (deflected exit traffic
+// may take either E port; deflected WSh may ride EEx home as a top-priority
+// WEx). Each list ends in a recoverable emergency tail so the assignment is
+// total: misrouted packets simply resume dimension-ordered routing, and a
+// misaligned express packet pops off to the short lane at the next router.
+func (nw *Network) prefsFor(port noc.Port, p noc.Packet, x, y int) prefs {
+	t := nw.cfg.Topology
+	n := nw.n
+	dx := noc.RingDelta(x, p.Dst.X, n)
+	dy := noc.RingDelta(y, p.Dst.Y, n)
+	full := nw.cfg.Variant == VariantFull
+
+	// exAfterEast reports whether deflecting onto the X express link leaves
+	// the packet express-aligned (able to ride express to its turn column).
+	exAfterEast := func() bool {
+		nd := dx - t.D
+		if nd < 0 {
+			nd += n
+		}
+		return nd%t.D == 0
+	}
+
+	var pr prefs
+	express := port == noc.PortWEx || port == noc.PortNEx
+	switch port {
+	case noc.PortWEx:
+		switch {
+		case dx == 0 && dy == 0:
+			// The NoC exit shares the SSh driver (as in Hoplite, §II), so a
+			// router delivers at most one packet per cycle. The Inject
+			// variant's express plane instead taps its own SEx driver —
+			// required for lane isolation (no Ex→Sh crossing, Fig 9c).
+			if full {
+				pr.add(oSSh, true, false)
+			} else {
+				pr.add(oSEx, true, false)
+				pr.add(oSSh, true, false)
+			}
+		case dx == 0:
+			// Turn into the Y ring; stay express when the remaining Y
+			// offset is express-aligned.
+			if dy%t.D == 0 {
+				pr.add(oSEx, false, false)
+			}
+			pr.add(oSSh, false, false)
+		case dx%t.D == 0:
+			pr.add(oEEx, false, false)
+		default:
+			// Misaligned express packet (deflection debris when D ∤ N):
+			// pop off to the short lane, same direction.
+			pr.add(oESh, false, false)
+		}
+
+	case noc.PortNEx:
+		switch {
+		case dx != 0 && full:
+			// A misrouted packet resumes X-first routing.
+			if dx%t.D == 0 {
+				pr.add(oEEx, false, false)
+			}
+			pr.add(oESh, false, false)
+		case dx == 0 && dy == 0:
+			if full {
+				pr.add(oSSh, true, false)
+			} else {
+				pr.add(oSEx, true, false)
+			}
+			// Exit denied: circle a ring and return with top priority
+			// (§IV-D: N packets may take either E port).
+			if exAfterEast() {
+				pr.add(oEEx, false, true)
+			}
+			if full {
+				pr.add(oESh, false, true)
+			}
+		case dy%t.D == 0:
+			pr.add(oSEx, false, false)
+			if exAfterEast() {
+				pr.add(oEEx, false, true)
+			}
+			if full {
+				pr.add(oESh, false, true)
+			}
+		default:
+			// Misaligned: pop off downward (Full only; cannot arise under
+			// Inject, which requires D | N).
+			if full {
+				pr.add(oSSh, false, false)
+			}
+		}
+
+	case noc.PortWSh:
+		switch {
+		case dx == 0 && dy == 0:
+			pr.add(oSSh, true, false)
+			// Deflected at the exit: prefer the express ring back — the
+			// packet returns as WEx, the top-priority port (§IV-D).
+			if full && exAfterEast() {
+				pr.add(oEEx, false, true)
+			}
+			pr.add(oESh, false, true)
+		case dx == 0:
+			// Turn. Full routers may upgrade onto the Y express lane.
+			if full && dy%t.D == 0 {
+				pr.add(oSEx, false, false)
+			}
+			pr.add(oSSh, false, false)
+			if full && exAfterEast() {
+				pr.add(oEEx, false, true)
+			}
+			pr.add(oESh, false, true)
+		default:
+			// Continue east; Full routers upgrade when aligned.
+			if full && dx%t.D == 0 {
+				pr.add(oEEx, false, false)
+			}
+			pr.add(oESh, false, false)
+		}
+
+	case noc.PortNSh:
+		switch {
+		case dx != 0:
+			// Misrouted packet resumes X-first routing eastward.
+			if full && dx%t.D == 0 {
+				pr.add(oEEx, false, false)
+			}
+			pr.add(oESh, false, false)
+		case dy == 0:
+			pr.add(oSSh, true, false)
+			// Prefer the express ring back: the packet returns as WEx, the
+			// top-priority input, and cannot be denied twice (§IV-D).
+			if full && exAfterEast() {
+				pr.add(oEEx, false, true)
+			}
+			pr.add(oESh, false, true)
+		default:
+			if full && dy%t.D == 0 {
+				pr.add(oSEx, false, false)
+			}
+			pr.add(oSSh, false, false)
+			if full && exAfterEast() {
+				pr.add(oEEx, false, true)
+			}
+			pr.add(oESh, false, true)
+		}
+
+	default:
+		panic("fasttrack: prefsFor on non-input port " + port.String())
+	}
+
+	// Recoverable emergency tail. Full routers may spill onto any lane (a
+	// misaligned express packet pops off at the next router; a misrouted
+	// packet resumes DOR). Inject routers must stay in their lane, which is
+	// total because each lane is a self-contained 2-in/2-out Hoplite plane.
+	if full {
+		pr.add(oESh, false, true)
+		pr.add(oEEx, false, true)
+		pr.add(oSSh, false, true)
+		pr.add(oSEx, false, true)
+	} else if express {
+		pr.add(oEEx, false, true)
+		pr.add(oSEx, false, true)
+	} else {
+		pr.add(oESh, false, true)
+		pr.add(oSSh, false, true)
+	}
+	return pr
+}
+
+// injectAt arbitrates the PE offer at router (x, y) after all in-flight
+// traffic has been placed. Injection never misroutes: if every acceptable
+// first-hop port is busy the client stalls and retries (§IV-C: the PE port
+// has the lowest priority because in-flight packets cannot wait).
+func (nw *Network) injectAt(a *arb, i, x, y int, now int64) {
+	nw.accepted[i] = false
+	off := nw.offers[i]
+	if !off.ok {
+		return
+	}
+	nw.offers[i] = slot{}
+
+	t := nw.cfg.Topology
+	p := off.p
+	dx := noc.RingDelta(x, p.Dst.X, nw.n)
+	dy := noc.RingDelta(y, p.Dst.Y, nw.n)
+
+	var pr prefs
+	switch {
+	case dx == 0 && dy == 0:
+		// Self-addressed packet: loops through the exit port.
+		pr.add(oSSh, true, false)
+	case nw.cfg.Variant == VariantInject:
+		if nw.cfg.injectEligible(t, x, y, dx, dy) {
+			// Lane choice is permanent in the Inject variant: express when
+			// the lane is free, else commit to the short lane.
+			if dx > 0 {
+				pr.add(oEEx, false, false)
+				pr.add(oESh, false, false)
+			} else {
+				pr.add(oSEx, false, false)
+				pr.add(oSSh, false, false)
+			}
+		} else if dx > 0 {
+			pr.add(oESh, false, false)
+		} else {
+			pr.add(oSSh, false, false)
+		}
+	default: // VariantFull
+		if dx > 0 {
+			if t.HasXExpress(x) && dx%t.D == 0 {
+				pr.add(oEEx, false, false)
+			}
+			pr.add(oESh, false, false)
+		} else {
+			if t.HasYExpress(y) && dy%t.D == 0 {
+				pr.add(oSEx, false, false)
+			}
+			pr.add(oSSh, false, false)
+		}
+	}
+
+	for k := 0; k < pr.n; k++ {
+		c := pr.c[k]
+		if !a.exists[c.out] || a.taken[c.out] {
+			continue
+		}
+		a.taken[c.out] = true
+		if k > 0 {
+			nw.counters.ExpressDeniedByInput[noc.PortPE]++
+		}
+		p.Inject = now
+		nw.inFlight++
+		nw.accepted[i] = true
+		if c.deliver {
+			nw.deliver(p)
+		} else {
+			nw.outs[c.out][i] = slot{p: p, ok: true}
+		}
+		return
+	}
+	nw.counters.InjectionStalls++
+}

@@ -1,0 +1,39 @@
+package fpga
+
+// Cost and timing model for the classic buffered mesh router implemented in
+// internal/buffered — the CONNECT/Split-Merge-style design point of Table I
+// and Fig 1. Buffered routers pay for FIFOs (LUTRAM/SRL), five-port output
+// crossbars, and deep arbitration logic; their clock is router-limited, not
+// wire-limited. Constants are calibrated so a 32-bit router lands between
+// BLESS (1090 LUTs) and Split-Merge (1785 LUTs) from Table I.
+
+// BufferedRouterCost returns LUT/FF cost of one 5-port buffered mesh router
+// at the given datapath width and input FIFO depth.
+func BufferedRouterCost(widthBits, depth int) (luts, ffs int) {
+	if depth < 1 {
+		depth = 1
+	}
+	w := widthBits
+	// Five output crossbars (5:1 muxes, two LUT levels per bit), SRL-based
+	// input FIFOs (one LUT per bit per 16 entries per port), and
+	// credit/arbitration control.
+	srl := (depth + 15) / 16
+	luts = 5*2*w + 5*w*srl + 40*depth + 180
+	// Port output registers plus FIFO occupancy counters and credits.
+	ffs = 7*w + 20*depth + 90
+	return luts, ffs
+}
+
+// BufferedMeshClockMHz estimates the achievable clock of the buffered mesh:
+// the critical path runs through FIFO read, route compute, arbitration and
+// the 5:1 crossbar — several LUT levels plus two fabric crossings — and is
+// largely independent of wire spans (mesh links are short).
+func (d *Device) BufferedMeshClockMHz(n, widthBits int) float64 {
+	router := d.ClkToQ + d.Setup + 5*d.LUTDelay + 2*d.HopPenalty
+	link := d.ClkToQ + d.Setup + d.HopPenalty + d.RouteDelay(2*d.tilePitch(n))
+	path := router
+	if link > path {
+		path = link
+	}
+	return d.freqMHz(path)
+}

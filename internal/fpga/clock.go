@@ -1,0 +1,96 @@
+package fpga
+
+import "math"
+
+// Implementation model: routers are locked to a uniform grid of rectangular
+// tiles (§V), the unidirectional torus uses a folded layout so every
+// short link spans two tile pitches, and an express link of length D spans
+// D times that. Links are registered at both ends (the paper pipelines
+// router inputs and outputs), so each link's path is FF → routed net → FF
+// plus the CLB entry penalty, and the router's internal path is the output
+// multiplexer stack.
+
+// tilePitch returns the router tile pitch in SLICEs along the chip's
+// narrower axis, which bounds channel capacity and wire spans.
+func (d *Device) tilePitch(n int) int {
+	p := d.SliceCols / n
+	if q := d.SliceRows / n; q < p {
+		p = q
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// Utilization returns the fraction of the modeled routing tracks a NoC
+// channel consumes between adjacent tiles. Above 1.0 the design does not
+// route (Fig 10's NA cells).
+func (s NoCSpec) Utilization(dev *Device) float64 {
+	pitch := dev.tilePitch(s.N)
+	capacity := float64(pitch * dev.TracksPerSlicePitch)
+	return float64(s.WidthBits*s.WireFactor()) / capacity
+}
+
+// Routable reports whether the NoC fits the device's wiring capacity.
+func (s NoCSpec) Routable(dev *Device) bool {
+	if l, f := s.Resources(); l > dev.LUTs || f > dev.FFs {
+		return false
+	}
+	return s.Utilization(dev) <= 1.0
+}
+
+// muxLevels returns the LUT depth of the router's widest output multiplexer.
+func (s NoCSpec) muxLevels() int {
+	if s.FT == nil {
+		return 1 // Hoplite's 3:1 muxes fit one LUT6 level per bit
+	}
+	return 2 // the FT router's 5:1 mux needs two levels
+}
+
+// ClockMHz returns the achievable NoC frequency on dev, or 0 when the
+// design does not route. Congestion from wide datapaths derates the short
+// links (they compete for the general fabric); express links are point-to-
+// point nets on the fast long-line tracks and see no congestion derate —
+// the technology asymmetry the paper measures in §III.
+func (s NoCSpec) ClockMHz(dev *Device) float64 {
+	if !s.Routable(dev) {
+		return 0
+	}
+	util := s.Utilization(dev)
+	derate := 1 + 0.5*util*util
+	// Wide datapaths also slow control decode/fanout.
+	fanout := 0.05 * math.Log2(float64(s.WidthBits))
+
+	span := 2 * dev.tilePitch(s.N) // folded torus: neighbours sit 2 pitches apart
+
+	router := dev.ClkToQ + dev.Setup + float64(s.muxLevels())*dev.LUTDelay + dev.HopPenalty
+	short := dev.ClkToQ + dev.Setup + dev.HopPenalty + dev.RouteDelay(span)*derate + fanout
+	path := math.Max(router, short)
+
+	if s.FT != nil {
+		// Express links may be pipelined with Hyperflex-style registers
+		// living inside the interconnect (§VII): each extra stage splits
+		// the wire without paying the CLB entry penalty mid-flight.
+		segs := s.FT.ExpressPipeline + 1
+		endpoint := dev.HopPenalty
+		if segs > 1 {
+			endpoint = 0.15
+		}
+		express := dev.ClkToQ + dev.Setup + endpoint +
+			dev.RouteDelay(span*s.FT.Topology.D/segs) + fanout
+		path = math.Max(path, express)
+	}
+	return dev.freqMHz(path)
+}
+
+// PeakBandwidth returns the switch-level peak bandwidth in packets/ns used
+// by the paper's Fig 1 scatter: output ports per router × packets/cycle ×
+// clock.
+func (s NoCSpec) PeakBandwidth(dev *Device) float64 {
+	ports := 2.0 * float64(s.channels()) // Hoplite: E and S
+	if s.FT != nil {
+		ports = 4.0 // ESh, EEx, SSh, SEx on black routers
+	}
+	return ports * s.ClockMHz(dev) / 1000
+}

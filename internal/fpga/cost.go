@@ -1,0 +1,128 @@
+package fpga
+
+import (
+	"fmt"
+
+	"fasttrack/internal/fasttrack"
+)
+
+// RouterCost returns the LUT and FF cost of one router of the given class
+// and variant at the given datapath width in bits.
+//
+// The linear models are calibrated to the paper's published numbers and hit
+// Table II exactly:
+//
+//	Hoplite (white):   2 LUT/bit + 12,   5 FF/bit + 17   (78 LUTs @32b,
+//	                   34K LUTs / 83K FFs for the 8×8 256b NoC)
+//	FT Full black:     6 LUT/bit + 96,   9 FF/bit + 40   (288 LUTs @32b,
+//	                   104K/150K for FT(64,2,1) @256b — the paper's
+//	                   "5:1 mux plus 4× 4:1 muxes" structure)
+//	FT Full grey:      4 LUT/bit + 54,   7 FF/bit + 30   (FT(64,2,2) lands
+//	                   on 69K LUTs / 117K FFs)
+//	FTlite inject:     4 LUT/bit + 63 black (191 LUTs @32b, the low end of
+//	                   Table I's FastTrack range), 3 LUT/bit + 38 grey.
+func RouterCost(class fasttrack.Class, variant fasttrack.Variant, widthBits int) (luts, ffs int) {
+	w := widthBits
+	switch class {
+	case fasttrack.ClassWhite:
+		return 2*w + 12, 5*w + 17
+	case fasttrack.ClassGreyX, fasttrack.ClassGreyY:
+		if variant == fasttrack.VariantInject {
+			return 3*w + 38, 7*w + 30
+		}
+		return 4*w + 54, 7*w + 30
+	case fasttrack.ClassBlack:
+		if variant == fasttrack.VariantInject {
+			return 4*w + 63, 9*w + 40
+		}
+		return 6*w + 96, 9*w + 40
+	}
+	panic(fmt.Sprintf("fpga: unknown router class %v", class))
+}
+
+// NoCSpec describes a NoC implementation whose FPGA cost, frequency,
+// routability and power the model evaluates. Exactly one of FT or plain
+// (multi-channel) Hoplite applies: FT == nil means Channels parallel
+// Hoplite planes (Channels 0 is treated as 1).
+type NoCSpec struct {
+	// Name is a display label, e.g. "FT(64,2,1)" or "Hoplite-3x".
+	Name string
+	// N is the torus width (the NoC is N×N).
+	N int
+	// WidthBits is the datapath width.
+	WidthBits int
+	// FT selects a FastTrack configuration; nil means Hoplite.
+	FT *fasttrack.Config
+	// Channels is the replication factor for multi-channel Hoplite.
+	Channels int
+}
+
+// HopliteSpec returns the spec for a k-channel Hoplite N×N NoC.
+func HopliteSpec(n, widthBits, k int) NoCSpec {
+	name := "Hoplite"
+	if k > 1 {
+		name = fmt.Sprintf("Hoplite-%dx", k)
+	}
+	return NoCSpec{Name: name, N: n, WidthBits: widthBits, Channels: k}
+}
+
+// FastTrackSpec returns the spec for an FT(N²,D,R) NoC.
+func FastTrackSpec(n, d, r, widthBits int, variant fasttrack.Variant) (NoCSpec, error) {
+	top, err := fasttrack.NewTopology(n, d, r)
+	if err != nil {
+		return NoCSpec{}, err
+	}
+	cfg := fasttrack.Config{Topology: top, Variant: variant}
+	return NoCSpec{Name: top.String(), N: n, WidthBits: widthBits, FT: &cfg}, nil
+}
+
+// channels returns the effective Hoplite replication factor.
+func (s NoCSpec) channels() int {
+	if s.Channels < 1 {
+		return 1
+	}
+	return s.Channels
+}
+
+// Resources returns total NoC LUT and FF cost across all routers. A
+// multi-channel Hoplite additionally pays client-side steering logic per
+// PE: an injection demux and a K:1 exit serializer over the full datapath
+// (this is why the paper finds the replicated NoCs cost more LUTs than
+// FastTrack at equal wiring, §VI Fig 14).
+func (s NoCSpec) Resources() (luts, ffs int) {
+	if s.FT == nil {
+		l, f := RouterCost(fasttrack.ClassWhite, fasttrack.VariantFull, s.WidthBits)
+		n := s.N * s.N * s.channels()
+		luts, ffs = l*n, f*n
+		if k := s.channels(); k > 1 {
+			perClient := (k-1)*s.WidthBits/2 + 16
+			luts += s.N * s.N * perClient
+			ffs += s.N * s.N * (s.WidthBits + 8) // exit skid register
+		}
+		return luts, ffs
+	}
+	t := s.FT.Topology
+	for y := 0; y < s.N; y++ {
+		for x := 0; x < s.N; x++ {
+			l, f := RouterCost(t.ClassAt(x, y), s.FT.Variant, s.WidthBits)
+			luts += l
+			ffs += f
+		}
+	}
+	return luts, ffs
+}
+
+// WireFactor returns the number of wiring tracks per channel relative to a
+// single Hoplite plane: D/R+1 for FastTrack, K for K-channel Hoplite.
+func (s NoCSpec) WireFactor() int {
+	if s.FT == nil {
+		return s.channels()
+	}
+	return s.FT.Topology.WireFactor()
+}
+
+// WireCount returns the paper's Fig 14b metric: wiring tracks per channel
+// normalized to bit-lanes per unit width — datawidth × wire factor / 32.
+func (s NoCSpec) WireCount() float64 {
+	return float64(s.WidthBits*s.WireFactor()) / 32
+}

@@ -1,0 +1,95 @@
+// Package fpga models the FPGA technology facts the FastTrack paper
+// measures on a Xilinx Virtex-7 485T with Vivado: the segmented, speed-
+// heterogeneous routing fabric (§III), router LUT/FF costs (Tables I/II),
+// achievable clock frequency, channel routability (Fig 10), and dynamic
+// power (Table II, Fig 19).
+//
+// The model is analytical and calibrated against the paper's published
+// anchor points. It deliberately reproduces the *relative* technology
+// facts FastTrack's argument rests on — long wires amortize the cost of
+// entering the routing fabric, through-LUT hops are expensive, express
+// bypass wires degrade gracefully with distance — rather than attempting
+// gate-level accuracy.
+package fpga
+
+// Device describes an FPGA chip. All delay figures are nanoseconds and all
+// distances are in SLICE units, following the paper's Figs 4 and 6.
+type Device struct {
+	// Name identifies the part.
+	Name string
+	// SliceCols and SliceRows give the logic fabric dimensions in SLICEs.
+	SliceCols, SliceRows int
+	// LUTs and FFs are the total logic resources.
+	LUTs, FFs int
+	// TracksPerSlicePitch is the modeled number of NoC-usable routing
+	// tracks per SLICE of router tile pitch: a channel crossing between
+	// adjacent tiles of pitch P can carry P×TracksPerSlicePitch bit-lanes.
+	// It calibrates the routability model (Fig 10).
+	TracksPerSlicePitch int
+	// ClockCeilingMHz is the peak frequency of the clock network; the paper
+	// reports ≈710 MHz for the Virtex-7 485T.
+	ClockCeilingMHz float64
+
+	// Timing parameters (ns).
+	ClkToQ   float64 // register clock-to-out
+	Setup    float64 // register setup
+	LUTDelay float64 // one LUT logic level
+	// HopPenalty is the cost of leaving the routing fabric into a CLB and
+	// re-entering it — the paper's central observation that "getting onto
+	// and off the interconnect fabric is large".
+	HopPenalty float64
+	// RouteEntry is the fixed switchbox entry/exit cost of one routed net.
+	RouteEntry float64
+
+	// Segments lists the heterogeneous wire segment library, longest
+	// first. This is the "not all wires on the FPGA are equal" premise.
+	Segments []Segment
+}
+
+// Segment is one wire type of the segmented interconnect: it spans Length
+// SLICEs in Delay nanoseconds.
+type Segment struct {
+	Name   string
+	Length int
+	Delay  float64
+}
+
+// Virtex7_485T returns the device model used throughout the paper,
+// calibrated to its published measurements.
+func Virtex7_485T() *Device {
+	return &Device{
+		Name:      "xc7vx485t-2",
+		SliceCols: 217, SliceRows: 350,
+		LUTs: 303600, FFs: 607200,
+		TracksPerSlicePitch: 34,
+		ClockCeilingMHz:     710,
+
+		ClkToQ:     0.10,
+		Setup:      0.10,
+		LUTDelay:   0.35,
+		HopPenalty: 0.95,
+		RouteEntry: 0.30,
+
+		Segments: []Segment{
+			{Name: "long24", Length: 24, Delay: 0.30},
+			{Name: "long12", Length: 12, Delay: 0.24},
+			{Name: "hex", Length: 6, Delay: 0.16},
+			{Name: "quad", Length: 4, Delay: 0.12},
+			{Name: "double", Length: 2, Delay: 0.08},
+			{Name: "single", Length: 1, Delay: 0.06},
+		},
+	}
+}
+
+// freqMHz converts a critical-path delay in ns to MHz, clamped to the
+// device's clock ceiling.
+func (d *Device) freqMHz(pathNS float64) float64 {
+	if pathNS <= 0 {
+		return d.ClockCeilingMHz
+	}
+	f := 1000.0 / pathNS
+	if f > d.ClockCeilingMHz {
+		return d.ClockCeilingMHz
+	}
+	return f
+}

@@ -1,0 +1,139 @@
+package fpga
+
+import (
+	"testing"
+
+	"fasttrack/internal/fasttrack"
+)
+
+// TestPipelineRaisesExpressLimitedClock: FT(64,4,1) is clock-limited by its
+// long express wires; one Hyperflex stage must raise the clock, and the
+// clock can never exceed the short-link/router limit of the same design
+// with trivially short express wires.
+func TestPipelineRaisesExpressLimitedClock(t *testing.T) {
+	dev := Virtex7_485T()
+	base, err := FastTrackSpec(8, 4, 1, 128, fasttrack.VariantFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f0 := base.ClockMHz(dev)
+	piped := base
+	cfg := *base.FT
+	cfg.ExpressPipeline = 1
+	piped.FT = &cfg
+	f1 := piped.ClockMHz(dev)
+	if f1 <= f0 {
+		t.Errorf("pipelined clock %.0f should exceed baseline %.0f", f1, f0)
+	}
+	deep := piped
+	cfg2 := *base.FT
+	cfg2.ExpressPipeline = 4
+	deep.FT = &cfg2
+	if f4 := deep.ClockMHz(dev); f4 < f1 {
+		t.Errorf("deeper pipelining should not reduce clock: %.0f vs %.0f", f4, f1)
+	}
+}
+
+// TestClockMonotonicity: frequency must not increase with datapath width or
+// with express length D at equal width.
+func TestClockMonotonicity(t *testing.T) {
+	dev := Virtex7_485T()
+	prev := 1e9
+	for _, w := range []int{32, 64, 128, 256} {
+		s, err := FastTrackSpec(8, 2, 1, w, fasttrack.VariantFull)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := s.ClockMHz(dev)
+		if f > prev+1e-9 {
+			t.Errorf("width %d: clock %.1f rose above narrower design %.1f", w, f, prev)
+		}
+		prev = f
+	}
+	d2, _ := FastTrackSpec(8, 2, 1, 128, fasttrack.VariantFull)
+	d4, _ := FastTrackSpec(8, 4, 1, 128, fasttrack.VariantFull)
+	if d4.ClockMHz(dev) > d2.ClockMHz(dev) {
+		t.Errorf("longer express wires should not clock faster")
+	}
+}
+
+// TestPowerScalesWithWidthAndWires: more bits and more wiring mean more
+// power at equal frequency.
+func TestPowerScalesWithWidthAndWires(t *testing.T) {
+	dev := Virtex7_485T()
+	narrow, _ := FastTrackSpec(8, 2, 1, 64, fasttrack.VariantFull)
+	wide, _ := FastTrackSpec(8, 2, 1, 256, fasttrack.VariantFull)
+	if wide.PowerAtMHz(dev, 300) <= narrow.PowerAtMHz(dev, 300) {
+		t.Error("wider datapath should draw more power")
+	}
+	ft, _ := FastTrackSpec(8, 2, 1, 256, fasttrack.VariantFull)
+	hop := HopliteSpec(8, 256, 1)
+	if ft.PowerAtMHz(dev, 300) <= hop.PowerAtMHz(dev, 300) {
+		t.Error("express wiring should draw more power than baseline")
+	}
+}
+
+// TestMultiChannelCostsIncludeClientSteering: Hoplite-3x must cost more
+// LUTs than 3 bare channels (the client muxes), and more than FT(64,2,1)
+// at iso-wiring — the paper's Fig 14 claim.
+func TestMultiChannelCostsIncludeClientSteering(t *testing.T) {
+	h1 := HopliteSpec(8, 256, 1)
+	h3 := HopliteSpec(8, 256, 3)
+	l1, f1 := h1.Resources()
+	l3, f3 := h3.Resources()
+	if l3 <= 3*l1 || f3 <= 3*f1 {
+		t.Errorf("3x cost (%d/%d) should exceed 3 bare channels (%d/%d)", l3, f3, 3*l1, 3*f1)
+	}
+	ft, err := FastTrackSpec(8, 2, 1, 256, fasttrack.VariantFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lft, _ := ft.Resources()
+	if lft >= l3 {
+		t.Errorf("FT(64,2,1) %d LUTs should undercut Hoplite-3x %d", lft, l3)
+	}
+}
+
+// TestEnergyMethodology: energy = power × time; doubling the workload
+// cycles doubles energy at fixed clock.
+func TestEnergyMethodology(t *testing.T) {
+	dev := Virtex7_485T()
+	s := HopliteSpec(8, 256, 1)
+	e1 := s.EnergyJ(dev, 10000)
+	e2 := s.EnergyJ(dev, 20000)
+	if e2 < 1.99*e1 || e2 > 2.01*e1 {
+		t.Errorf("energy not linear in cycles: %g vs %g", e1, e2)
+	}
+	unroutable, _ := FastTrackSpec(8, 2, 1, 4096, fasttrack.VariantFull)
+	if unroutable.EnergyJ(dev, 1000) != 0 {
+		t.Error("unroutable design should report zero energy")
+	}
+}
+
+// TestPeakBandwidthOrdering feeds the Fig 1 scatter: FastTrack's 4-ported
+// switches beat Hoplite's 2-ported ones at similar clocks.
+func TestPeakBandwidthOrdering(t *testing.T) {
+	dev := Virtex7_485T()
+	hop := HopliteSpec(8, 32, 1)
+	ft, _ := FastTrackSpec(8, 2, 1, 32, fasttrack.VariantFull)
+	if ft.PeakBandwidth(dev) <= hop.PeakBandwidth(dev) {
+		t.Errorf("FT peak bandwidth %.2f should exceed Hoplite %.2f",
+			ft.PeakBandwidth(dev), hop.PeakBandwidth(dev))
+	}
+}
+
+// TestVirtualVsPhysicalExpress reproduces §III's core comparison across the
+// whole grid: for every (distance, hops) pair with hops ≥ 1, the physical
+// bypass is at least as fast as threading the LUTs.
+func TestVirtualVsPhysicalExpress(t *testing.T) {
+	dev := Virtex7_485T()
+	for hops := 1; hops <= 8; hops++ {
+		for d := 1; d <= 64; d *= 2 {
+			virt := dev.VirtualExpressMHz(d*(hops+1), hops)
+			phys := dev.PhysicalExpressMHz(d, hops)
+			if phys+1e-9 < virt {
+				t.Errorf("d=%d hops=%d: physical %.0f slower than virtual %.0f", d, hops, phys, virt)
+			}
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package fpga
+
+// Dynamic power model (Table II, Fig 19). Power splits into a register
+// component (clock + data toggling of the pipeline FFs) and a wire
+// component proportional to total driven wire length × datapath width —
+// the express links toggle 2× more registers and drive much longer wires,
+// which is why FT(64,2,1) draws ~2.5× Hoplite's power despite similar
+// clocks. Coefficients are calibrated to Table II's Vivado wattages.
+const (
+	// wattsPerFFGHz is dynamic power per flip-flop at 1 GHz (W).
+	wattsPerFFGHz = 8.8e-5
+	// wattsPerSliceBitGHz is dynamic power per (SLICE of wire length ×
+	// datapath bit) at 1 GHz (W).
+	wattsPerSliceBitGHz = 1.2e-5
+)
+
+// WireUnits returns the total driven wire length of the NoC in
+// SLICE·bit units: every link's physical span times the datapath width.
+func (s NoCSpec) WireUnits(dev *Device) float64 {
+	pitch := float64(2 * dev.tilePitch(s.N)) // folded layout span per hop
+	routers := float64(s.N * s.N)
+	// Short links: one E and one S link per router per channel.
+	units := 2 * routers * pitch * float64(s.channels())
+	if s.FT != nil {
+		t := s.FT.Topology
+		exSpan := pitch * float64(t.D)
+		// Express links: one X link per express column entry per row, and
+		// symmetrically for Y — N/R entries per ring, N rings, 2 dims.
+		perDim := float64(s.N) * float64(s.N/t.R)
+		units += 2 * perDim * exSpan
+	}
+	return units * float64(s.WidthBits)
+}
+
+// PowerW returns the modeled dynamic power (W) at the NoC's achievable
+// clock with saturated activity (the operating point of Table II).
+func (s NoCSpec) PowerW(dev *Device) float64 {
+	return s.PowerAtMHz(dev, s.ClockMHz(dev))
+}
+
+// PowerAtMHz returns dynamic power at an explicit clock frequency.
+func (s NoCSpec) PowerAtMHz(dev *Device, mhz float64) float64 {
+	_, ffs := s.Resources()
+	ghz := mhz / 1000
+	return ghz * (wattsPerFFGHz*float64(ffs) + wattsPerSliceBitGHz*s.WireUnits(dev))
+}
+
+// EnergyJ returns the energy (J) to run a workload of the given cycle count
+// at the NoC's achievable clock — the paper's Fig 19 methodology (Vivado
+// power × measured routing time).
+func (s NoCSpec) EnergyJ(dev *Device, cycles int64) float64 {
+	mhz := s.ClockMHz(dev)
+	if mhz == 0 {
+		return 0
+	}
+	seconds := float64(cycles) / (mhz * 1e6)
+	return s.PowerAtMHz(dev, mhz) * seconds
+}

@@ -1,0 +1,169 @@
+package fpga
+
+import (
+	"math"
+	"testing"
+
+	"fasttrack/internal/fasttrack"
+)
+
+func mustFT(t *testing.T, n, d, r, w int, v fasttrack.Variant) NoCSpec {
+	t.Helper()
+	s, err := FastTrackSpec(n, d, r, w, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// within asserts got is inside tolerance (fractional) of want.
+func within(t *testing.T, label string, got, want, tol float64) {
+	t.Helper()
+	if want == 0 {
+		t.Fatalf("%s: zero reference", label)
+	}
+	if r := math.Abs(got-want) / math.Abs(want); r > tol {
+		t.Errorf("%s: got %.4g, want %.4g (off by %.0f%%, tol %.0f%%)",
+			label, got, want, 100*r, 100*tol)
+	}
+}
+
+// TestTable2ResourceAnchors pins the cost model to the paper's Table II:
+// an 8×8 256-bit NoC on the Virtex-7 485T.
+func TestTable2ResourceAnchors(t *testing.T) {
+	cases := []struct {
+		spec       NoCSpec
+		luts, ffs  int
+		mhz, watts float64
+	}{
+		{HopliteSpec(8, 256, 1), 34000, 83000, 344, 9.8},
+		{mustFT(t, 8, 2, 1, 256, fasttrack.VariantFull), 104000, 150000, 320, 25.1},
+		{mustFT(t, 8, 2, 2, 256, fasttrack.VariantFull), 69000, 117000, 323, 19.9},
+	}
+	dev := Virtex7_485T()
+	for _, c := range cases {
+		luts, ffs := c.spec.Resources()
+		within(t, c.spec.Name+" LUTs", float64(luts), float64(c.luts), 0.02)
+		within(t, c.spec.Name+" FFs", float64(ffs), float64(c.ffs), 0.02)
+		within(t, c.spec.Name+" MHz", c.spec.ClockMHz(dev), c.mhz, 0.20)
+		within(t, c.spec.Name+" W", c.spec.PowerW(dev), c.watts, 0.30)
+	}
+}
+
+// TestTable2Ratios checks the paper's headline cost ratios: FastTrack is
+// 1.7–2.6× larger than Hoplite, runs at almost the same clock (≥0.85×),
+// and draws 2–2.5× the power.
+func TestTable2Ratios(t *testing.T) {
+	dev := Virtex7_485T()
+	hop := HopliteSpec(8, 256, 1)
+	ft1 := mustFT(t, 8, 2, 1, 256, fasttrack.VariantFull)
+	ft2 := mustFT(t, 8, 2, 2, 256, fasttrack.VariantFull)
+
+	hl, _ := hop.Resources()
+	l1, _ := ft1.Resources()
+	l2, _ := ft2.Resources()
+	if r := float64(l1) / float64(hl); r < 1.7 || r > 3.2 {
+		t.Errorf("FT(64,2,1)/Hoplite LUT ratio %.2f outside [1.7, 3.2]", r)
+	}
+	if r := float64(l2) / float64(hl); r < 1.4 || r > 2.6 {
+		t.Errorf("FT(64,2,2)/Hoplite LUT ratio %.2f outside [1.4, 2.6]", r)
+	}
+	if r := ft1.ClockMHz(dev) / hop.ClockMHz(dev); r < 0.80 || r > 1.05 {
+		t.Errorf("FT(64,2,1)/Hoplite clock ratio %.2f outside [0.80, 1.05]", r)
+	}
+	if r := ft1.PowerW(dev) / hop.PowerW(dev); r < 1.8 || r > 3.0 {
+		t.Errorf("FT(64,2,1)/Hoplite power ratio %.2f outside [1.8, 3.0]", r)
+	}
+}
+
+// TestTable1RouterAnchors pins per-router 32-bit costs: Hoplite ≈78 LUTs,
+// FastTrack 191–290 LUTs (Inject to Full).
+func TestTable1RouterAnchors(t *testing.T) {
+	l, _ := RouterCost(fasttrack.ClassWhite, fasttrack.VariantFull, 32)
+	within(t, "Hoplite 32b LUTs", float64(l), 78, 0.05)
+	lo, _ := RouterCost(fasttrack.ClassBlack, fasttrack.VariantInject, 32)
+	hi, _ := RouterCost(fasttrack.ClassBlack, fasttrack.VariantFull, 32)
+	if lo < 170 || lo > 215 {
+		t.Errorf("FT inject 32b LUTs = %d, want ≈191", lo)
+	}
+	if hi < 260 || hi > 310 {
+		t.Errorf("FT full 32b LUTs = %d, want ≈290", hi)
+	}
+}
+
+// TestWireCharacterizationShape pins the §III facts the design rests on.
+func TestWireCharacterizationShape(t *testing.T) {
+	dev := Virtex7_485T()
+
+	// Fig 4: hop-free registered wire: near the ceiling at distance 1,
+	// ~250 MHz near full-chip distance.
+	if f := dev.VirtualExpressMHz(1, 0); f < 600 {
+		t.Errorf("d=1 h=0: %f MHz, want near ceiling", f)
+	}
+	f256 := dev.VirtualExpressMHz(256, 0)
+	within(t, "d=256 h=0 MHz", f256, 250, 0.25)
+
+	// Fig 4: adding LUT hops collapses frequency; ≥2 hops plateau low.
+	f1 := dev.VirtualExpressMHz(64, 1)
+	f2 := dev.VirtualExpressMHz(64, 2)
+	f8 := dev.VirtualExpressMHz(64, 8)
+	if !(f1 > f2 && f2 > f8) {
+		t.Errorf("frequency should fall with hops: %f %f %f", f1, f2, f8)
+	}
+	if f8 > 250 {
+		t.Errorf("h=8 should be deep in the plateau, got %f MHz", f8)
+	}
+
+	// Fig 6: a physical bypass degrades gracefully — bypassing 8 stages is
+	// far faster than threading 8 LUT hops.
+	virt := dev.VirtualExpressMHz(8*8, 8) // 8 hops across 64 SLICEs total
+	phys := dev.PhysicalExpressMHz(8, 8)  // bypass of 8 stages, 8 SLICEs apart
+	if phys < 2*virt {
+		t.Errorf("physical bypass (%f MHz) should be ≫ virtual (%f MHz)", phys, virt)
+	}
+
+	// §III: the fabric supports 32–64 SLICE bypass spans at 250 MHz at
+	// least; full-chip traversal remains possible at 250 MHz.
+	if reach := dev.MaxExpressReach(250); reach < 64 {
+		t.Errorf("250 MHz express reach = %d SLICEs, want ≥ 64", reach)
+	}
+
+	// Longer routes must never be faster.
+	prev := 0.0
+	for dist := 1; dist <= 300; dist++ {
+		dl := dev.RouteDelay(dist)
+		if dl < prev {
+			t.Fatalf("RouteDelay not monotonic at %d: %f < %f", dist, dl, prev)
+		}
+		prev = dl
+	}
+}
+
+// TestRoutabilityAnchors pins Fig 10 / §VI-B facts.
+func TestRoutabilityAnchors(t *testing.T) {
+	dev := Virtex7_485T()
+
+	// §VI-B: a 4×4 NoC with D=2 supports 512-bit datawidths.
+	s, err := FastTrackSpec(4, 2, 1, 512, fasttrack.VariantFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Routable(dev) {
+		t.Errorf("4×4 FT D=2 at 512b should route (util %.2f)", s.Utilization(dev))
+	}
+
+	// Table II: the 8×8 256b FT(64,2,1) routes; 384b should not.
+	ok := mustFT(t, 8, 2, 1, 256, fasttrack.VariantFull)
+	if !ok.Routable(dev) {
+		t.Errorf("8×8 FT(64,2,1) 256b should route (util %.2f)", ok.Utilization(dev))
+	}
+	bad := mustFT(t, 8, 2, 1, 384, fasttrack.VariantFull)
+	if bad.Routable(dev) {
+		t.Errorf("8×8 FT(64,2,1) 384b should NOT route (util %.2f)", bad.Utilization(dev))
+	}
+
+	// Wider always has ≥ utilization; larger N reduces peak width.
+	if mustFT(t, 16, 2, 1, 256, fasttrack.VariantFull).Routable(dev) {
+		t.Errorf("16×16 FT D=2 at 256b should not route")
+	}
+}

@@ -1,0 +1,102 @@
+package fpga
+
+import "math"
+
+// This file reproduces the paper's §III wire characterization experiments:
+// the delay of a routed net as a function of distance (segmented
+// interconnect), the "virtual express link" experiment of Fig 4 (a register
+// pair with programmable equidistant LUT hops between them), and the
+// "physical express link" experiment of Fig 6 (a pipeline of LUT-FF stages
+// with a bypass wire skipping several of them).
+
+// RouteDelay returns the delay (ns) of one routed net spanning distance
+// SLICEs: the minimum-delay cover of the segmented wire library (overshoot
+// allowed, as a router may tap off a longer segment). Long connections ride
+// the fast long-line tracks and amortize the fabric entry cost — the
+// heterogeneity FastTrack exploits.
+func (d *Device) RouteDelay(distance int) float64 {
+	if distance <= 0 {
+		return d.RouteEntry
+	}
+	// dp[i] is the minimum segment delay covering at least i SLICEs.
+	dp := make([]float64, distance+1)
+	for i := 1; i <= distance; i++ {
+		best := math.Inf(1)
+		for _, seg := range d.Segments {
+			c := seg.Delay
+			if rest := i - seg.Length; rest > 0 {
+				c += dp[rest]
+			}
+			if c < best {
+				best = c
+			}
+		}
+		dp[i] = best
+	}
+	return d.RouteEntry + dp[distance]
+}
+
+// VirtualExpressPath returns the register-to-register critical path (ns) of
+// the Fig 3/4 experiment: two FFs placed `distance` SLICEs apart with
+// `hops` equidistant LUT stages between them. Every LUT hop pays the
+// fabric exit/re-entry penalty, which is what makes SMART-style virtual
+// bypass unattractive on FPGAs.
+func (d *Device) VirtualExpressPath(distance, hops int) float64 {
+	if hops < 0 {
+		hops = 0
+	}
+	spans := hops + 1
+	span := distance / spans
+	if span < 1 {
+		span = 1
+	}
+	t := d.ClkToQ + d.Setup + float64(hops)*(d.LUTDelay+d.HopPenalty)
+	t += float64(spans) * d.RouteDelay(span)
+	return t
+}
+
+// VirtualExpressMHz is VirtualExpressPath expressed as a frequency, clamped
+// to the clock ceiling (Fig 4's y-axis).
+func (d *Device) VirtualExpressMHz(distance, hops int) float64 {
+	return d.freqMHz(d.VirtualExpressPath(distance, hops))
+}
+
+// PhysicalExpressPath returns the critical path (ns) of the Fig 5/6
+// experiment: a fully pipelined chain of tightly-coupled LUT-FF pairs
+// spaced `distance` SLICEs apart, with an express bypass wire skipping
+// `hops` of them. The clock is set by the slower of the local stage path
+// and the bypass wire; because the bypass is a single routed net it rides
+// the fast long tracks and degrades linearly rather than paying per-stage
+// penalties.
+func (d *Device) PhysicalExpressPath(distance, hops int) float64 {
+	// Local stage: FF -> LUT (same primitive pair) -> next FF one span away.
+	stage := d.ClkToQ + d.Setup + d.LUTDelay + d.RouteDelay(distance)
+	if hops <= 0 {
+		return stage
+	}
+	bypass := d.ClkToQ + d.Setup + d.RouteDelay(distance*hops)
+	if bypass > stage {
+		return bypass
+	}
+	return stage
+}
+
+// PhysicalExpressMHz is PhysicalExpressPath as a frequency (Fig 6's y-axis).
+func (d *Device) PhysicalExpressMHz(distance, hops int) float64 {
+	return d.freqMHz(d.PhysicalExpressPath(distance, hops))
+}
+
+// MaxExpressReach returns the longest bypass distance (SLICEs) that still
+// meets the target frequency — the §III observation that the fabric
+// supports 32–64 SLICE bypass hops at 250 MHz and close-to-full-chip
+// traversal in the uncongested case.
+func (d *Device) MaxExpressReach(targetMHz float64) int {
+	period := 1000.0 / targetMHz
+	reach := 0
+	for dist := 1; dist <= d.SliceRows; dist++ {
+		if d.ClkToQ+d.Setup+d.RouteDelay(dist) <= period {
+			reach = dist
+		}
+	}
+	return reach
+}

@@ -1,0 +1,236 @@
+// Package hoplite implements the baseline Hoplite NoC (Kapre & Gray, FPL
+// 2015 / TRETS 2017): a bufferless, deflection-routed 2-D unidirectional
+// torus with dimension-ordered (X-then-Y) routing and the HopliteRT static
+// turn prioritization the FastTrack paper builds on.
+//
+// Each router has two network inputs (W from the west neighbour, N from the
+// north neighbour), one client injection port (PE), and two outputs (E, S).
+// The NoC exit is shared with the S output driver, so a delivery consumes
+// the S port for that cycle. Arbitration is static:
+//
+//	W input wins always (turning W→S traffic preempts N→S traffic),
+//	N input is deflected east when W takes the S port,
+//	PE injection happens only into an output left idle by network traffic.
+//
+// This static scheme is livelock-free: a deflected N packet circles its X
+// ring exactly once and returns as a W packet, which is never deflected.
+package hoplite
+
+import (
+	"fmt"
+
+	"fasttrack/internal/noc"
+)
+
+// slot is a link register: a packet plus a valid bit.
+type slot struct {
+	p  noc.Packet
+	ok bool
+}
+
+// Network is a W×H Hoplite torus. Create with New; the zero value is not
+// usable.
+type Network struct {
+	w, h int
+
+	// Link registers indexed by destination-router index (y*w + x): wIn is
+	// what arrives on the W input this cycle, nIn on the N input.
+	wIn, nIn []slot
+	// Output staging for the current Step.
+	eOut, sOut []slot
+
+	offers    []slot
+	accepted  []bool
+	delivered []noc.Packet
+	inFlight  int
+	counters  noc.Counters
+
+	// exitGate, when non-nil, is consulted before delivering at PE pe; a
+	// false return blocks the exit for this cycle and the packet deflects.
+	// Multi-channel wrappers use it to share one client port across
+	// channels.
+	exitGate func(pe int) bool
+}
+
+// SetExitGate installs an exit arbiter; see the exitGate field.
+func (nw *Network) SetExitGate(gate func(pe int) bool) { nw.exitGate = gate }
+
+func (nw *Network) canExit(pe int) bool { return nw.exitGate == nil || nw.exitGate(pe) }
+
+// New returns an idle W×H Hoplite network. Both dimensions must be at
+// least 2 (a 1-wide ring has no distinct neighbour registers).
+func New(w, h int) (*Network, error) {
+	if w < 2 || h < 2 {
+		return nil, fmt.Errorf("hoplite: dimensions %dx%d too small (need at least 2x2)", w, h)
+	}
+	n := w * h
+	return &Network{
+		w: w, h: h,
+		wIn: make([]slot, n), nIn: make([]slot, n),
+		eOut: make([]slot, n), sOut: make([]slot, n),
+		offers:   make([]slot, n),
+		accepted: make([]bool, n),
+	}, nil
+}
+
+// Width returns the number of router columns.
+func (nw *Network) Width() int { return nw.w }
+
+// Height returns the number of router rows.
+func (nw *Network) Height() int { return nw.h }
+
+// NumPEs returns the client count.
+func (nw *Network) NumPEs() int { return nw.w * nw.h }
+
+// Offer presents p for injection at PE pe this cycle.
+func (nw *Network) Offer(pe int, p noc.Packet) { nw.offers[pe] = slot{p: p, ok: true} }
+
+// Accepted reports whether the offer at pe was injected in the last Step.
+func (nw *Network) Accepted(pe int) bool { return nw.accepted[pe] }
+
+// Delivered returns packets delivered in the last Step; the slice is reused.
+func (nw *Network) Delivered() []noc.Packet { return nw.delivered }
+
+// InFlight returns the number of packets inside the network.
+func (nw *Network) InFlight() int { return nw.inFlight }
+
+// Counters returns the network-wide event counters.
+func (nw *Network) Counters() *noc.Counters { return &nw.counters }
+
+// Step advances the network one cycle: every router routes its inputs, then
+// the links latch.
+func (nw *Network) Step(now int64) {
+	nw.delivered = nw.delivered[:0]
+	for i := range nw.eOut {
+		nw.eOut[i] = slot{}
+		nw.sOut[i] = slot{}
+	}
+
+	for y := 0; y < nw.h; y++ {
+		for x := 0; x < nw.w; x++ {
+			nw.route(x, y, now)
+		}
+	}
+
+	// Latch: outputs become the neighbours' inputs.
+	for y := 0; y < nw.h; y++ {
+		for x := 0; x < nw.w; x++ {
+			i := y*nw.w + x
+			e := nw.eOut[i]
+			if e.ok {
+				e.p.ShortHops++
+				nw.counters.ShortTraversals++
+			}
+			nw.wIn[y*nw.w+(x+1)%nw.w] = e
+			s := nw.sOut[i]
+			if s.ok {
+				s.p.ShortHops++
+				nw.counters.ShortTraversals++
+			}
+			nw.nIn[((y+1)%nw.h)*nw.w+x] = s
+		}
+	}
+}
+
+// route arbitrates one router for the current cycle.
+func (nw *Network) route(x, y int, now int64) {
+	i := y*nw.w + x
+	var eTaken, sTaken bool
+
+	// W input: highest priority, always granted its desired port.
+	if in := nw.wIn[i]; in.ok {
+		p := in.p
+		switch {
+		case p.Dst.X == x && p.Dst.Y == y:
+			if nw.canExit(i) {
+				// Exit shares the S driver.
+				sTaken = true
+				nw.deliver(p)
+			} else {
+				// Client port busy (multi-channel sharing): loop the ring.
+				p.Deflections++
+				nw.counters.MisroutesByInput[noc.PortWSh]++
+				nw.eOut[i] = slot{p: p, ok: true}
+				eTaken = true
+			}
+		case p.Dst.X != x:
+			nw.eOut[i] = slot{p: p, ok: true}
+			eTaken = true
+		default:
+			nw.sOut[i] = slot{p: p, ok: true}
+			sTaken = true
+		}
+	}
+
+	// N input: wants S (continue down or exit); deflected east if W holds S.
+	if in := nw.nIn[i]; in.ok {
+		p := in.p
+		atDst := p.Dst.X == x && p.Dst.Y == y
+		if atDst && !nw.canExit(i) {
+			// Exit blocked by the shared client port: take either free
+			// ring and come back around.
+			p.Deflections++
+			nw.counters.MisroutesByInput[noc.PortNSh]++
+			if !eTaken {
+				nw.eOut[i] = slot{p: p, ok: true}
+				eTaken = true
+			} else {
+				nw.sOut[i] = slot{p: p, ok: true}
+				sTaken = true
+			}
+		} else if !sTaken {
+			sTaken = true
+			if atDst {
+				nw.deliver(p)
+			} else {
+				nw.sOut[i] = slot{p: p, ok: true}
+			}
+		} else {
+			// Deflect east. E must be free: W consumed exactly one port and
+			// it was S. The packet will circle the X ring and return as a W
+			// input, which always wins.
+			p.Deflections++
+			nw.counters.MisroutesByInput[noc.PortNSh]++
+			nw.eOut[i] = slot{p: p, ok: true}
+			eTaken = true
+		}
+	}
+
+	// PE injection: lowest priority, only into the packet's DOR-desired
+	// port, otherwise the client retries next cycle.
+	nw.accepted[i] = false
+	if off := nw.offers[i]; off.ok {
+		p := off.p
+		switch {
+		case p.Dst.X != x && !eTaken:
+			p.Inject = now
+			nw.eOut[i] = slot{p: p, ok: true}
+			nw.inFlight++
+			nw.accepted[i] = true
+		case p.Dst.X == x && p.Dst.Y == y:
+			if !sTaken && nw.canExit(i) {
+				// Self-addressed packet: delivered through the exit port.
+				p.Inject = now
+				nw.inFlight++
+				nw.deliver(p)
+				nw.accepted[i] = true
+			} else {
+				nw.counters.InjectionStalls++
+			}
+		case p.Dst.X == x && !sTaken:
+			p.Inject = now
+			nw.sOut[i] = slot{p: p, ok: true}
+			nw.inFlight++
+			nw.accepted[i] = true
+		default:
+			nw.counters.InjectionStalls++
+		}
+		nw.offers[i] = slot{}
+	}
+}
+
+func (nw *Network) deliver(p noc.Packet) {
+	nw.inFlight--
+	nw.counters.Delivered++
+	nw.delivered = append(nw.delivered, p)
+}

@@ -1,0 +1,218 @@
+// Package matrixgen synthesizes sparse matrix patterns with the structural
+// archetypes of the paper's Matrix Market benchmarks (§VI, Fig 15a/15c):
+// circuit matrices (near-diagonal with sparse long-range couplings, like the
+// bomhof/sandia/simucad SPICE matrices), banded memory-like matrices
+// (hamm/memplus, ram8k), and power-law matrices (human_gene2, web graphs).
+// It also provides the symbolic LU factorization (fill-in) used to build
+// the Token Dataflow task DAGs of Fig 15c.
+//
+// Only the sparsity pattern matters for communication traces, so matrices
+// carry no numeric values.
+package matrixgen
+
+import (
+	"fmt"
+	"sort"
+
+	"fasttrack/internal/xrand"
+)
+
+// Matrix is a square sparse pattern in CSR form.
+type Matrix struct {
+	Name   string
+	N      int
+	RowPtr []int32 // length N+1
+	Cols   []int32 // column indices, sorted within each row
+}
+
+// NNZ returns the number of stored nonzeros.
+func (m *Matrix) NNZ() int { return len(m.Cols) }
+
+// Row returns the sorted column indices of row r.
+func (m *Matrix) Row(r int) []int32 { return m.Cols[m.RowPtr[r]:m.RowPtr[r+1]] }
+
+// String summarizes the matrix.
+func (m *Matrix) String() string {
+	return fmt.Sprintf("%s: %d×%d, %d nnz", m.Name, m.N, m.N, m.NNZ())
+}
+
+// fromRows builds a CSR matrix from per-row column sets, sorting and
+// deduplicating each row.
+func fromRows(name string, rows [][]int32) *Matrix {
+	m := &Matrix{Name: name, N: len(rows), RowPtr: make([]int32, len(rows)+1)}
+	for r, cs := range rows {
+		sort.Slice(cs, func(i, j int) bool { return cs[i] < cs[j] })
+		out := cs[:0]
+		var prev int32 = -1
+		for _, c := range cs {
+			if c != prev {
+				out = append(out, c)
+				prev = c
+			}
+		}
+		m.Cols = append(m.Cols, out...)
+		m.RowPtr[r+1] = int32(len(m.Cols))
+	}
+	return m
+}
+
+// Circuit generates a SPICE-circuit-like pattern: every node couples to the
+// diagonal, to a handful of nearby nodes (physical locality of circuit
+// netlists), and with small probability to a random distant node (supply
+// rails, clock trees). avgDeg is the target nonzeros per row.
+func Circuit(name string, n, avgDeg int, seed uint64) *Matrix {
+	rng := xrand.New(seed)
+	rows := make([][]int32, n)
+	near := avgDeg - 2 // besides diagonal and the occasional long edge
+	if near < 1 {
+		near = 1
+	}
+	for i := 0; i < n; i++ {
+		rows[i] = append(rows[i], int32(i))
+		for k := 0; k < near; k++ {
+			// Neighbours within a window that shrinks the degree spread.
+			off := rng.Intn(16) + 1
+			j := i - off
+			if rng.Bool(0.5) {
+				j = i + off
+			}
+			if j >= 0 && j < n {
+				rows[i] = append(rows[i], int32(j))
+			}
+		}
+		if rng.Bool(0.15) {
+			rows[i] = append(rows[i], int32(rng.Intn(n)))
+		}
+	}
+	return fromRows(name, rows)
+}
+
+// Banded generates a memory-array-like banded pattern with bandwidth band
+// plus a sprinkling of extra couplings confined to a ±32·band window —
+// memory arrays (memplus, ram8k) couple only to physically nearby cells,
+// which is why the paper observes predominantly local traffic (and no
+// FastTrack benefit) for them.
+func Banded(name string, n, band int, extraFrac float64, seed uint64) *Matrix {
+	rng := xrand.New(seed)
+	rows := make([][]int32, n)
+	window := 32 * band
+	for i := 0; i < n; i++ {
+		lo, hi := i-band, i+band
+		if lo < 0 {
+			lo = 0
+		}
+		if hi >= n {
+			hi = n - 1
+		}
+		for j := lo; j <= hi; j++ {
+			rows[i] = append(rows[i], int32(j))
+		}
+		if rng.Bool(extraFrac) {
+			j := i + rng.Intn(2*window+1) - window
+			if j >= 0 && j < n {
+				rows[i] = append(rows[i], int32(j))
+			}
+		}
+	}
+	return fromRows(name, rows)
+}
+
+// PowerLaw generates a scale-free pattern: row degrees follow a Zipf
+// distribution and columns are Zipf-biased toward hub nodes, like gene
+// networks and web link matrices.
+func PowerLaw(name string, n, avgDeg int, s float64, seed uint64) *Matrix {
+	rng := xrand.New(seed)
+	hub := xrand.NewZipf(rng.Split(), n, s)
+	rows := make([][]int32, n)
+	for i := 0; i < n; i++ {
+		rows[i] = append(rows[i], int32(i))
+		deg := 1 + rng.Intn(2*avgDeg-1) // mean ≈ avgDeg
+		for k := 0; k < deg; k++ {
+			rows[i] = append(rows[i], int32(hub.Next()))
+		}
+	}
+	return fromRows(name, rows)
+}
+
+// SymbolicLU computes the column-dependency structure of an LU
+// factorization of m without pivoting: deps[k] lists the columns j < k
+// whose factor updates column k (the nonzero pattern of row k of L,
+// including fill-in). The pattern is symmetrized and given a full diagonal
+// first, as direct solvers do.
+//
+// This is the classic row-merge fill computation: the pattern of row k of
+// L∪U starts from A's row k and absorbs, for each j < k already in the
+// pattern (in ascending order), the part of row j right of j.
+func SymbolicLU(m *Matrix) [][]int32 {
+	n := m.N
+	// Symmetrize + diagonal.
+	rows := make([][]int32, n)
+	for r := 0; r < n; r++ {
+		rows[r] = append(rows[r], int32(r))
+	}
+	for r := 0; r < n; r++ {
+		for _, c := range m.Row(r) {
+			if int(c) != r {
+				rows[r] = append(rows[r], c)
+				rows[c] = append(rows[c], int32(r))
+			}
+		}
+	}
+
+	// upper[j] holds the filled pattern of row j restricted to columns > j.
+	upper := make([][]int32, n)
+	deps := make([][]int32, n)
+	mark := make([]int, n)
+	for i := range mark {
+		mark[i] = -1
+	}
+
+	for k := 0; k < n; k++ {
+		// Working set: columns of filled row k. Use a worklist of columns
+		// < k to merge, processed in ascending order via a small heap-free
+		// scheme: collect, sort, and iterate (newly merged columns < k are
+		// inserted in order).
+		var lower []int32 // j < k present in row k's filled pattern
+		var upperK []int32
+		for _, c := range rows[k] {
+			if mark[c] == k {
+				continue
+			}
+			mark[c] = k
+			switch {
+			case int(c) < k:
+				lower = append(lower, c)
+			case int(c) > k:
+				upperK = append(upperK, c)
+			}
+		}
+		sort.Slice(lower, func(a, b int) bool { return lower[a] < lower[b] })
+
+		for idx := 0; idx < len(lower); idx++ {
+			j := lower[idx]
+			for _, c := range upper[j] {
+				if mark[c] == k {
+					continue
+				}
+				mark[c] = k
+				switch {
+				case int(c) < k:
+					// Fill to the left of k: another dependency; keep the
+					// worklist sorted by insertion.
+					pos := sort.Search(len(lower)-idx-1, func(p int) bool {
+						return lower[idx+1+p] >= c
+					})
+					lower = append(lower, 0)
+					copy(lower[idx+1+pos+1:], lower[idx+1+pos:])
+					lower[idx+1+pos] = c
+				case int(c) > k:
+					upperK = append(upperK, c)
+				}
+			}
+		}
+		sort.Slice(upperK, func(a, b int) bool { return upperK[a] < upperK[b] })
+		upper[k] = upperK
+		deps[k] = lower
+	}
+	return deps
+}

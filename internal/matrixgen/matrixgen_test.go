@@ -1,0 +1,192 @@
+package matrixgen
+
+import (
+	"testing"
+	"testing/quick"
+
+	"fasttrack/internal/xrand"
+)
+
+func checkCSR(t *testing.T, m *Matrix) {
+	t.Helper()
+	if len(m.RowPtr) != m.N+1 || m.RowPtr[0] != 0 {
+		t.Fatalf("%s: bad RowPtr", m.Name)
+	}
+	for r := 0; r < m.N; r++ {
+		if m.RowPtr[r] > m.RowPtr[r+1] {
+			t.Fatalf("%s: RowPtr not monotone at %d", m.Name, r)
+		}
+		row := m.Row(r)
+		for i, c := range row {
+			if c < 0 || int(c) >= m.N {
+				t.Fatalf("%s: row %d col %d out of range", m.Name, r, c)
+			}
+			if i > 0 && row[i-1] >= c {
+				t.Fatalf("%s: row %d not sorted/deduped", m.Name, r)
+			}
+		}
+	}
+}
+
+func TestGeneratorsProduceValidCSR(t *testing.T) {
+	for _, m := range []*Matrix{
+		Circuit("c", 500, 6, 1),
+		Banded("b", 500, 3, 0.1, 2),
+		PowerLaw("p", 500, 8, 1.1, 3),
+	} {
+		checkCSR(t, m)
+		if m.NNZ() < m.N {
+			t.Errorf("%s: too sparse (%d nnz)", m.Name, m.NNZ())
+		}
+		// All generators emit the diagonal.
+		for r := 0; r < m.N; r++ {
+			found := false
+			for _, c := range m.Row(r) {
+				if int(c) == r {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("%s: missing diagonal at row %d", m.Name, r)
+			}
+		}
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a := Circuit("x", 300, 5, 7)
+	b := Circuit("x", 300, 5, 7)
+	if a.NNZ() != b.NNZ() {
+		t.Fatal("same seed, different matrices")
+	}
+	for i := range a.Cols {
+		if a.Cols[i] != b.Cols[i] {
+			t.Fatal("same seed, different pattern")
+		}
+	}
+	c := Circuit("x", 300, 5, 8)
+	if c.NNZ() == a.NNZ() {
+		same := true
+		for i := range a.Cols {
+			if a.Cols[i] != c.Cols[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical matrices")
+		}
+	}
+}
+
+// bruteForceFill computes LU fill by literally running symbolic Gaussian
+// elimination on a dense boolean matrix — the oracle for SymbolicLU.
+func bruteForceFill(m *Matrix) [][]int32 {
+	n := m.N
+	a := make([][]bool, n)
+	for i := range a {
+		a[i] = make([]bool, n)
+		a[i][i] = true
+	}
+	for r := 0; r < n; r++ {
+		for _, c := range m.Row(r) {
+			a[r][c] = true
+			a[c][r] = true // symmetrized, as SymbolicLU does
+		}
+	}
+	for k := 0; k < n; k++ {
+		for i := k + 1; i < n; i++ {
+			if !a[i][k] {
+				continue
+			}
+			for j := k + 1; j < n; j++ {
+				if a[k][j] {
+					a[i][j] = true
+				}
+			}
+		}
+	}
+	deps := make([][]int32, n)
+	for k := 0; k < n; k++ {
+		for j := 0; j < k; j++ {
+			if a[k][j] {
+				deps[k] = append(deps[k], int32(j))
+			}
+		}
+	}
+	return deps
+}
+
+// TestSymbolicLUMatchesBruteForce is the central property test: the
+// row-merge fill computation must equal dense symbolic elimination on
+// random small matrices.
+func TestSymbolicLUMatchesBruteForce(t *testing.T) {
+	f := func(seed uint64, nn uint8) bool {
+		n := int(nn%30) + 2
+		rng := xrand.New(seed)
+		rows := make([][]int32, n)
+		for i := 0; i < n; i++ {
+			rows[i] = append(rows[i], int32(i))
+			for k := 0; k < 3; k++ {
+				if rng.Bool(0.4) {
+					rows[i] = append(rows[i], int32(rng.Intn(n)))
+				}
+			}
+		}
+		m := fromRows("fuzz", rows)
+		got := SymbolicLU(m)
+		want := bruteForceFill(m)
+		for k := 0; k < n; k++ {
+			if len(got[k]) != len(want[k]) {
+				t.Logf("n=%d k=%d: got %v want %v", n, k, got[k], want[k])
+				return false
+			}
+			for i := range got[k] {
+				if got[k][i] != want[k][i] {
+					t.Logf("n=%d k=%d: got %v want %v", n, k, got[k], want[k])
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSymbolicLUKnownCase(t *testing.T) {
+	// Arrow matrix: last row/col dense -> no fill below, deps of k=n-1 are
+	// all columns.
+	n := 6
+	rows := make([][]int32, n)
+	for i := 0; i < n; i++ {
+		rows[i] = []int32{int32(i), int32(n - 1)}
+	}
+	m := fromRows("arrow", rows)
+	deps := SymbolicLU(m)
+	for k := 0; k < n-1; k++ {
+		if len(deps[k]) != 0 {
+			t.Errorf("arrow col %d deps %v, want none", k, deps[k])
+		}
+	}
+	if len(deps[n-1]) != n-1 {
+		t.Errorf("arrow apex deps %v, want all %d", deps[n-1], n-1)
+	}
+
+	// Tridiagonal: each column depends only on its predecessor.
+	rows = make([][]int32, n)
+	for i := 0; i < n; i++ {
+		rows[i] = []int32{int32(i)}
+		if i > 0 {
+			rows[i] = append(rows[i], int32(i-1))
+		}
+	}
+	m = fromRows("tri", rows)
+	deps = SymbolicLU(m)
+	for k := 1; k < n; k++ {
+		if len(deps[k]) != 1 || deps[k][0] != int32(k-1) {
+			t.Errorf("tridiagonal col %d deps %v", k, deps[k])
+		}
+	}
+}

@@ -1,0 +1,150 @@
+// Package multichannel implements the replicated-Hoplite comparator from the
+// paper's iso-resource evaluations (Hoplite-2x, Hoplite-3x in Figs 13/14/19):
+// K independent Hoplite channels sharing one client interface per PE.
+//
+// To keep the comparison fair the client interface is unchanged (§IV-A):
+// each PE may inject at most one packet per cycle — into exactly one channel
+// — and accepts at most one delivery per cycle. A channel that completes a
+// packet while the shared client port is busy must deflect it (bufferless
+// channels cannot hold packets), implemented with the channels' exit gates.
+// Channel service order rotates every cycle so no channel starves.
+package multichannel
+
+import (
+	"fmt"
+
+	"fasttrack/internal/hoplite"
+	"fasttrack/internal/noc"
+)
+
+// Network is K parallel Hoplite planes behind single-ported clients.
+type Network struct {
+	w, h, k  int
+	channels []*hoplite.Network
+
+	// nextChan[pe] is the channel the PE will offer to next; it rotates when
+	// an offer stalls so a congested plane cannot starve the client.
+	nextChan []int
+	offered  []int // channel offered to this cycle, -1 if none
+	accepted []bool
+
+	// exitBusy[pe] marks client ports already used this cycle.
+	exitBusy  []bool
+	delivered []noc.Packet
+	startChan int // rotating channel service order
+
+	counters noc.Counters
+}
+
+// New builds a W×H torus with k independent Hoplite channels (k >= 1).
+func New(w, h, k int) (*Network, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("multichannel: need at least 1 channel, got %d", k)
+	}
+	nw := &Network{w: w, h: h, k: k}
+	for c := 0; c < k; c++ {
+		ch, err := hoplite.New(w, h)
+		if err != nil {
+			return nil, err
+		}
+		ch.SetExitGate(func(pe int) bool { return !nw.exitBusy[pe] })
+		nw.channels = append(nw.channels, ch)
+	}
+	n := w * h
+	nw.nextChan = make([]int, n)
+	nw.offered = make([]int, n)
+	nw.accepted = make([]bool, n)
+	nw.exitBusy = make([]bool, n)
+	for i := range nw.offered {
+		nw.offered[i] = -1
+	}
+	return nw, nil
+}
+
+// Width returns the torus width in routers.
+func (nw *Network) Width() int { return nw.w }
+
+// Height returns the torus height in routers.
+func (nw *Network) Height() int { return nw.h }
+
+// NumPEs returns the client count.
+func (nw *Network) NumPEs() int { return nw.w * nw.h }
+
+// Channels returns the channel count K.
+func (nw *Network) Channels() int { return nw.k }
+
+// Offer presents p for injection at PE pe this cycle. The packet goes to a
+// single channel chosen by per-PE rotation.
+func (nw *Network) Offer(pe int, p noc.Packet) {
+	c := nw.nextChan[pe]
+	nw.channels[c].Offer(pe, p)
+	nw.offered[pe] = c
+}
+
+// Step advances all channels one cycle. Channels are serviced in rotating
+// order; once a channel delivers to a client, the port is busy for the
+// rest of the cycle and later channels deflect their completions there.
+func (nw *Network) Step(now int64) {
+	for pe := range nw.exitBusy {
+		nw.exitBusy[pe] = false
+	}
+	nw.delivered = nw.delivered[:0]
+	for j := 0; j < nw.k; j++ {
+		ch := nw.channels[(nw.startChan+j)%nw.k]
+		ch.Step(now)
+		for _, p := range ch.Delivered() {
+			pe := noc.PEIndex(p.Dst, nw.w)
+			nw.exitBusy[pe] = true
+			nw.delivered = append(nw.delivered, p)
+		}
+	}
+	nw.startChan = (nw.startChan + 1) % nw.k
+
+	// Record offer outcomes and rotate stalled clients to the next channel.
+	for pe, c := range nw.offered {
+		if c < 0 {
+			nw.accepted[pe] = false
+			continue
+		}
+		ok := nw.channels[c].Accepted(pe)
+		nw.accepted[pe] = ok
+		if !ok {
+			nw.nextChan[pe] = (c + 1) % nw.k
+		}
+		nw.offered[pe] = -1
+	}
+}
+
+// Accepted reports whether the offer at pe was injected in the last Step.
+func (nw *Network) Accepted(pe int) bool { return nw.accepted[pe] }
+
+// Delivered returns packets handed to clients in the last Step; the slice
+// is reused between cycles.
+func (nw *Network) Delivered() []noc.Packet { return nw.delivered }
+
+// InFlight counts packets in any channel.
+func (nw *Network) InFlight() int {
+	t := 0
+	for _, ch := range nw.channels {
+		t += ch.InFlight()
+	}
+	return t
+}
+
+// Counters returns aggregated event counters across all channels.
+func (nw *Network) Counters() *noc.Counters {
+	agg := noc.Counters{}
+	for _, ch := range nw.channels {
+		c := ch.Counters()
+		agg.ShortTraversals += c.ShortTraversals
+		agg.ExpressTraversals += c.ExpressTraversals
+		agg.InjectionStalls += c.InjectionStalls
+		agg.Delivered += c.Delivered
+		for p := range c.MisroutesByInput {
+			agg.MisroutesByInput[p] += c.MisroutesByInput[p]
+			agg.ExpressDeniedByInput[p] += c.ExpressDeniedByInput[p]
+		}
+	}
+	nw.counters = agg
+	return &nw.counters
+}

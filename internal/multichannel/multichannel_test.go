@@ -1,0 +1,129 @@
+package multichannel
+
+import (
+	"testing"
+
+	"fasttrack/internal/noc"
+	"fasttrack/internal/sim"
+	"fasttrack/internal/traffic"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(4, 4, 0); err == nil {
+		t.Error("zero channels should be rejected")
+	}
+	if _, err := New(1, 4, 2); err == nil {
+		t.Error("1-wide torus should be rejected")
+	}
+}
+
+// TestSingleDeliveryPerClientPerCycle is the fairness constraint of the
+// paper's iso-wiring comparison: even when several channels complete
+// packets for the same client simultaneously, the client takes one per
+// cycle and the rest wait in the exit serializer.
+func TestSingleDeliveryPerClientPerCycle(t *testing.T) {
+	nw, err := New(4, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three packets from distinct sources to one destination, injected on
+	// consecutive cycles so they ride different channels and can collide.
+	dst := noc.Coord{X: 3, Y: 3}
+	srcs := []noc.Coord{{X: 0, Y: 3}, {X: 1, Y: 3}, {X: 2, Y: 3}}
+	// Stall source 0 once so its packet lands on a later channel: offer
+	// them all at cycle 0; round-robin assignment puts them on channel 0.
+	for i, s := range srcs {
+		nw.Offer(noc.PEIndex(s, 4), noc.Packet{ID: int64(i), Src: s, Dst: dst, Gen: 0})
+	}
+	nw.Step(0)
+	perCycle := map[int64]int{}
+	var total int
+	for c := int64(1); c < 50 && total < 3; c++ {
+		nw.Step(c)
+		n := len(nw.Delivered())
+		if n > 1 {
+			t.Fatalf("cycle %d delivered %d packets to clients, max is 1 per client", c, n)
+		}
+		perCycle[c] = n
+		total += n
+	}
+	if total != 3 {
+		t.Fatalf("delivered %d of 3", total)
+	}
+}
+
+// TestChannelRotationOnStall: a stalled offer moves to the next channel so
+// one congested plane cannot block injection forever.
+func TestChannelRotationOnStall(t *testing.T) {
+	nw, err := New(4, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := noc.Coord{X: 1, Y: 0}
+	// Saturate channel 0's E port at (1,0) with a through-stream from (0,0).
+	feeder := noc.Coord{X: 0, Y: 0}
+	for c := int64(0); c < 2; c++ {
+		nw.Offer(noc.PEIndex(feeder, 4), noc.Packet{ID: 100 + c, Src: feeder, Dst: noc.Coord{X: 3, Y: 0}, Gen: c})
+		nw.Step(c)
+	}
+	// First offer goes to channel 0 and stalls (through-traffic), second
+	// attempt rotates to channel 1 and succeeds.
+	nw.Offer(noc.PEIndex(src, 4), noc.Packet{ID: 1, Src: src, Dst: noc.Coord{X: 3, Y: 0}, Gen: 2})
+	nw.Step(2)
+	first := nw.Accepted(noc.PEIndex(src, 4))
+	nw.Offer(noc.PEIndex(src, 4), noc.Packet{ID: 1, Src: src, Dst: noc.Coord{X: 3, Y: 0}, Gen: 2})
+	nw.Step(3)
+	second := nw.Accepted(noc.PEIndex(src, 4))
+	if first {
+		t.Log("note: first offer was accepted (feeder stream gap); rotation untested this round")
+	}
+	if !first && !second {
+		t.Error("offer should succeed on the alternate channel after rotation")
+	}
+}
+
+// TestDrainsRandomTraffic exercises the full wrapper under load with
+// conservation checks via sim.Run.
+func TestDrainsRandomTraffic(t *testing.T) {
+	for _, k := range []int{1, 2, 3} {
+		nw, err := New(8, 8, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wl := traffic.NewSynthetic(8, 8, traffic.Random{}, 1.0, 200, 5)
+		res, err := sim.Run(nw, wl, sim.Options{})
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if res.Delivered != 64*200 {
+			t.Fatalf("k=%d: delivered %d, want %d", k, res.Delivered, 64*200)
+		}
+		if k > 1 && res.Counters.ShortTraversals == 0 {
+			t.Fatalf("k=%d: no traversals recorded", k)
+		}
+	}
+}
+
+// TestMoreChannelsMoreThroughput: saturation throughput must increase with
+// channel count (the Fig 13 premise).
+func TestMoreChannelsMoreThroughput(t *testing.T) {
+	rates := map[int]float64{}
+	for _, k := range []int{1, 2, 3} {
+		nw, err := New(8, 8, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wl := traffic.NewSynthetic(8, 8, traffic.Random{}, 1.0, 300, 9)
+		res, err := sim.Run(nw, wl, sim.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rates[k] = res.SustainedRate
+	}
+	if !(rates[3] > rates[2] && rates[2] > rates[1]) {
+		t.Errorf("throughput should rise with channels: %v", rates)
+	}
+	if rates[3] < 1.8*rates[1] {
+		t.Errorf("Hoplite-3x should be well above 1x: %v", rates)
+	}
+}

@@ -1,0 +1,101 @@
+package noc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRingDelta(t *testing.T) {
+	cases := []struct {
+		a, b, n, want int
+	}{
+		{0, 3, 8, 3},
+		{3, 0, 8, 5},
+		{7, 0, 8, 1},
+		{5, 5, 8, 0},
+		{0, 0, 1, 0},
+	}
+	for _, c := range cases {
+		if got := RingDelta(c.a, c.b, c.n); got != c.want {
+			t.Errorf("RingDelta(%d,%d,%d) = %d, want %d", c.a, c.b, c.n, got, c.want)
+		}
+	}
+}
+
+// Quick properties: the delta is always in [0,n), advancing a by the delta
+// reaches b, and the two directed deltas sum to 0 or n.
+func TestRingDeltaProperties(t *testing.T) {
+	f := func(a, b uint8, nn uint8) bool {
+		n := int(nn%31) + 1
+		x, y := int(a)%n, int(b)%n
+		d := RingDelta(x, y, n)
+		if d < 0 || d >= n {
+			return false
+		}
+		if (x+d)%n != y {
+			return false
+		}
+		back := RingDelta(y, x, n)
+		return (d+back)%n == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPEIndexRoundTrip(t *testing.T) {
+	f := func(pe uint16, ww uint8) bool {
+		w := int(ww%31) + 1
+		p := int(pe) % (w * 64)
+		return PEIndex(PECoord(p, w), w) == p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPortStrings(t *testing.T) {
+	want := map[Port]string{
+		PortWSh: "W.sh", PortWEx: "W.ex", PortNSh: "N.sh", PortNEx: "N.ex",
+		PortPE: "PE", PortESh: "E.sh", PortEEx: "E.ex", PortSSh: "S.sh", PortSEx: "S.ex",
+	}
+	for p, s := range want {
+		if p.String() != s {
+			t.Errorf("Port %d String = %q, want %q", p, p.String(), s)
+		}
+	}
+	if Port(200).String() == "" {
+		t.Error("out-of-range port should still render")
+	}
+}
+
+func TestPortIsExpress(t *testing.T) {
+	express := map[Port]bool{
+		PortWEx: true, PortNEx: true, PortEEx: true, PortSEx: true,
+		PortWSh: false, PortNSh: false, PortESh: false, PortSSh: false, PortPE: false,
+	}
+	for p, want := range express {
+		if p.IsExpress() != want {
+			t.Errorf("%v IsExpress = %v, want %v", p, p.IsExpress(), want)
+		}
+	}
+}
+
+func TestCountersTotals(t *testing.T) {
+	var c Counters
+	c.MisroutesByInput[PortNSh] = 3
+	c.MisroutesByInput[PortWEx] = 2
+	c.ExpressDeniedByInput[PortPE] = 7
+	if got := c.TotalDeflections(); got != 5 {
+		t.Errorf("TotalDeflections = %d, want 5", got)
+	}
+	if got := c.TotalExpressDenied(); got != 7 {
+		t.Errorf("TotalExpressDenied = %d, want 7", got)
+	}
+}
+
+func TestCoordString(t *testing.T) {
+	if got := (Coord{X: 3, Y: 0}).String(); got != "(3,0)" {
+		t.Errorf("Coord string = %q", got)
+	}
+}

@@ -1,0 +1,72 @@
+// Package regulate implements HopliteRT-style injection regulation (Wasly
+// et al., FPT 2017 — the real-time Hoplite variant whose routing rules
+// FastTrack adopts): a token-bucket rate limiter per PE in front of any
+// workload. Regulating every client's offered rate is what turns the
+// routers' static priority scheme into end-to-end latency guarantees, so
+// the analysis package's bounds are exercised under regulated interference.
+package regulate
+
+import (
+	"fmt"
+
+	"fasttrack/internal/noc"
+	"fasttrack/internal/sim"
+)
+
+// Workload wraps an inner workload with per-PE token buckets: a packet may
+// be offered only when its source holds a full token.
+type Workload struct {
+	inner  sim.Workload
+	rate   float64 // tokens per cycle
+	burst  float64 // bucket capacity
+	tokens []float64
+}
+
+// New wraps inner so each PE injects at most rate packets/cycle on average
+// with bursts up to burst packets. burst < 1 is raised to 1 (a bucket that
+// can never fill would block forever).
+func New(inner sim.Workload, pes int, rate, burst float64) (*Workload, error) {
+	if rate <= 0 {
+		return nil, fmt.Errorf("regulate: rate %v must be positive", rate)
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	w := &Workload{inner: inner, rate: rate, burst: burst, tokens: make([]float64, pes)}
+	for i := range w.tokens {
+		w.tokens[i] = burst // buckets start full
+	}
+	return w, nil
+}
+
+// Tick implements sim.Workload: refill buckets, then tick the inner
+// workload.
+func (w *Workload) Tick(now int64) {
+	for i := range w.tokens {
+		w.tokens[i] += w.rate
+		if w.tokens[i] > w.burst {
+			w.tokens[i] = w.burst
+		}
+	}
+	w.inner.Tick(now)
+}
+
+// Pending implements sim.Workload: gate the inner offer on a full token.
+func (w *Workload) Pending(pe int, now int64) (noc.Packet, bool) {
+	if w.tokens[pe] < 1 {
+		return noc.Packet{}, false
+	}
+	return w.inner.Pending(pe, now)
+}
+
+// Injected implements sim.Workload: spend the token.
+func (w *Workload) Injected(pe int, now int64) {
+	w.tokens[pe]--
+	w.inner.Injected(pe, now)
+}
+
+// Delivered implements sim.Workload.
+func (w *Workload) Delivered(p noc.Packet, now int64) { w.inner.Delivered(p, now) }
+
+// Done implements sim.Workload.
+func (w *Workload) Done() bool { return w.inner.Done() }

@@ -1,0 +1,171 @@
+// Package sim drives a noc.Network cycle by cycle against a workload and
+// collects the measurements the paper reports: sustained injection rate,
+// average and worst-case packet latency, latency histograms, link-usage and
+// deflection counters, and workload completion time.
+//
+// The engine's per-cycle protocol matches noc.Network: the workload offers
+// at most one packet per PE, the network steps, accepted offers are consumed
+// and deliveries are fed back to the workload (dependency-driven traces use
+// this to unlock later sends).
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"fasttrack/internal/noc"
+	"fasttrack/internal/stats"
+)
+
+// Workload produces the packets a simulation injects and observes delivery.
+// Implementations: traffic.Synthetic (statistical patterns) and
+// trace.Workload (application communication traces).
+type Workload interface {
+	// Tick runs once per cycle before offers are gathered.
+	Tick(now int64)
+	// Pending returns the packet PE pe wants to inject this cycle, if any.
+	// The same packet must be returned every cycle until Injected is called
+	// for it (offers that stall are retried).
+	Pending(pe int, now int64) (noc.Packet, bool)
+	// Injected reports that the pending packet at pe entered the network.
+	Injected(pe int, now int64)
+	// Delivered reports that p reached its destination PE.
+	Delivered(p noc.Packet, now int64)
+	// Done reports that the workload will produce no further packets.
+	Done() bool
+}
+
+// Result summarizes one simulation run.
+type Result struct {
+	// Cycles is the makespan: the cycle count until the last delivery (or
+	// the configured limit).
+	Cycles int64
+	// Injected and Delivered count packets.
+	Injected  int64
+	Delivered int64
+	// SustainedRate is delivered packets per cycle per PE — the paper's
+	// "sustained rate" axis.
+	SustainedRate float64
+	// AvgLatency and WorstLatency are in cycles, measured from packet
+	// generation (source queueing included) to client delivery.
+	AvgLatency   float64
+	WorstLatency int64
+	// P50 and P99 latency quantiles from the histogram.
+	P50, P99 int64
+	// Latency is the full latency histogram (the paper's Fig 16).
+	Latency *stats.Histogram
+	// PerSource[pe] accumulates latencies of packets sourced at pe, for
+	// fairness analysis (deflection NoCs can favour some positions).
+	PerSource []stats.Accumulator
+	// Counters is a copy of the network's event counters at the end.
+	Counters noc.Counters
+	// TimedOut reports the run hit MaxCycles before the workload drained.
+	TimedOut bool
+}
+
+// Options configures a run.
+type Options struct {
+	// MaxCycles bounds the run; 0 means a generous default.
+	MaxCycles int64
+	// StallLimit aborts with an error if no packet is injected or delivered
+	// for this many consecutive cycles while work remains. It is a livelock
+	// tripwire; 0 means a generous default.
+	StallLimit int64
+	// HistogramMax is the largest latency the histogram resolves exactly;
+	// 0 means 1<<20 cycles.
+	HistogramMax int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxCycles == 0 {
+		o.MaxCycles = 4 << 20
+	}
+	if o.StallLimit == 0 {
+		o.StallLimit = 1 << 16
+	}
+	if o.HistogramMax == 0 {
+		o.HistogramMax = 1 << 20
+	}
+	return o
+}
+
+// ErrStalled is wrapped by Run when the stall tripwire fires.
+var ErrStalled = errors.New("sim: no forward progress (possible livelock)")
+
+// Run drives net against wl until the workload drains or a limit is hit.
+func Run(net noc.Network, wl Workload, opts Options) (Result, error) {
+	opts = opts.withDefaults()
+	res := Result{Latency: stats.NewLatencyHistogram(opts.HistogramMax)}
+	numPE := net.NumPEs()
+	res.PerSource = make([]stats.Accumulator, numPE)
+	offered := make([]bool, numPE)
+	var latSum float64
+	var now, lastProgress int64
+
+	for now = 0; now < opts.MaxCycles; now++ {
+		wl.Tick(now)
+
+		anyOffer := false
+		for pe := 0; pe < numPE; pe++ {
+			p, ok := wl.Pending(pe, now)
+			offered[pe] = ok
+			if ok {
+				net.Offer(pe, p)
+				anyOffer = true
+			}
+		}
+		if !anyOffer && wl.Done() && net.InFlight() == 0 {
+			break
+		}
+
+		net.Step(now)
+
+		progress := false
+		for pe := 0; pe < numPE; pe++ {
+			if offered[pe] && net.Accepted(pe) {
+				wl.Injected(pe, now)
+				res.Injected++
+				progress = true
+			}
+		}
+		for _, p := range net.Delivered() {
+			lat := now - p.Gen
+			if lat < 0 {
+				return res, fmt.Errorf("sim: packet %d delivered before generation (gen=%d now=%d)", p.ID, p.Gen, now)
+			}
+			res.Latency.Add(lat)
+			res.PerSource[noc.PEIndex(p.Src, net.Width())].Add(float64(lat))
+			latSum += float64(lat)
+			if lat > res.WorstLatency {
+				res.WorstLatency = lat
+			}
+			res.Delivered++
+			wl.Delivered(p, now)
+			progress = true
+		}
+
+		if progress {
+			lastProgress = now
+		} else if now-lastProgress > opts.StallLimit && (net.InFlight() > 0 || !wl.Done()) {
+			return res, fmt.Errorf("%w: stalled for %d cycles at cycle %d (in-flight %d)",
+				ErrStalled, now-lastProgress, now, net.InFlight())
+		}
+	}
+
+	res.Cycles = now
+	res.TimedOut = now >= opts.MaxCycles
+	if res.Delivered != res.Injected && !res.TimedOut {
+		return res, fmt.Errorf("sim: conservation violated: injected %d, delivered %d, in-flight %d",
+			res.Injected, res.Delivered, net.InFlight())
+	}
+	if res.Delivered > 0 {
+		res.AvgLatency = latSum / float64(res.Delivered)
+	}
+	if now > 0 {
+		res.SustainedRate = float64(res.Delivered) / (float64(now) * float64(numPE))
+	}
+	res.P50 = res.Latency.Quantile(0.50)
+	res.P99 = res.Latency.Quantile(0.99)
+	res.Counters = *net.Counters()
+	return res, nil
+}

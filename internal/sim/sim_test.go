@@ -1,0 +1,103 @@
+package sim_test
+
+import (
+	"errors"
+	"testing"
+
+	"fasttrack/internal/hoplite"
+	"fasttrack/internal/noc"
+	"fasttrack/internal/sim"
+	"fasttrack/internal/traffic"
+)
+
+// stuckWorkload claims work remains but never produces a packet — the
+// stall tripwire must fire rather than spin forever.
+type stuckWorkload struct{}
+
+func (stuckWorkload) Tick(int64)                            {}
+func (stuckWorkload) Pending(int, int64) (noc.Packet, bool) { return noc.Packet{}, false }
+func (stuckWorkload) Injected(int, int64)                   {}
+func (stuckWorkload) Delivered(noc.Packet, int64)           {}
+func (stuckWorkload) Done() bool                            { return false }
+
+func TestStallTripwire(t *testing.T) {
+	nw, err := hoplite.New(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = sim.Run(nw, stuckWorkload{}, sim.Options{MaxCycles: 100000, StallLimit: 500})
+	if !errors.Is(err, sim.ErrStalled) {
+		t.Fatalf("err = %v, want ErrStalled", err)
+	}
+}
+
+func TestMaxCyclesTimesOut(t *testing.T) {
+	nw, err := hoplite.New(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl := traffic.NewSynthetic(4, 4, traffic.Random{}, 0.01, 1000, 1)
+	res, err := sim.Run(nw, wl, sim.Options{MaxCycles: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.TimedOut || res.Cycles != 50 {
+		t.Errorf("TimedOut=%v cycles=%d", res.TimedOut, res.Cycles)
+	}
+}
+
+func TestResultStatistics(t *testing.T) {
+	nw, err := hoplite.New(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl := traffic.NewSynthetic(4, 4, traffic.Random{}, 0.2, 100, 2)
+	res, err := sim.Run(nw, wl, sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != 1600 || res.Injected != 1600 {
+		t.Fatalf("counts %d/%d", res.Injected, res.Delivered)
+	}
+	if res.AvgLatency <= 0 || res.WorstLatency < int64(res.AvgLatency) {
+		t.Errorf("latencies avg=%v worst=%v", res.AvgLatency, res.WorstLatency)
+	}
+	if res.P50 > res.P99 || res.P99 > res.WorstLatency {
+		t.Errorf("quantiles p50=%d p99=%d worst=%d", res.P50, res.P99, res.WorstLatency)
+	}
+	if res.SustainedRate <= 0 || res.SustainedRate > 1 {
+		t.Errorf("sustained rate %v", res.SustainedRate)
+	}
+	if res.Latency.Count() != 1600 {
+		t.Errorf("histogram count %d", res.Latency.Count())
+	}
+	if res.Counters.Delivered != 1600 {
+		t.Errorf("counters delivered %d", res.Counters.Delivered)
+	}
+}
+
+// TestLatencyIncludesSourceQueueing: at saturation, average latency must
+// vastly exceed the unloaded network diameter because packets queue at the
+// source — the behaviour behind the paper's Fig 12 hockey sticks.
+func TestLatencyIncludesSourceQueueing(t *testing.T) {
+	low, err := runAt(0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := runAt(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if high.AvgLatency < 5*low.AvgLatency {
+		t.Errorf("saturated latency %v should dwarf unloaded %v", high.AvgLatency, low.AvgLatency)
+	}
+}
+
+func runAt(rate float64) (sim.Result, error) {
+	nw, err := hoplite.New(8, 8)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	wl := traffic.NewSynthetic(8, 8, traffic.Random{}, rate, 300, 3)
+	return sim.Run(nw, wl, sim.Options{})
+}

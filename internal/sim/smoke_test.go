@@ -1,0 +1,72 @@
+package sim_test
+
+import (
+	"testing"
+
+	"fasttrack/internal/fasttrack"
+	"fasttrack/internal/hoplite"
+	"fasttrack/internal/multichannel"
+	"fasttrack/internal/noc"
+	"fasttrack/internal/sim"
+	"fasttrack/internal/traffic"
+)
+
+// buildAll returns one instance of every network kind at 8x8 for smoke
+// coverage.
+func buildAll(t *testing.T) map[string]noc.Network {
+	t.Helper()
+	nets := map[string]noc.Network{}
+	h, err := hoplite.New(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nets["hoplite"] = h
+	for _, cfg := range []struct {
+		name    string
+		d, r    int
+		variant fasttrack.Variant
+	}{
+		{"ft-8-2-1-full", 2, 1, fasttrack.VariantFull},
+		{"ft-8-2-2-full", 2, 2, fasttrack.VariantFull},
+		{"ft-8-4-2-full", 4, 2, fasttrack.VariantFull},
+		{"ft-8-2-1-inject", 2, 1, fasttrack.VariantInject},
+	} {
+		top, err := fasttrack.NewTopology(8, cfg.d, cfg.r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ft, err := fasttrack.New(fasttrack.Config{Topology: top, Variant: cfg.variant})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nets[cfg.name] = ft
+	}
+	mc, err := multichannel.New(8, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nets["hoplite-3x"] = mc
+	return nets
+}
+
+func TestSmokeAllNetworksDrainRandomTraffic(t *testing.T) {
+	for name, net := range buildAll(t) {
+		t.Run(name, func(t *testing.T) {
+			wl := traffic.NewSynthetic(net.Width(), net.Height(), traffic.Random{}, 0.3, 50, 42)
+			res, err := sim.Run(net, wl, sim.Options{MaxCycles: 200000})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.TimedOut {
+				t.Fatalf("timed out: delivered %d of %d", res.Delivered, res.Injected)
+			}
+			want := int64(64 * 50)
+			if res.Delivered != want {
+				t.Fatalf("delivered %d, want %d", res.Delivered, want)
+			}
+			if res.AvgLatency <= 0 {
+				t.Fatalf("average latency %v not positive", res.AvgLatency)
+			}
+		})
+	}
+}

@@ -1,0 +1,22 @@
+package stats
+
+// JainIndex computes Jain's fairness index over non-negative values:
+// (Σx)² / (n·Σx²). It is 1.0 when all values are equal and approaches 1/n
+// when one value dominates. Zero-valued entries are included; an empty or
+// all-zero input yields 0.
+func JainIndex(xs []float64) float64 {
+	var sum, sq float64
+	n := 0
+	for _, x := range xs {
+		if x < 0 {
+			continue
+		}
+		sum += x
+		sq += x * x
+		n++
+	}
+	if n == 0 || sq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(n) * sq)
+}

@@ -1,0 +1,202 @@
+// Package stats provides the measurement primitives shared by the simulator
+// and the experiment harness: streaming accumulators, latency histograms
+// with logarithmic bucketing (the paper's Figure 16 uses a log latency
+// axis), and small helpers for quantiles.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Accumulator tracks count/mean/min/max/variance of a stream of samples
+// using Welford's online algorithm. The zero value is ready to use.
+type Accumulator struct {
+	n        int64
+	mean, m2 float64
+	min, max float64
+}
+
+// Add records one sample.
+func (a *Accumulator) Add(x float64) {
+	a.n++
+	if a.n == 1 {
+		a.min, a.max = x, x
+	} else {
+		if x < a.min {
+			a.min = x
+		}
+		if x > a.max {
+			a.max = x
+		}
+	}
+	d := x - a.mean
+	a.mean += d / float64(a.n)
+	a.m2 += d * (x - a.mean)
+}
+
+// Count returns the number of samples recorded.
+func (a *Accumulator) Count() int64 { return a.n }
+
+// Mean returns the sample mean, or 0 with no samples.
+func (a *Accumulator) Mean() float64 { return a.mean }
+
+// Min returns the smallest sample, or 0 with no samples.
+func (a *Accumulator) Min() float64 { return a.min }
+
+// Max returns the largest sample, or 0 with no samples.
+func (a *Accumulator) Max() float64 { return a.max }
+
+// Variance returns the unbiased sample variance.
+func (a *Accumulator) Variance() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return a.m2 / float64(a.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (a *Accumulator) StdDev() float64 { return math.Sqrt(a.Variance()) }
+
+// Merge folds other into a.
+func (a *Accumulator) Merge(other *Accumulator) {
+	if other.n == 0 {
+		return
+	}
+	if a.n == 0 {
+		*a = *other
+		return
+	}
+	n := a.n + other.n
+	d := other.mean - a.mean
+	a.m2 += other.m2 + d*d*float64(a.n)*float64(other.n)/float64(n)
+	a.mean += d * float64(other.n) / float64(n)
+	if other.min < a.min {
+		a.min = other.min
+	}
+	if other.max > a.max {
+		a.max = other.max
+	}
+	a.n = n
+}
+
+// Histogram is a fixed-bucket histogram over non-negative integer samples
+// (packet latencies in cycles). Buckets grow geometrically so that both a
+// 3-cycle delivery and a 10 000-cycle pathological deflection are resolved,
+// mirroring the log axis of the paper's Fig 16.
+type Histogram struct {
+	bounds []int64 // upper inclusive bound per bucket
+	counts []int64
+	over   int64 // samples beyond the last bound
+	acc    Accumulator
+}
+
+// NewLatencyHistogram returns a histogram with geometric buckets from 1 up
+// to max (inclusive) with ratio ~1.25.
+func NewLatencyHistogram(max int64) *Histogram {
+	var bounds []int64
+	b := int64(1)
+	for b < max {
+		bounds = append(bounds, b)
+		nb := b + b/4
+		if nb == b {
+			nb = b + 1
+		}
+		b = nb
+	}
+	bounds = append(bounds, max)
+	return &Histogram{bounds: bounds, counts: make([]int64, len(bounds))}
+}
+
+// Add records one sample.
+func (h *Histogram) Add(x int64) {
+	h.acc.Add(float64(x))
+	i := sort.Search(len(h.bounds), func(i int) bool { return h.bounds[i] >= x })
+	if i == len(h.bounds) {
+		h.over++
+		return
+	}
+	h.counts[i]++
+}
+
+// Count returns the total number of samples.
+func (h *Histogram) Count() int64 { return h.acc.Count() }
+
+// Mean returns the mean sample value.
+func (h *Histogram) Mean() float64 { return h.acc.Mean() }
+
+// Max returns the largest sample value.
+func (h *Histogram) Max() int64 { return int64(h.acc.Max()) }
+
+// Quantile returns an approximate q-quantile (0 <= q <= 1) using the bucket
+// upper bounds.
+func (h *Histogram) Quantile(q float64) int64 {
+	total := h.acc.Count()
+	if total == 0 {
+		return 0
+	}
+	target := int64(q * float64(total))
+	max := int64(h.acc.Max())
+	var cum int64
+	for i, c := range h.counts {
+		cum += c
+		if cum > target {
+			if b := h.bounds[i]; b < max {
+				return b
+			}
+			return max
+		}
+	}
+	return max
+}
+
+// Buckets invokes fn for every non-empty bucket with the bucket's upper
+// bound and count, in ascending order, then once more with the overflow
+// count (bound = -1) if any samples exceeded the histogram range.
+func (h *Histogram) Buckets(fn func(upper int64, count int64)) {
+	for i, c := range h.counts {
+		if c > 0 {
+			fn(h.bounds[i], c)
+		}
+	}
+	if h.over > 0 {
+		fn(-1, h.over)
+	}
+}
+
+// Merge folds other into h. The two histograms must share bucket geometry
+// (same constructor arguments); Merge panics otherwise.
+func (h *Histogram) Merge(other *Histogram) {
+	if len(h.bounds) != len(other.bounds) {
+		panic("stats: merging histograms with different geometry")
+	}
+	for i := range h.counts {
+		h.counts[i] += other.counts[i]
+	}
+	h.over += other.over
+	h.acc.Merge(&other.acc)
+}
+
+// Quantiles computes exact quantiles of an int64 sample slice. The input is
+// sorted in place.
+func Quantiles(xs []int64, qs ...float64) []int64 {
+	out := make([]int64, len(qs))
+	if len(xs) == 0 {
+		return out
+	}
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+	for i, q := range qs {
+		idx := int(q * float64(len(xs)-1))
+		out[i] = xs[idx]
+	}
+	return out
+}
+
+// Ratio formats a/b as "N.NNx", guarding against division by zero.
+func Ratio(a, b float64) string {
+	if b == 0 {
+		return "inf"
+	}
+	return fmt.Sprintf("%.2fx", a/b)
+}

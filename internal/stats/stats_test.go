@@ -1,0 +1,219 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAccumulatorBasics(t *testing.T) {
+	var a Accumulator
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		a.Add(x)
+	}
+	if a.Count() != 8 {
+		t.Errorf("count %d", a.Count())
+	}
+	if a.Mean() != 5 {
+		t.Errorf("mean %v", a.Mean())
+	}
+	if a.Min() != 2 || a.Max() != 9 {
+		t.Errorf("min/max %v/%v", a.Min(), a.Max())
+	}
+	// Population variance is 4; sample variance is 32/7.
+	if got := a.Variance(); math.Abs(got-32.0/7) > 1e-12 {
+		t.Errorf("variance %v", got)
+	}
+}
+
+// TestAccumulatorMatchesNaive is a quick property against the two-pass
+// formulas.
+func TestAccumulatorMatchesNaive(t *testing.T) {
+	f := func(xs []float64) bool {
+		var clean []float64
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e6 {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) < 2 {
+			return true
+		}
+		var a Accumulator
+		var sum float64
+		for _, x := range clean {
+			a.Add(x)
+			sum += x
+		}
+		mean := sum / float64(len(clean))
+		var m2 float64
+		for _, x := range clean {
+			m2 += (x - mean) * (x - mean)
+		}
+		naiveVar := m2 / float64(len(clean)-1)
+		return math.Abs(a.Mean()-mean) < 1e-6*(1+math.Abs(mean)) &&
+			math.Abs(a.Variance()-naiveVar) < 1e-6*(1+naiveVar)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAccumulatorMerge(t *testing.T) {
+	var a, b, all Accumulator
+	for i := 0; i < 50; i++ {
+		x := float64(i*i%37) - 11
+		if i%2 == 0 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+		all.Add(x)
+	}
+	a.Merge(&b)
+	if a.Count() != all.Count() {
+		t.Fatalf("merged count %d vs %d", a.Count(), all.Count())
+	}
+	if math.Abs(a.Mean()-all.Mean()) > 1e-9 {
+		t.Errorf("merged mean %v vs %v", a.Mean(), all.Mean())
+	}
+	if math.Abs(a.Variance()-all.Variance()) > 1e-9 {
+		t.Errorf("merged variance %v vs %v", a.Variance(), all.Variance())
+	}
+	if a.Min() != all.Min() || a.Max() != all.Max() {
+		t.Errorf("merged min/max")
+	}
+}
+
+func TestHistogramQuantilesAndBuckets(t *testing.T) {
+	h := NewLatencyHistogram(1 << 16)
+	for i := int64(1); i <= 1000; i++ {
+		h.Add(i)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count %d", h.Count())
+	}
+	if h.Mean() != 500.5 {
+		t.Errorf("mean %v", h.Mean())
+	}
+	q50 := h.Quantile(0.5)
+	if q50 < 400 || q50 > 650 {
+		t.Errorf("p50 %d outside bucketed tolerance", q50)
+	}
+	if h.Max() != 1000 {
+		t.Errorf("max %d", h.Max())
+	}
+	var total int64
+	prev := int64(0)
+	h.Buckets(func(upper, count int64) {
+		if upper >= 0 && upper <= prev {
+			t.Errorf("buckets not ascending: %d after %d", upper, prev)
+		}
+		prev = upper
+		total += count
+	})
+	if total != 1000 {
+		t.Errorf("bucket total %d", total)
+	}
+}
+
+func TestHistogramOverflow(t *testing.T) {
+	h := NewLatencyHistogram(100)
+	h.Add(5000)
+	saw := false
+	h.Buckets(func(upper, count int64) {
+		if upper == -1 && count == 1 {
+			saw = true
+		}
+	})
+	if !saw {
+		t.Error("overflow bucket not reported")
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewLatencyHistogram(1000), NewLatencyHistogram(1000)
+	for i := int64(1); i < 100; i++ {
+		a.Add(i)
+		b.Add(i * 3)
+	}
+	a.Merge(b)
+	if a.Count() != 198 {
+		t.Errorf("merged count %d", a.Count())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("merging mismatched geometry should panic")
+		}
+	}()
+	a.Merge(NewLatencyHistogram(10))
+}
+
+func TestQuantilesExact(t *testing.T) {
+	xs := []int64{9, 1, 8, 2, 7, 3, 6, 4, 5}
+	qs := Quantiles(xs, 0, 0.5, 1)
+	if qs[0] != 1 || qs[1] != 5 || qs[2] != 9 {
+		t.Errorf("quantiles %v", qs)
+	}
+	if got := Quantiles(nil, 0.5); got[0] != 0 {
+		t.Errorf("empty quantiles %v", got)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(3, 2) != "1.50x" {
+		t.Errorf("Ratio = %q", Ratio(3, 2))
+	}
+	if Ratio(1, 0) != "inf" {
+		t.Errorf("Ratio by zero = %q", Ratio(1, 0))
+	}
+}
+
+func TestAccumulatorMergeEdgeCases(t *testing.T) {
+	var empty, one Accumulator
+	one.Add(5)
+	// Merging an empty accumulator is a no-op.
+	snapshot := one
+	one.Merge(&empty)
+	if one != snapshot {
+		t.Error("merging empty changed the receiver")
+	}
+	// Merging into an empty receiver copies the argument.
+	empty.Merge(&one)
+	if empty.Count() != 1 || empty.Mean() != 5 {
+		t.Errorf("merge into empty: %+v", empty)
+	}
+	if empty.StdDev() != 0 {
+		t.Errorf("single sample stddev %v", empty.StdDev())
+	}
+}
+
+func TestHistogramEmptyQuantile(t *testing.T) {
+	h := NewLatencyHistogram(100)
+	if q := h.Quantile(0.5); q != 0 {
+		t.Errorf("empty quantile %d", q)
+	}
+	if h.Max() != 0 || h.Mean() != 0 {
+		t.Error("empty histogram stats should be zero")
+	}
+}
+
+func TestJainIndexProperties(t *testing.T) {
+	if JainIndex(nil) != 0 {
+		t.Error("empty input should give 0")
+	}
+	if JainIndex([]float64{0, 0}) != 0 {
+		t.Error("all-zero input should give 0")
+	}
+	if j := JainIndex([]float64{3, 3, 3, 3}); j < 0.999 {
+		t.Errorf("equal values should give 1, got %v", j)
+	}
+	// One dominant value over n entries approaches 1/n.
+	if j := JainIndex([]float64{100, 0, 0, 0}); j > 0.26 {
+		t.Errorf("dominated distribution index %v, want ~0.25", j)
+	}
+	// Negative entries are ignored.
+	if j := JainIndex([]float64{-5, 2, 2}); j < 0.999 {
+		t.Errorf("negatives should be skipped, got %v", j)
+	}
+}

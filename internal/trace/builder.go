@@ -1,0 +1,36 @@
+package trace
+
+// Builder accumulates events in topological order. Add returns the event's
+// index for use as a dependency of later events.
+type Builder struct {
+	t Trace
+}
+
+// NewBuilder starts a trace for a pes-PE system.
+func NewBuilder(name string, pes int) *Builder {
+	return &Builder{t: Trace{Name: name, PEs: pes}}
+}
+
+// Add appends an event and returns its index. deps must reference earlier
+// events.
+func (b *Builder) Add(src, dst int, delay int32, deps ...int32) int32 {
+	id := int32(len(b.t.Events))
+	var ds []int32
+	if len(deps) > 0 {
+		ds = append(ds, deps...)
+	}
+	b.t.Events = append(b.t.Events, Event{Src: src, Dst: dst, Delay: delay, Deps: ds})
+	return id
+}
+
+// Len returns the number of events added so far.
+func (b *Builder) Len() int { return len(b.t.Events) }
+
+// Build finalizes and validates the trace.
+func (b *Builder) Build() (*Trace, error) {
+	t := b.t
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}

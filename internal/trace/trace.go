@@ -1,0 +1,178 @@
+// Package trace defines the application communication trace format used by
+// the paper's accelerator case studies (§VI, Fig 15) and a sim.Workload
+// that replays traces with dependency-driven injection: an event's packet
+// is generated only after all the events it depends on have been delivered,
+// which is what makes the Token LU dataflow workloads latency-bound.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Event is one message of a trace.
+type Event struct {
+	// Src and Dst are PE indices on the target network.
+	Src, Dst int
+	// Deps lists event indices that must be delivered before this event's
+	// packet can be generated at Src.
+	Deps []int32
+	// Delay is PE compute time in cycles between the last dependency
+	// arriving (or simulation start for root events) and the packet being
+	// ready to inject.
+	Delay int32
+}
+
+// Trace is an ordered list of events over a logical PE grid.
+type Trace struct {
+	// Name labels the workload (e.g. "spmv/circuit-large").
+	Name string
+	// PEs is the number of logical PEs the trace addresses (0..PEs-1).
+	PEs int
+	// Events holds the messages; Deps index into this slice.
+	Events []Event
+}
+
+// Validate checks internal consistency: PE indices in range, dependency
+// indices valid and strictly smaller than the dependent (the trace is a
+// DAG in topological order).
+func (t *Trace) Validate() error {
+	if t.PEs <= 0 {
+		return fmt.Errorf("trace %q: no PEs", t.Name)
+	}
+	for i, e := range t.Events {
+		if e.Src < 0 || e.Src >= t.PEs || e.Dst < 0 || e.Dst >= t.PEs {
+			return fmt.Errorf("trace %q: event %d endpoints (%d->%d) out of range [0,%d)",
+				t.Name, i, e.Src, e.Dst, t.PEs)
+		}
+		if e.Delay < 0 {
+			return fmt.Errorf("trace %q: event %d has negative delay", t.Name, i)
+		}
+		for _, d := range e.Deps {
+			if d < 0 || int(d) >= i {
+				return fmt.Errorf("trace %q: event %d depends on %d (must be in [0,%d))",
+					t.Name, i, d, i)
+			}
+		}
+	}
+	return nil
+}
+
+// Stats summarizes a trace's shape.
+type Stats struct {
+	Events      int
+	SelfEvents  int // src == dst (no network traffic)
+	MaxFanIn    int
+	CritPathLen int // longest dependency chain in events
+	AvgDistance float64
+}
+
+// ComputeStats derives summary statistics for a trace laid out on a w×h
+// torus (for the forward ring distance metric).
+func (t *Trace) ComputeStats(w, h int) Stats {
+	s := Stats{Events: len(t.Events)}
+	depth := make([]int, len(t.Events))
+	var distSum float64
+	for i, e := range t.Events {
+		if e.Src == e.Dst {
+			s.SelfEvents++
+		}
+		if len(e.Deps) > s.MaxFanIn {
+			s.MaxFanIn = len(e.Deps)
+		}
+		d := 1
+		for _, dep := range e.Deps {
+			if depth[dep]+1 > d {
+				d = depth[dep] + 1
+			}
+		}
+		depth[i] = d
+		if d > s.CritPathLen {
+			s.CritPathLen = d
+		}
+		sx, sy := e.Src%w, e.Src/w
+		dx, dy := e.Dst%w, e.Dst/w
+		distSum += float64(((dx-sx)%w+w)%w + ((dy-sy)%h+h)%h)
+	}
+	if len(t.Events) > 0 {
+		s.AvgDistance = distSum / float64(len(t.Events))
+	}
+	return s
+}
+
+// Write serializes the trace in a line-oriented text format:
+//
+//	trace <name> <pes> <events>
+//	<src> <dst> <delay> [dep ...]
+func (t *Trace) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "trace %s %d %d\n", t.Name, t.PEs, len(t.Events))
+	for _, e := range t.Events {
+		fmt.Fprintf(bw, "%d %d %d", e.Src, e.Dst, e.Delay)
+		for _, d := range e.Deps {
+			fmt.Fprintf(bw, " %d", d)
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}
+
+// Read parses the format produced by Write.
+func Read(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("trace: empty input")
+	}
+	var t Trace
+	var n int
+	header := strings.Fields(sc.Text())
+	if len(header) != 4 || header[0] != "trace" {
+		return nil, fmt.Errorf("trace: bad header %q", sc.Text())
+	}
+	t.Name = header[1]
+	var err error
+	if t.PEs, err = strconv.Atoi(header[2]); err != nil {
+		return nil, fmt.Errorf("trace: bad PE count: %w", err)
+	}
+	if n, err = strconv.Atoi(header[3]); err != nil {
+		return nil, fmt.Errorf("trace: bad event count: %w", err)
+	}
+	t.Events = make([]Event, 0, n)
+	for i := 0; i < n; i++ {
+		if !sc.Scan() {
+			return nil, fmt.Errorf("trace: truncated at event %d of %d", i, n)
+		}
+		f := strings.Fields(sc.Text())
+		if len(f) < 3 {
+			return nil, fmt.Errorf("trace: event %d: too few fields", i)
+		}
+		var e Event
+		if e.Src, err = strconv.Atoi(f[0]); err != nil {
+			return nil, fmt.Errorf("trace: event %d src: %w", i, err)
+		}
+		if e.Dst, err = strconv.Atoi(f[1]); err != nil {
+			return nil, fmt.Errorf("trace: event %d dst: %w", i, err)
+		}
+		d64, err := strconv.ParseInt(f[2], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("trace: event %d delay: %w", i, err)
+		}
+		e.Delay = int32(d64)
+		for _, df := range f[3:] {
+			dep, err := strconv.ParseInt(df, 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("trace: event %d dep: %w", i, err)
+			}
+			e.Deps = append(e.Deps, int32(dep))
+		}
+		t.Events = append(t.Events, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return &t, t.Validate()
+}

@@ -1,0 +1,160 @@
+// Package traffic provides the synthetic statistical workloads of the
+// paper's §VI: RANDOM, LOCAL, BITCOMPL and TRANSPOSE patterns with
+// Bernoulli packet generation at a configurable injection rate and a fixed
+// packet quota per PE (the paper uses 1K packets/PE).
+package traffic
+
+import (
+	"fmt"
+	"strings"
+
+	"fasttrack/internal/noc"
+	"fasttrack/internal/xrand"
+)
+
+// Pattern maps a source PE to a destination for each generated packet.
+type Pattern interface {
+	// Dest picks the destination for a packet from src on a w×h torus. ok
+	// is false when the pattern generates no traffic from src (for example
+	// the diagonal of TRANSPOSE).
+	Dest(src noc.Coord, w, h int, rng *xrand.Rand) (dst noc.Coord, ok bool)
+	// Name is the paper's label (RANDOM, LOCAL, ...).
+	Name() string
+}
+
+// Random is uniform-random traffic over all other PEs.
+type Random struct{}
+
+// Name implements Pattern.
+func (Random) Name() string { return "RANDOM" }
+
+// Dest implements Pattern.
+func (Random) Dest(src noc.Coord, w, h int, rng *xrand.Rand) (noc.Coord, bool) {
+	for {
+		d := noc.Coord{X: rng.Intn(w), Y: rng.Intn(h)}
+		if d != src {
+			return d, true
+		}
+	}
+}
+
+// Local is uniform traffic within a Manhattan-distance neighbourhood. The
+// torus distance used is directional (east/south ring distance), matching
+// what "local" means on a unidirectional torus: destinations a short
+// forward hop away.
+type Local struct {
+	// Radius is the neighbourhood size in hops; 0 means max(1, width/4).
+	Radius int
+}
+
+// Name implements Pattern.
+func (Local) Name() string { return "LOCAL" }
+
+// Dest implements Pattern.
+func (l Local) Dest(src noc.Coord, w, h int, rng *xrand.Rand) (noc.Coord, bool) {
+	r := l.Radius
+	if r <= 0 {
+		r = w / 4
+		if r < 1 {
+			r = 1
+		}
+	}
+	for {
+		dx := rng.Intn(r + 1)
+		dy := rng.Intn(r + 1)
+		if dx == 0 && dy == 0 {
+			continue
+		}
+		return noc.Coord{X: (src.X + dx) % w, Y: (src.Y + dy) % h}, true
+	}
+}
+
+// BitComplement sends every packet to the PE whose coordinate bits are the
+// complement of the source's — a worst-case global pattern. Dimensions must
+// be powers of two.
+type BitComplement struct{}
+
+// Name implements Pattern.
+func (BitComplement) Name() string { return "BITCOMPL" }
+
+// Dest implements Pattern.
+func (BitComplement) Dest(src noc.Coord, w, h int, _ *xrand.Rand) (noc.Coord, bool) {
+	d := noc.Coord{X: ^src.X & (w - 1), Y: ^src.Y & (h - 1)}
+	if d == src {
+		return d, false
+	}
+	return d, true
+}
+
+// Transpose sends (x, y) to (y, x); the diagonal stays silent.
+type Transpose struct{}
+
+// Name implements Pattern.
+func (Transpose) Name() string { return "TRANSPOSE" }
+
+// Dest implements Pattern.
+func (Transpose) Dest(src noc.Coord, w, h int, _ *xrand.Rand) (noc.Coord, bool) {
+	if src.X == src.Y {
+		return src, false
+	}
+	return noc.Coord{X: src.Y % w, Y: src.X % h}, true
+}
+
+// Tornado sends each packet halfway around the X ring — an adversarial
+// pattern for ring networks, included beyond the paper's four for ablation.
+type Tornado struct{}
+
+// Name implements Pattern.
+func (Tornado) Name() string { return "TORNADO" }
+
+// Dest implements Pattern.
+func (Tornado) Dest(src noc.Coord, w, h int, _ *xrand.Rand) (noc.Coord, bool) {
+	return noc.Coord{X: (src.X + w/2) % w, Y: src.Y}, true
+}
+
+// Hotspot sends a fraction of traffic to a single hot PE and the rest
+// uniformly — used by the failure-injection and livelock property tests.
+type Hotspot struct {
+	// Hot is the hotspot destination.
+	Hot noc.Coord
+	// Fraction of packets aimed at Hot (default 0.5 when zero).
+	Fraction float64
+}
+
+// Name implements Pattern.
+func (Hotspot) Name() string { return "HOTSPOT" }
+
+// Dest implements Pattern.
+func (p Hotspot) Dest(src noc.Coord, w, h int, rng *xrand.Rand) (noc.Coord, bool) {
+	f := p.Fraction
+	if f == 0 {
+		f = 0.5
+	}
+	if src != p.Hot && rng.Bool(f) {
+		return p.Hot, true
+	}
+	return Random{}.Dest(src, w, h, rng)
+}
+
+// ByName returns the pattern for a paper label (case-insensitive).
+func ByName(name string) (Pattern, error) {
+	switch strings.ToUpper(name) {
+	case "RANDOM":
+		return Random{}, nil
+	case "LOCAL":
+		return Local{}, nil
+	case "BITCOMPL", "BITCOMPLEMENT":
+		return BitComplement{}, nil
+	case "TRANSPOSE":
+		return Transpose{}, nil
+	case "TORNADO":
+		return Tornado{}, nil
+	default:
+		return nil, fmt.Errorf("traffic: unknown pattern %q", name)
+	}
+}
+
+// Patterns returns the paper's four synthetic patterns in figure order.
+func Patterns() []Pattern {
+	return []Pattern{BitComplement{}, Local{}, Random{}, Transpose{}}
+}

@@ -1,0 +1,82 @@
+// Package dataflow turns the symbolic LU factorization of a sparse circuit
+// matrix into a Token Dataflow communication trace (the paper's Fig 15c
+// case study, after Kapre & DeHon's FPGA SPICE solver). One task factors
+// one matrix column; a task fires only after receiving the factor
+// contributions of every earlier column that updates it. The resulting DAG
+// has notoriously low ILP — the workload is latency-bound, so the NoC's
+// per-message latency (not bandwidth) sets completion time.
+package dataflow
+
+import (
+	"fmt"
+
+	"fasttrack/internal/matrixgen"
+	"fasttrack/internal/trace"
+)
+
+// Options tunes trace generation.
+type Options struct {
+	// ComputeDelay is the modeled cycles for a column update (default 12 —
+	// a sparse column factorization is a multiply-accumulate loop, so PE
+	// compute serialization dilutes the NoC's share of the critical path,
+	// which is why the paper's LU speedups top out around 1.4×).
+	ComputeDelay int32
+}
+
+func (o Options) withDefaults() Options {
+	if o.ComputeDelay == 0 {
+		o.ComputeDelay = 12
+	}
+	return o
+}
+
+// Trace builds the token-dataflow LU trace for matrix m on a w×h PE grid.
+// Columns are scattered across PEs (owner = column mod PEs), the standard
+// token-dataflow mapping that exposes whatever parallelism the DAG has.
+func Trace(m *matrixgen.Matrix, w, h int, opts Options) (*trace.Trace, error) {
+	opts = opts.withDefaults()
+	pes := w * h
+	deps := matrixgen.SymbolicLU(m)
+	owner := func(col int) int { return col % pes }
+
+	b := trace.NewBuilder(fmt.Sprintf("lu/%s", m.Name), pes)
+	compute := make([]int32, m.N) // event index of each column's task
+	crossMsgs := 0
+	for k := 0; k < m.N; k++ {
+		dst := owner(k)
+		var taskDeps []int32
+		for _, j := range deps[k] {
+			src := owner(int(j))
+			if src == dst {
+				// Local dependency: the task just waits on the producer.
+				taskDeps = append(taskDeps, compute[j])
+				continue
+			}
+			// Remote dependency: the producer's PE sends a token.
+			msg := b.Add(src, dst, 1, compute[j])
+			taskDeps = append(taskDeps, msg)
+			crossMsgs++
+		}
+		compute[k] = b.Add(dst, dst, opts.ComputeDelay, taskDeps...)
+	}
+	if crossMsgs == 0 {
+		return nil, fmt.Errorf("dataflow: %s generates no cross-PE tokens on %d PEs", m.Name, pes)
+	}
+	return b.Build()
+}
+
+// Benchmarks returns synthetic stand-ins for the paper's Fig 15c LU
+// factorization suite (SPICE circuit matrices named roughly
+// <circuit>_<nodes>_<edges> in the paper).
+func Benchmarks() []*matrixgen.Matrix {
+	return []*matrixgen.Matrix{
+		matrixgen.Circuit("s953_4568", 953, 5, 301),
+		matrixgen.Circuit("s953_3197", 953, 4, 302),
+		matrixgen.Circuit("s1494_9156", 1494, 6, 303),
+		matrixgen.Circuit("s1488_4872", 1488, 4, 304),
+		matrixgen.Circuit("s1423_6648", 1423, 5, 305),
+		matrixgen.Circuit("s1423_2582", 1423, 3, 306),
+		matrixgen.Banded("ram8k_10823", 1600, 2, 0.08, 307),
+		matrixgen.Circuit("bomhof3_10656", 1800, 6, 308),
+	}
+}

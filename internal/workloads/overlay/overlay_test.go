@@ -1,0 +1,113 @@
+package overlay
+
+import (
+	"testing"
+)
+
+func TestBenchmarksGenerate(t *testing.T) {
+	for _, b := range Benchmarks() {
+		tr, err := Trace(b, 8, 8, 32, 1)
+		if err != nil {
+			t.Errorf("%s: %v", b.Name, err)
+			continue
+		}
+		if err := tr.Validate(); err != nil {
+			t.Errorf("%s: %v", b.Name, err)
+			continue
+		}
+		if tr.PEs != 64 {
+			t.Errorf("%s: PEs %d, want 64", b.Name, tr.PEs)
+		}
+		// Only the active subset may appear as endpoints.
+		for i, e := range tr.Events {
+			if e.Src >= 32 || e.Dst >= 32 {
+				t.Fatalf("%s: event %d touches inactive PE (%d->%d)", b.Name, i, e.Src, e.Dst)
+			}
+		}
+	}
+}
+
+func TestChainsAreRequestResponse(t *testing.T) {
+	b := Benchmark{Name: "sync", Uniform: 1, Chains: 3, ChainLen: 4}
+	tr, err := Trace(b, 4, 4, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each dependent event must be the reverse direction of its dependency
+	// (a response back to the requester, or the next request after one).
+	for i, e := range tr.Events {
+		for _, d := range e.Deps {
+			dep := tr.Events[d]
+			if dep.Dst != e.Src {
+				t.Fatalf("event %d (from %d) depends on a message delivered to %d", i, e.Src, dep.Dst)
+			}
+		}
+	}
+}
+
+func TestActivePEValidation(t *testing.T) {
+	b := Benchmarks()[0]
+	if _, err := Trace(b, 4, 4, 17, 1); err == nil {
+		t.Error("activePEs beyond grid should be rejected")
+	}
+	if _, err := Trace(b, 4, 4, 1, 1); err == nil {
+		t.Error("single active PE should be rejected")
+	}
+}
+
+func TestLocalityCharacterDiffers(t *testing.T) {
+	// freqmine must be substantially more local than blacksholes — the
+	// paper's reason freqmine gains nothing from FastTrack.
+	var freqLocal, blackLocal float64
+	for _, b := range Benchmarks() {
+		if b.Name != "freqmine" && b.Name != "blacksholes" {
+			continue
+		}
+		tr, err := Trace(b, 8, 8, 32, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		near, far := 0, 0
+		for _, e := range tr.Events {
+			d := e.Dst - e.Src
+			if d < 0 {
+				d += 32
+			}
+			if d <= 2 {
+				near++
+			} else {
+				far++
+			}
+		}
+		frac := float64(near) / float64(near+far)
+		if b.Name == "freqmine" {
+			freqLocal = frac
+		} else {
+			blackLocal = frac
+		}
+	}
+	if freqLocal <= blackLocal {
+		t.Errorf("freqmine locality %.2f should exceed blacksholes %.2f", freqLocal, blackLocal)
+	}
+}
+
+func TestDeterministicBySeed(t *testing.T) {
+	b := Benchmarks()[2]
+	t1, err := Trace(b, 8, 8, 32, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := Trace(b, 8, 8, 32, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t1.Events) != len(t2.Events) {
+		t.Fatal("same seed, different event counts")
+	}
+	for i := range t1.Events {
+		a, b := t1.Events[i], t2.Events[i]
+		if a.Src != b.Src || a.Dst != b.Dst || a.Delay != b.Delay || len(a.Deps) != len(b.Deps) {
+			t.Fatalf("same seed, event %d differs", i)
+		}
+	}
+}

@@ -1,0 +1,28 @@
+# Verification targets. `make verify` is the tier-1 gate plus static
+# analysis and the race detector (the parallel sweep code in
+# internal/experiments/parallel.go shares result slices across goroutines,
+# so the race run is not optional hygiene).
+
+GO ?= go
+
+.PHONY: build test vet race fuzz verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short fuzz pass over the property fuzzers (noc.RingDelta, FastTrack
+# topology construction); extend -fuzztime for deeper runs.
+fuzz:
+	$(GO) test -fuzz FuzzRingDelta -fuzztime 10s ./internal/noc/
+	$(GO) test -fuzz FuzzTopology -fuzztime 10s ./internal/fasttrack/
+
+verify: build vet test race

@@ -16,6 +16,7 @@ import (
 
 	"fasttrack/internal/core"
 	"fasttrack/internal/noc"
+	"fasttrack/internal/stats"
 	"fasttrack/internal/viz"
 )
 
@@ -33,6 +34,12 @@ func main() {
 	seed := flag.Uint64("seed", 1, "random seed")
 	regulateRate := flag.Float64("regulate", 0, "token-bucket injection regulation rate (0 = off)")
 	heatmap := flag.Bool("heatmap", false, "render a per-source mean-latency heatmap")
+	faultDrop := flag.Float64("faults", 0, "transient fault injection: per-packet drop probability (0 = off)")
+	faultMisroute := flag.Float64("misroute", 0, "transient fault injection: per-packet address-corruption probability")
+	faultSeed := flag.Uint64("faultseed", 1, "fault schedule seed (schedules replay identically per seed)")
+	retry := flag.Int64("retry", 0, "resilient delivery: retransmit timeout in cycles (0 = off)")
+	watchdog := flag.Int64("watchdog", 0, "starvation watchdog: max in-flight packet age in cycles (0 = off)")
+	check := flag.Bool("check", false, "audit packet conservation and delivery identity every cycle")
 	flag.Parse()
 
 	var cfg core.Config
@@ -52,10 +59,21 @@ func main() {
 	}
 	cfg = cfg.WithWidth(*width)
 
-	res, err := core.RunSynthetic(cfg, core.SyntheticOptions{
+	opts := core.SyntheticOptions{
 		Pattern: *pattern, Rate: *rate, PacketsPerPE: *quota, Seed: *seed,
-		RegulateRate: *regulateRate,
-	})
+		RegulateRate:      *regulateRate,
+		CheckConservation: *check,
+		MaxPacketAge:      *watchdog,
+	}
+	if *faultDrop > 0 || *faultMisroute > 0 {
+		opts.Faults = &core.FaultConfig{
+			Seed: *faultSeed, DropRate: *faultDrop, MisrouteRate: *faultMisroute,
+		}
+	}
+	if *retry > 0 {
+		opts.Retry = &core.RetryConfig{Timeout: *retry}
+	}
+	res, err := core.RunSynthetic(cfg, opts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ftsim: %v\n", err)
 		os.Exit(1)
@@ -72,6 +90,17 @@ func main() {
 		res.Counters.ShortTraversals, res.Counters.ExpressTraversals)
 	fmt.Printf("deflections     %d misroutes, %d express denials, %d injection stalls\n",
 		res.Counters.TotalDeflections(), res.Counters.TotalExpressDenied(), res.Counters.InjectionStalls)
+	if opts.Faults != nil {
+		f := res.Faults
+		fmt.Printf("faults          %d dropped, %d misrouted (%d misdelivered), %d inject-blocked — %d packets lost\n",
+			f.Dropped, f.Misrouted, f.Misdelivered, f.InjectBlocked, f.Lost())
+	}
+	if opts.Retry != nil {
+		r := res.Recovery
+		fmt.Printf("resilience      %s eventual delivery (%d/%d), %d retries, %d recovered, %d duplicates, %d abandoned\n",
+			stats.Percent(r.Completed, r.Sent), r.Completed, r.Sent,
+			r.Retries, r.Recovered, r.Duplicates, r.Abandoned)
+	}
 	for p := noc.Port(0); p < noc.NumPorts; p++ {
 		m := res.Counters.MisroutesByInput[p]
 		e := res.Counters.ExpressDeniedByInput[p]

@@ -18,11 +18,13 @@ import (
 	"fmt"
 
 	"fasttrack/internal/fasttrack"
+	"fasttrack/internal/faults"
 	"fasttrack/internal/fpga"
 	"fasttrack/internal/hoplite"
 	"fasttrack/internal/multichannel"
 	"fasttrack/internal/noc"
 	"fasttrack/internal/regulate"
+	"fasttrack/internal/reliability"
 	"fasttrack/internal/sim"
 	"fasttrack/internal/trace"
 	"fasttrack/internal/traffic"
@@ -44,6 +46,12 @@ type (
 	Variant = fasttrack.Variant
 	// Device is an FPGA technology model.
 	Device = fpga.Device
+	// FaultConfig is a deterministic fault-injection schedule.
+	FaultConfig = faults.Config
+	// FaultWindow is a per-PE stuck-at / freeze interval.
+	FaultWindow = faults.Window
+	// RetryConfig tunes the resilient-delivery (retransmission) layer.
+	RetryConfig = reliability.Config
 )
 
 // FastTrack router variants.
@@ -197,6 +205,18 @@ type SyntheticOptions struct {
 	// burst, default 1).
 	RegulateRate  float64
 	RegulateBurst float64
+	// Faults, when non-nil, wraps the network in the deterministic fault
+	// injector (internal/faults).
+	Faults *FaultConfig
+	// Retry, when non-nil, wraps the workload in the resilient-delivery
+	// layer (internal/reliability) so drop faults are recovered by
+	// retransmission.
+	Retry *RetryConfig
+	// CheckConservation enables the engine's per-cycle invariant audit.
+	CheckConservation bool
+	// MaxPacketAge, when positive, arms the starvation watchdog: fail fast
+	// if any packet stays in flight longer than this many cycles.
+	MaxPacketAge int64
 }
 
 // RunSynthetic builds cfg's network and drives it with a statistical
@@ -210,14 +230,27 @@ func RunSynthetic(cfg Config, opts SyntheticOptions) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	if opts.Faults != nil {
+		net, err = faults.Wrap(net, *opts.Faults)
+		if err != nil {
+			return Result{}, err
+		}
+	}
 	var wl sim.Workload = traffic.NewSynthetic(net.Width(), net.Height(), pat, opts.Rate, opts.PacketsPerPE, opts.Seed)
+	if opts.Retry != nil {
+		wl = reliability.Wrap(wl, net.Width(), *opts.Retry)
+	}
 	if opts.RegulateRate > 0 {
 		wl, err = regulate.New(wl, net.NumPEs(), opts.RegulateRate, opts.RegulateBurst)
 		if err != nil {
 			return Result{}, err
 		}
 	}
-	return sim.Run(net, wl, sim.Options{MaxCycles: opts.MaxCycles})
+	return sim.Run(net, wl, sim.Options{
+		MaxCycles:         opts.MaxCycles,
+		CheckConservation: opts.CheckConservation,
+		MaxPacketAge:      opts.MaxPacketAge,
+	})
 }
 
 // RunTrace builds cfg's network and replays an application trace with

@@ -1,0 +1,73 @@
+package fasttrack
+
+import (
+	"testing"
+
+	"fasttrack/internal/noc"
+)
+
+// FuzzTopology throws arbitrary (N, D, R) at topology construction: invalid
+// parameterizations must be rejected with an error (never a panic), and
+// every accepted topology must satisfy the structural invariants — in
+// particular that every express link lands on a router that carries express
+// ports, so a packet on the express plane can never fall off the network.
+func FuzzTopology(f *testing.F) {
+	f.Add(8, 2, 1)
+	f.Add(8, 2, 2)
+	f.Add(16, 4, 2)
+	f.Add(3, 1, 1)
+	f.Add(0, 0, 0)
+	f.Add(64, 31, 7)
+	f.Fuzz(func(t *testing.T, n, d, r int) {
+		n, d, r = n%64, d%64, r%64
+		top, err := NewTopology(n, d, r)
+		if err != nil {
+			return // rejected without panicking: fine
+		}
+		if top.D < 1 || top.D > top.N/2 || top.R < 1 || top.D%top.R != 0 || top.N%top.R != 0 {
+			t.Fatalf("accepted invalid topology %+v", top)
+		}
+		black, grey, white := top.RouterCounts()
+		if black+grey+white != top.N*top.N {
+			t.Fatalf("%s: router classes sum to %d, want %d", top, black+grey+white, top.N*top.N)
+		}
+		for x := 0; x < top.N; x++ {
+			// Express links span D hops; both endpoints must carry express
+			// ports (D ≡ 0 mod R keeps the braid aligned).
+			if top.HasXExpress(x) && !top.HasXExpress((x+top.D)%top.N) {
+				t.Fatalf("%s: X express link from col %d lands on plain router %d",
+					top, x, (x+top.D)%top.N)
+			}
+			if top.HasYExpress(x) && !top.HasYExpress((x+top.D)%top.N) {
+				t.Fatalf("%s: Y express link from row %d lands on plain router %d",
+					top, x, (x+top.D)%top.N)
+			}
+			for y := 0; y < top.N; y++ {
+				c := top.ClassAt(x, y)
+				want := ClassWhite
+				switch hx, hy := top.HasXExpress(x), top.HasYExpress(y); {
+				case hx && hy:
+					want = ClassBlack
+				case hx:
+					want = ClassGreyX
+				case hy:
+					want = ClassGreyY
+				}
+				if c != want {
+					t.Fatalf("%s: ClassAt(%d,%d) = %v, want %v", top, x, y, c, want)
+				}
+			}
+		}
+		// Constructing and stepping the network must not panic either.
+		if top.N <= 16 {
+			nw, err := New(Config{Topology: top})
+			if err != nil {
+				t.Fatalf("%s: network construction failed: %v", top, err)
+			}
+			nw.Offer(0, noc.Packet{ID: 1, Src: noc.Coord{}, Dst: noc.Coord{X: top.N - 1, Y: top.N - 1}})
+			for c := int64(0); c < 8; c++ {
+				nw.Step(c)
+			}
+		}
+	})
+}

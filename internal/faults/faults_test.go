@@ -1,0 +1,217 @@
+package faults_test
+
+import (
+	"reflect"
+	"testing"
+
+	"fasttrack/internal/fasttrack"
+	"fasttrack/internal/faults"
+	"fasttrack/internal/hoplite"
+	"fasttrack/internal/multichannel"
+	"fasttrack/internal/noc"
+	"fasttrack/internal/reliability"
+	"fasttrack/internal/sim"
+	"fasttrack/internal/traffic"
+)
+
+// networks under test: the wrapper must harden every family for free.
+func testNetworks(t *testing.T) map[string]func() noc.Network {
+	t.Helper()
+	return map[string]func() noc.Network{
+		"hoplite": func() noc.Network {
+			nw, err := hoplite.New(8, 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return nw
+		},
+		"fasttrack": func() noc.Network {
+			top, err := fasttrack.NewTopology(8, 2, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			nw, err := fasttrack.New(fasttrack.Config{Topology: top})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return nw
+		},
+		"multichannel": func() noc.Network {
+			nw, err := multichannel.New(8, 8, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return nw
+		},
+	}
+}
+
+func TestRejectsBadConfig(t *testing.T) {
+	inner, _ := hoplite.New(4, 4)
+	for _, cfg := range []faults.Config{
+		{DropRate: -0.1},
+		{DropRate: 1.1},
+		{MisrouteRate: 2},
+		{DropRate: 0.6, MisrouteRate: 0.6},
+		{Stuck: []faults.Window{{PE: -1}}},
+		{Freeze: []faults.Window{{PE: 99}}},
+	} {
+		if _, err := faults.Wrap(inner, cfg); err == nil {
+			t.Errorf("config %+v should be rejected", cfg)
+		}
+	}
+}
+
+// TestSeededScheduleReplaysIdentically is an acceptance criterion: two runs
+// with the same fault seed must produce bit-identical fault event logs and
+// results.
+func TestSeededScheduleReplaysIdentically(t *testing.T) {
+	run := func() ([]faults.Event, sim.Result) {
+		inner, err := hoplite.New(8, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nw, err := faults.Wrap(inner, faults.Config{
+			Seed: 42, DropRate: 0.03, MisrouteRate: 0.02,
+			Stuck: []faults.Window{{PE: 5, From: 100, Until: 400}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wl := traffic.NewSynthetic(8, 8, traffic.Random{}, 0.3, 100, 9)
+		res, err := sim.Run(nw, wl, sim.Options{CheckConservation: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return nw.Events(), res
+	}
+	ev1, res1 := run()
+	ev2, res2 := run()
+	if len(ev1) == 0 {
+		t.Fatal("no fault events fired; schedule too sparse to test replay")
+	}
+	if !reflect.DeepEqual(ev1, ev2) {
+		t.Fatalf("fault schedules diverged: run1 %d events, run2 %d events", len(ev1), len(ev2))
+	}
+	if res1.Delivered != res2.Delivered || res1.Cycles != res2.Cycles ||
+		res1.Faults != res2.Faults {
+		t.Errorf("results diverged: %+v vs %+v", res1.Faults, res2.Faults)
+	}
+}
+
+// TestAllNetworksRecoverFromDropFaults is the tentpole end-to-end check: on
+// every network family, a run with injected drop+misroute faults completes
+// via the retry wrapper with 100% eventual delivery, under full per-cycle
+// invariant auditing and the starvation watchdog.
+func TestAllNetworksRecoverFromDropFaults(t *testing.T) {
+	for name, build := range testNetworks(t) {
+		t.Run(name, func(t *testing.T) {
+			nw, err := faults.Wrap(build(), faults.Config{
+				Seed: 7, DropRate: 0.04, MisrouteRate: 0.02,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			inner := traffic.NewSynthetic(8, 8, traffic.Random{}, 0.2, 150, 3)
+			wl := reliability.Wrap(inner, 8, reliability.Config{Timeout: 400, MaxRetries: 16})
+			res, err := sim.Run(nw, wl, sim.Options{
+				CheckConservation: true,
+				MaxPacketAge:      100000,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Faults.Dropped == 0 || res.Faults.Misrouted == 0 {
+				t.Fatalf("faults did not fire: %+v", res.Faults)
+			}
+			r := res.Recovery
+			if r.Sent == 0 || r.Completed != r.Sent || r.Abandoned != 0 {
+				t.Errorf("eventual delivery incomplete: %+v", r)
+			}
+			if r.Recovered == 0 || r.Retries == 0 {
+				t.Errorf("recovery layer never retransmitted: %+v", r)
+			}
+		})
+	}
+}
+
+// TestStuckLinkWindow: offers at a stuck PE are refused during the window
+// and flow again afterwards.
+func TestStuckLinkWindow(t *testing.T) {
+	inner, _ := hoplite.New(4, 4)
+	nw, err := faults.Wrap(inner, faults.Config{
+		Stuck: []faults.Window{{PE: 0, From: 0, Until: 500}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl := traffic.NewSynthetic(4, 4, traffic.Random{}, 0.3, 50, 4)
+	res, err := sim.Run(nw, wl, sim.Options{CheckConservation: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Faults.InjectBlocked == 0 {
+		t.Error("stuck link never blocked an injection")
+	}
+	if res.Delivered != res.Injected || res.Delivered != 16*50 {
+		t.Errorf("delivered %d/%d after the window lifted", res.Delivered, res.Injected)
+	}
+}
+
+// TestFrozenRouterHoldsDeliveries: packets destined to a frozen router are
+// held (still in flight) and released when the freeze lifts; nothing is
+// lost.
+func TestFrozenRouterHoldsDeliveries(t *testing.T) {
+	inner, _ := hoplite.New(4, 4)
+	nw, err := faults.Wrap(inner, faults.Config{
+		Freeze: []faults.Window{{PE: 5, From: 0, Until: 300}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl := traffic.NewSynthetic(4, 4, traffic.Random{}, 0.2, 60, 8)
+	res, err := sim.Run(nw, wl, sim.Options{CheckConservation: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Faults.HeldDeliveries == 0 {
+		t.Error("freeze never held a delivery")
+	}
+	if res.Delivered != res.Injected {
+		t.Errorf("held deliveries were lost: delivered %d, injected %d", res.Delivered, res.Injected)
+	}
+}
+
+// TestStalledOfferMeetsSameFate: fault verdicts are keyed by packet ID, so
+// an offer that stalls for several cycles is not re-rolled into multiple
+// fault events.
+func TestStalledOfferMeetsSameFate(t *testing.T) {
+	inner, _ := hoplite.New(4, 4)
+	nw, err := faults.Wrap(inner, faults.Config{Seed: 3, DropRate: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl := traffic.NewSynthetic(4, 4, traffic.Random{}, 1.0, 80, 6)
+	res, err := sim.Run(nw, wl, sim.Options{CheckConservation: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var drops int64
+	seen := map[int64]bool{}
+	for _, ev := range nw.Events() {
+		if ev.Kind == faults.KindDrop {
+			drops++
+			if seen[ev.Packet] {
+				t.Fatalf("packet %d dropped twice", ev.Packet)
+			}
+			seen[ev.Packet] = true
+		}
+	}
+	if drops != res.Faults.Dropped {
+		t.Errorf("event log records %d drops, counters %d", drops, res.Faults.Dropped)
+	}
+	if res.Delivered+res.Faults.Lost() != res.Injected {
+		t.Errorf("conservation: %d delivered + %d lost != %d injected",
+			res.Delivered, res.Faults.Lost(), res.Injected)
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"testing"
 
 	"fasttrack/internal/noc"
+	"fasttrack/internal/sim"
+	"fasttrack/internal/traffic"
 )
 
 // inject force-feeds a packet at its source PE, failing if the network
@@ -245,5 +247,24 @@ func TestExitGateDeflectsDeliveries(t *testing.T) {
 	nw.Step(100)
 	if nw.Accepted(noc.PEIndex(self, 4)) {
 		t.Fatal("self packet accepted through a closed gate")
+	}
+}
+
+// TestPerCycleInvariantsUnderLoad drives the torus under the engine's full
+// per-cycle audit (conservation, delivery identity, age watchdog): any
+// lost, duplicated, corrupted, or starved packet fails at the offending
+// cycle.
+func TestPerCycleInvariantsUnderLoad(t *testing.T) {
+	nw, err := New(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl := traffic.NewSynthetic(8, 8, traffic.Random{}, 0.4, 300, 21)
+	res, err := sim.Run(nw, wl, sim.Options{CheckConservation: true, MaxPacketAge: 50000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != 64*300 {
+		t.Errorf("delivered %d, want %d", res.Delivered, 64*300)
 	}
 }

@@ -127,3 +127,21 @@ func TestMoreChannelsMoreThroughput(t *testing.T) {
 		t.Errorf("Hoplite-3x should be well above 1x: %v", rates)
 	}
 }
+
+// TestPerCycleInvariantsUnderLoad runs the multi-channel torus under the
+// engine's full per-cycle audit; the shared-exit deflection path must not
+// lose, duplicate, or starve packets.
+func TestPerCycleInvariantsUnderLoad(t *testing.T) {
+	nw, err := New(8, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl := traffic.NewSynthetic(8, 8, traffic.Transpose{}, 0.6, 200, 23)
+	res, err := sim.Run(nw, wl, sim.Options{CheckConservation: true, MaxPacketAge: 50000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != res.Injected {
+		t.Errorf("delivered %d != injected %d", res.Delivered, res.Injected)
+	}
+}

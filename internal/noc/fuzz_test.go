@@ -1,0 +1,39 @@
+package noc_test
+
+import (
+	"testing"
+
+	"fasttrack/internal/noc"
+)
+
+// FuzzRingDelta checks the forward-ring-distance algebra for arbitrary
+// (possibly negative) positions: the result is always a canonical residue,
+// zero exactly on multiples of the ring size, shift-invariant, and the two
+// directions around the ring sum to 0 or n.
+func FuzzRingDelta(f *testing.F) {
+	f.Add(0, 0, 4)
+	f.Add(3, 1, 8)
+	f.Add(-5, 7, 3)
+	f.Add(1, -9, 16)
+	f.Fuzz(func(t *testing.T, a, b, n int) {
+		n = n%1024 + 1 // ring size must be positive; keep values tame
+		if n < 1 {
+			n += 1024
+		}
+		a, b = a%100000, b%100000
+		d := noc.RingDelta(a, b, n)
+		if d < 0 || d >= n {
+			t.Fatalf("RingDelta(%d,%d,%d) = %d outside [0,%d)", a, b, n, d, n)
+		}
+		if (d == 0) != ((b-a)%n == 0) {
+			t.Errorf("RingDelta(%d,%d,%d) = %d but b-a %% n = %d", a, b, n, d, (b-a)%n)
+		}
+		back := noc.RingDelta(b, a, n)
+		if sum := d + back; sum != 0 && sum != n {
+			t.Errorf("forward %d + backward %d = %d, want 0 or %d", d, back, sum, n)
+		}
+		if shifted := noc.RingDelta(a+7, b+7, n); shifted != d {
+			t.Errorf("shift invariance broken: %d vs %d", shifted, d)
+		}
+	})
+}

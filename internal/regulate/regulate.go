@@ -70,3 +70,7 @@ func (w *Workload) Delivered(p noc.Packet, now int64) { w.inner.Delivered(p, now
 
 // Done implements sim.Workload.
 func (w *Workload) Done() bool { return w.inner.Done() }
+
+// Unwrap implements sim.WorkloadUnwrapper so the engine can discover
+// optional interfaces (e.g. sim.RecoveryReporter) through the regulator.
+func (w *Workload) Unwrap() sim.Workload { return w.inner }

@@ -4,9 +4,71 @@ import (
 	"testing"
 
 	"fasttrack/internal/hoplite"
+	"fasttrack/internal/noc"
 	"fasttrack/internal/sim"
 	"fasttrack/internal/traffic"
 )
+
+// greedy is an always-pending workload for direct bucket probing.
+type greedy struct{ next int64 }
+
+func (g *greedy) Tick(int64) {}
+func (g *greedy) Pending(pe int, _ int64) (noc.Packet, bool) {
+	return noc.Packet{ID: g.next + 1}, true
+}
+func (g *greedy) Injected(int, int64)         { g.next++ }
+func (g *greedy) Delivered(noc.Packet, int64) {}
+func (g *greedy) Done() bool                  { return false }
+
+// TestBurstClampRaisedToOne: a burst below one packet would build a bucket
+// that can never fill; New must clamp it to 1 and still admit traffic.
+func TestBurstClampRaisedToOne(t *testing.T) {
+	for _, burst := range []float64{0, 0.25, -3} {
+		w, err := New(&greedy{}, 4, 0.5, burst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w.burst != 1 {
+			t.Errorf("burst %v clamped to %v, want 1", burst, w.burst)
+		}
+		// Buckets start full: the very first offer must pass.
+		if _, ok := w.Pending(0, 0); !ok {
+			t.Errorf("burst %v: first packet should be admitted immediately", burst)
+		}
+	}
+}
+
+// TestZeroTokenStallAndRecovery: once the bucket is spent the PE stalls at
+// zero tokens, and exactly enough Ticks of refill re-admit it.
+func TestZeroTokenStallAndRecovery(t *testing.T) {
+	w, err := New(&greedy{}, 4, 0.25, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := w.Pending(0, 0); !ok {
+		t.Fatal("full bucket should admit a packet")
+	}
+	w.Injected(0, 0)
+	if w.tokens[0] != 0 {
+		t.Fatalf("tokens after spend = %v, want 0", w.tokens[0])
+	}
+	// Stalled: three refills at 0.25 are not yet a full token.
+	for c := int64(1); c <= 3; c++ {
+		w.Tick(c)
+		if _, ok := w.Pending(0, c); ok {
+			t.Fatalf("cycle %d: PE admitted with %v tokens", c, w.tokens[0])
+		}
+	}
+	// Fourth refill completes the token; the PE recovers.
+	w.Tick(4)
+	if _, ok := w.Pending(0, 4); !ok {
+		t.Fatalf("PE should recover with %v tokens", w.tokens[0])
+	}
+	// Other PEs were never drained and must be unaffected throughout.
+	if _, ok := w.Pending(1, 4); !ok {
+		t.Error("independent PE was throttled by PE 0's spend")
+	}
+}
 
 func TestRejectsBadRate(t *testing.T) {
 	inner := traffic.NewSynthetic(4, 4, traffic.Random{}, 1.0, 10, 1)

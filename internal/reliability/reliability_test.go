@@ -1,0 +1,134 @@
+package reliability_test
+
+import (
+	"testing"
+
+	"fasttrack/internal/faults"
+	"fasttrack/internal/hoplite"
+	"fasttrack/internal/noc"
+	"fasttrack/internal/reliability"
+	"fasttrack/internal/sim"
+	"fasttrack/internal/traffic"
+)
+
+// countingWorkload wraps a workload and counts Delivered calls per packet
+// ID, to prove the reliability layer delivers each application packet to the
+// inner workload exactly once no matter how many wire copies arrive.
+type countingWorkload struct {
+	sim.Workload
+	delivered map[int64]int
+}
+
+func (c *countingWorkload) Delivered(p noc.Packet, now int64) {
+	c.delivered[p.ID]++
+	c.Workload.Delivered(p, now)
+}
+
+func newCounting(inner sim.Workload) *countingWorkload {
+	return &countingWorkload{Workload: inner, delivered: map[int64]int{}}
+}
+
+// TestEventualDeliveryUnderDrops: with drop faults injected, the retry
+// wrapper recovers every packet (acceptance criterion).
+func TestEventualDeliveryUnderDrops(t *testing.T) {
+	inner, _ := hoplite.New(8, 8)
+	nw, err := faults.Wrap(inner, faults.Config{Seed: 11, DropRate: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counting := newCounting(traffic.NewSynthetic(8, 8, traffic.Random{}, 0.25, 120, 5))
+	wl := reliability.Wrap(counting, 8, reliability.Config{Timeout: 300, MaxRetries: 12})
+	res, err := sim.Run(nw, wl, sim.Options{CheckConservation: true, MaxPacketAge: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res.Recovery
+	if r.Completed != r.Sent || r.Abandoned != 0 {
+		t.Fatalf("eventual delivery incomplete: %+v", r)
+	}
+	if r.Recovered == 0 {
+		t.Fatalf("no packets recovered despite %d drops", res.Faults.Dropped)
+	}
+	for id, n := range counting.delivered {
+		if n != 1 {
+			t.Errorf("packet %d delivered %d times to the application", id, n)
+		}
+	}
+	if int64(len(counting.delivered)) != r.Sent {
+		t.Errorf("application saw %d packets, sent %d", len(counting.delivered), r.Sent)
+	}
+}
+
+// TestRetryBudgetExhaustion: with a link that eats everything, every packet
+// is abandoned after MaxRetries and the run still terminates cleanly.
+func TestRetryBudgetExhaustion(t *testing.T) {
+	inner, _ := hoplite.New(4, 4)
+	nw, err := faults.Wrap(inner, faults.Config{Seed: 2, DropRate: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl := reliability.Wrap(
+		traffic.NewSynthetic(4, 4, traffic.Random{}, 0.5, 20, 7),
+		4, reliability.Config{Timeout: 50, MaxRetries: 2})
+	res, err := sim.Run(nw, wl, sim.Options{CheckConservation: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res.Recovery
+	if r.Completed != 0 || r.Abandoned != r.Sent || r.Sent == 0 {
+		t.Errorf("expected every packet abandoned: %+v", r)
+	}
+	if r.Retries != 2*r.Sent {
+		t.Errorf("retries %d, want %d (2 per packet)", r.Retries, 2*r.Sent)
+	}
+	if res.Delivered != 0 || res.Faults.Dropped != res.Injected {
+		t.Errorf("all wire copies should be dropped: %d delivered, %d dropped, %d injected",
+			res.Delivered, res.Faults.Dropped, res.Injected)
+	}
+}
+
+// TestDuplicateSuppression: an aggressive timeout retransmits packets that
+// were merely slow, so original and retransmit both arrive — the wrapper
+// must suppress the extra copy and still count each packet complete once.
+func TestDuplicateSuppression(t *testing.T) {
+	nw, _ := hoplite.New(8, 8)
+	counting := newCounting(traffic.NewSynthetic(8, 8, traffic.Random{}, 0.5, 80, 13))
+	wl := reliability.Wrap(counting, 8, reliability.Config{
+		Timeout: 4, MaxRetries: 50, Backoff: 1, // far below real delivery latency
+	})
+	res, err := sim.Run(nw, wl, sim.Options{CheckConservation: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res.Recovery
+	if r.Duplicates == 0 {
+		t.Fatal("premature timeouts should have produced duplicate deliveries")
+	}
+	if r.Completed != r.Sent || r.Abandoned != 0 {
+		t.Errorf("completion accounting broken: %+v", r)
+	}
+	if res.Delivered != r.Completed+r.Duplicates {
+		t.Errorf("wire deliveries %d != completed %d + duplicates %d",
+			res.Delivered, r.Completed, r.Duplicates)
+	}
+	for id, n := range counting.delivered {
+		if n != 1 {
+			t.Errorf("packet %d delivered %d times to the application", id, n)
+		}
+	}
+}
+
+// TestDefaultsApplied: zero-value config fields fall back to sane defaults.
+func TestDefaultsApplied(t *testing.T) {
+	nw, _ := hoplite.New(4, 4)
+	wl := reliability.Wrap(
+		traffic.NewSynthetic(4, 4, traffic.Random{}, 0.2, 30, 1),
+		4, reliability.Config{})
+	res, err := sim.Run(nw, wl, sim.Options{CheckConservation: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Recovery.Completed != res.Recovery.Sent {
+		t.Errorf("fault-free run should complete everything: %+v", res.Recovery)
+	}
+}

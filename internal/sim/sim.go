@@ -10,7 +10,6 @@
 package sim
 
 import (
-	"errors"
 	"fmt"
 
 	"fasttrack/internal/noc"
@@ -61,6 +60,12 @@ type Result struct {
 	Counters noc.Counters
 	// TimedOut reports the run hit MaxCycles before the workload drained.
 	TimedOut bool
+	// Faults counts injected faults when the network is wrapped by a fault
+	// injector (internal/faults); zero otherwise.
+	Faults stats.FaultCounts
+	// Recovery summarizes the resilient-delivery layer when the workload is
+	// wrapped by internal/reliability; zero otherwise.
+	Recovery stats.RecoveryCounts
 }
 
 // Options configures a run.
@@ -74,6 +79,15 @@ type Options struct {
 	// HistogramMax is the largest latency the histogram resolves exactly;
 	// 0 means 1<<20 cycles.
 	HistogramMax int64
+	// CheckConservation audits packet conservation every cycle and checks
+	// each delivery against its injected copy (no loss, duplication,
+	// corruption, or misdelivery). Costs O(1) map work per packet; tests
+	// should enable it, sweeps may leave it off.
+	CheckConservation bool
+	// MaxPacketAge, when positive, is a starvation watchdog: the run fails
+	// fast with ErrStarvation and a diagnostic snapshot if any packet stays
+	// in flight longer than this many cycles. 0 disables the watchdog.
+	MaxPacketAge int64
 }
 
 func (o Options) withDefaults() Options {
@@ -89,9 +103,6 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// ErrStalled is wrapped by Run when the stall tripwire fires.
-var ErrStalled = errors.New("sim: no forward progress (possible livelock)")
-
 // Run drives net against wl until the workload drains or a limit is hit.
 func Run(net noc.Network, wl Workload, opts Options) (Result, error) {
 	opts = opts.withDefaults()
@@ -99,6 +110,8 @@ func Run(net noc.Network, wl Workload, opts Options) (Result, error) {
 	numPE := net.NumPEs()
 	res.PerSource = make([]stats.Accumulator, numPE)
 	offered := make([]bool, numPE)
+	offeredPkt := make([]noc.Packet, numPE)
+	aud := newAuditor(net, opts)
 	var latSum float64
 	var now, lastProgress int64
 
@@ -110,6 +123,7 @@ func Run(net noc.Network, wl Workload, opts Options) (Result, error) {
 			p, ok := wl.Pending(pe, now)
 			offered[pe] = ok
 			if ok {
+				offeredPkt[pe] = p
 				net.Offer(pe, p)
 				anyOffer = true
 			}
@@ -125,13 +139,25 @@ func Run(net noc.Network, wl Workload, opts Options) (Result, error) {
 			if offered[pe] && net.Accepted(pe) {
 				wl.Injected(pe, now)
 				res.Injected++
+				if aud != nil {
+					aud.onInject(offeredPkt[pe], now)
+				}
 				progress = true
 			}
 		}
 		for _, p := range net.Delivered() {
 			lat := now - p.Gen
 			if lat < 0 {
-				return res, fmt.Errorf("sim: packet %d delivered before generation (gen=%d now=%d)", p.ID, p.Gen, now)
+				return res, &InvariantError{
+					Err: ErrCorrupt, Cycle: now,
+					Detail:   fmt.Sprintf("packet %d delivered before generation (gen=%d)", p.ID, p.Gen),
+					Snapshot: aud.snapshot(now),
+				}
+			}
+			if aud != nil {
+				if err := aud.onDeliver(p, now); err != nil {
+					return res, err
+				}
 			}
 			res.Latency.Add(lat)
 			res.PerSource[noc.PEIndex(p.Src, net.Width())].Add(float64(lat))
@@ -143,20 +169,39 @@ func Run(net noc.Network, wl Workload, opts Options) (Result, error) {
 			wl.Delivered(p, now)
 			progress = true
 		}
+		if aud != nil {
+			if err := aud.endOfCycle(net, now, res.Injected, res.Delivered); err != nil {
+				return res, err
+			}
+		}
 
 		if progress {
 			lastProgress = now
 		} else if now-lastProgress > opts.StallLimit && (net.InFlight() > 0 || !wl.Done()) {
-			return res, fmt.Errorf("%w: stalled for %d cycles at cycle %d (in-flight %d)",
-				ErrStalled, now-lastProgress, now, net.InFlight())
+			return res, &InvariantError{
+				Err: ErrStalled, Cycle: now,
+				Detail: fmt.Sprintf("stalled for %d cycles (in-flight %d)",
+					now-lastProgress, net.InFlight()),
+				Snapshot: aud.snapshot(now),
+			}
 		}
 	}
 
 	res.Cycles = now
 	res.TimedOut = now >= opts.MaxCycles
-	if res.Delivered != res.Injected && !res.TimedOut {
-		return res, fmt.Errorf("sim: conservation violated: injected %d, delivered %d, in-flight %d",
-			res.Injected, res.Delivered, net.InFlight())
+	if fn, ok := net.(FaultyNetwork); ok {
+		res.Faults = fn.FaultCounts()
+	}
+	if rr, ok := findRecoveryReporter(wl); ok {
+		res.Recovery = rr.RecoveryCounts()
+	}
+	if got := res.Delivered + res.Faults.Lost(); got != res.Injected && !res.TimedOut {
+		return res, &InvariantError{
+			Err: ErrConservation, Cycle: now,
+			Detail: fmt.Sprintf("injected %d != delivered %d + lost %d (in-flight %d)",
+				res.Injected, res.Delivered, res.Faults.Lost(), net.InFlight()),
+			Snapshot: aud.snapshot(now),
+		}
 	}
 	if res.Delivered > 0 {
 		res.AvgLatency = latSum / float64(res.Delivered)

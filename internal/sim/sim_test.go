@@ -52,7 +52,7 @@ func TestResultStatistics(t *testing.T) {
 		t.Fatal(err)
 	}
 	wl := traffic.NewSynthetic(4, 4, traffic.Random{}, 0.2, 100, 2)
-	res, err := sim.Run(nw, wl, sim.Options{})
+	res, err := sim.Run(nw, wl, sim.Options{CheckConservation: true, MaxPacketAge: 50000})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -217,3 +217,32 @@ func TestJainIndexProperties(t *testing.T) {
 		t.Errorf("negatives should be skipped, got %v", j)
 	}
 }
+
+func TestFaultCountsAccounting(t *testing.T) {
+	f := FaultCounts{Dropped: 3, Misrouted: 5, Misdelivered: 4, InjectBlocked: 2, HeldDeliveries: 7}
+	if got := f.Lost(); got != 7 {
+		t.Errorf("Lost() = %d, want 7 (drops + misdeliveries)", got)
+	}
+	if got := f.Total(); got != 10 {
+		t.Errorf("Total() = %d, want 10", got)
+	}
+}
+
+func TestRecoveryDeliveryRate(t *testing.T) {
+	if r := (RecoveryCounts{}).DeliveryRate(); r != 1 {
+		t.Errorf("empty DeliveryRate = %v, want 1", r)
+	}
+	r := RecoveryCounts{Sent: 200, Completed: 150}
+	if got := r.DeliveryRate(); got != 0.75 {
+		t.Errorf("DeliveryRate = %v, want 0.75", got)
+	}
+}
+
+func TestPercent(t *testing.T) {
+	if got := Percent(1, 0); got != "n/a" {
+		t.Errorf("Percent(1,0) = %q", got)
+	}
+	if got := Percent(150, 200); got != "75.0%" {
+		t.Errorf("Percent(150,200) = %q", got)
+	}
+}

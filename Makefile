@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race fuzz verify
+.PHONY: build test vet race fuzz verify bench
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,13 @@ vet:
 
 race:
 	$(GO) test -race ./...
+
+# Hot-loop benchmark: runs each scenario on the dense reference path and
+# the sparse optimized path, verifies the results are byte-identical, and
+# writes the wall-clock comparison to BENCH_sim.json (checked in, so later
+# PRs can diff against the baseline).
+bench:
+	$(GO) run ./cmd/ftbench -out BENCH_sim.json
 
 # Short fuzz pass over the property fuzzers (noc.RingDelta, FastTrack
 # topology construction); extend -fuzztime for deeper runs.

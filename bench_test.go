@@ -13,6 +13,8 @@ import (
 	"fasttrack/internal/core"
 	"fasttrack/internal/experiments"
 	"fasttrack/internal/fpga"
+	"fasttrack/internal/sim"
+	"fasttrack/internal/traffic"
 )
 
 // benchScale sizes the sweeps for benchmark iterations.
@@ -364,6 +366,35 @@ func BenchmarkRouterStep(b *testing.B) {
 		net.Step(int64(i))
 	}
 }
+
+// simBench runs one full hoplite 16×16 RANDOM simulation per iteration,
+// either on the optimized engine (sparse occupancy-driven stepping plus
+// ActiveSet PE iteration) or on the dense reference path (SetDense plus a
+// full PE scan). The two are bit-exact — the golden tests in internal/sim
+// enforce it — so the pair measures pure hot-loop speedup; `make bench`
+// records the ratio in BENCH_sim.json.
+func simBench(b *testing.B, rate float64, reference bool) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		net, err := core.Hoplite(16).Build()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if reference {
+			net.(interface{ SetDense(bool) }).SetDense(true)
+		}
+		wl := traffic.NewSynthetic(16, 16, traffic.Random{}, rate, 200, 17)
+		b.StartTimer()
+		if _, err := sim.Run(net, wl, sim.Options{FullScan: reference}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimLowRate(b *testing.B)             { simBench(b, 0.05, false) }
+func BenchmarkSimLowRateReference(b *testing.B)    { simBench(b, 0.05, true) }
+func BenchmarkSimSaturation(b *testing.B)          { simBench(b, 1.0, false) }
+func BenchmarkSimSaturationReference(b *testing.B) { simBench(b, 1.0, true) }
 
 // BenchmarkWireModel measures the FPGA delay model.
 func BenchmarkWireModel(b *testing.B) {

@@ -1,0 +1,157 @@
+// Command ftbench measures the simulator hot path: each scenario runs the
+// same seeded workload through the reference engine (dense router stepping
+// plus a full PE scan) and the optimized engine (sparse occupancy-driven
+// stepping plus ActiveSet PE iteration), verifies the two produce
+// byte-identical results, and reports the wall-clock ratio. The output is
+// written as JSON (BENCH_sim.json at the repo root is the checked-in
+// baseline) so later changes can detect hot-path regressions:
+//
+//	make bench
+//
+// Timing fields are best-of-reps wall clock; cycles and delivered counts
+// are deterministic for the fixed seed, so diffs isolate timing drift.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"reflect"
+	"time"
+
+	"fasttrack/internal/buffered"
+	"fasttrack/internal/core"
+	"fasttrack/internal/noc"
+	"fasttrack/internal/sim"
+	"fasttrack/internal/traffic"
+)
+
+// denseSteppable selects the reference stepping path on every network
+// family that carries the sparse fast path.
+type denseSteppable interface {
+	SetDense(dense bool)
+}
+
+// scenario is one benchmark point.
+type scenario struct {
+	name    string
+	build   func() (noc.Network, error)
+	w, h    int
+	pattern traffic.Pattern
+	rate    float64
+	quota   int
+}
+
+// row is one line of BENCH_sim.json.
+type row struct {
+	Name        string  `json:"name"`
+	Cycles      int64   `json:"cycles"`
+	Delivered   int64   `json:"delivered"`
+	ReferenceNS int64   `json:"reference_ns"`
+	OptimizedNS int64   `json:"optimized_ns"`
+	Speedup     float64 `json:"speedup"`
+}
+
+const seed = 17
+
+func scenarios() []scenario {
+	cfg := func(c core.Config) func() (noc.Network, error) {
+		return func() (noc.Network, error) { return c.Build() }
+	}
+	buf := func() (noc.Network, error) { return buffered.New(16, 16, buffered.Config{Depth: 4}) }
+	return []scenario{
+		{"hoplite-16x16/RANDOM/0.05", cfg(core.Hoplite(16)), 16, 16, traffic.Random{}, 0.05, 1000},
+		{"hoplite-16x16/RANDOM/1.00", cfg(core.Hoplite(16)), 16, 16, traffic.Random{}, 1.0, 1000},
+		{"ft(256,2,1)/RANDOM/0.05", cfg(core.FastTrack(16, 2, 1)), 16, 16, traffic.Random{}, 0.05, 1000},
+		{"ft(256,2,1)/RANDOM/1.00", cfg(core.FastTrack(16, 2, 1)), 16, 16, traffic.Random{}, 1.0, 1000},
+		{"buffered-16x16/RANDOM/0.05", buf, 16, 16, traffic.Random{}, 0.05, 500},
+		{"multichannel-2x-16x16/RANDOM/0.05", cfg(core.MultiChannel(16, 2)), 16, 16, traffic.Random{}, 0.05, 1000},
+	}
+}
+
+// runOnce executes sc on one engine path and returns the result and the
+// wall-clock time of the sim.Run call (workload and network construction
+// excluded).
+func runOnce(sc scenario, reference bool) (sim.Result, time.Duration, error) {
+	net, err := sc.build()
+	if err != nil {
+		return sim.Result{}, 0, err
+	}
+	if reference {
+		net.(denseSteppable).SetDense(true)
+	}
+	wl := traffic.NewSynthetic(sc.w, sc.h, sc.pattern, sc.rate, sc.quota, seed)
+	start := time.Now()
+	res, err := sim.Run(net, wl, sim.Options{FullScan: reference})
+	return res, time.Since(start), err
+}
+
+// best runs sc reps times on one path and keeps the fastest wall clock;
+// the result is identical across reps (the workload is seeded).
+func best(sc scenario, reference bool, reps int) (sim.Result, time.Duration, error) {
+	var bestRes sim.Result
+	var bestDur time.Duration
+	for r := 0; r < reps; r++ {
+		res, dur, err := runOnce(sc, reference)
+		if err != nil {
+			return sim.Result{}, 0, err
+		}
+		if r == 0 || dur < bestDur {
+			bestRes, bestDur = res, dur
+		}
+	}
+	return bestRes, bestDur, nil
+}
+
+func main() {
+	out := flag.String("out", "BENCH_sim.json", "output JSON path")
+	reps := flag.Int("reps", 3, "repetitions per scenario (best kept)")
+	flag.Parse()
+
+	var rows []row
+	for _, sc := range scenarios() {
+		ref, refDur, err := best(sc, true, *reps)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ftbench: %s (reference): %v\n", sc.name, err)
+			os.Exit(1)
+		}
+		opt, optDur, err := best(sc, false, *reps)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ftbench: %s (optimized): %v\n", sc.name, err)
+			os.Exit(1)
+		}
+		if !reflect.DeepEqual(ref, opt) {
+			fmt.Fprintf(os.Stderr, "ftbench: %s: optimized result diverges from reference\n", sc.name)
+			os.Exit(1)
+		}
+		r := row{
+			Name:        sc.name,
+			Cycles:      opt.Cycles,
+			Delivered:   opt.Delivered,
+			ReferenceNS: refDur.Nanoseconds(),
+			OptimizedNS: optDur.Nanoseconds(),
+			Speedup:     float64(refDur) / float64(optDur),
+		}
+		rows = append(rows, r)
+		fmt.Printf("%-36s %10d cycles  ref %8.2fms  opt %8.2fms  %.2fx\n",
+			r.Name, r.Cycles,
+			float64(r.ReferenceNS)/1e6, float64(r.OptimizedNS)/1e6, r.Speedup)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ftbench: %v\n", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rows); err != nil {
+		fmt.Fprintf(os.Stderr, "ftbench: %v\n", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "ftbench: %v\n", err)
+		os.Exit(1)
+	}
+}

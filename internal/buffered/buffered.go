@@ -12,6 +12,7 @@ package buffered
 
 import (
 	"fmt"
+	"math/bits"
 
 	"fasttrack/internal/noc"
 )
@@ -50,6 +51,25 @@ type Network struct {
 	delivered []noc.Packet
 	inFlight  int
 	counters  noc.Counters
+
+	// Occupancy tracking for the sparse fast path. occ[i] counts buffered
+	// packets across all of router i's FIFOs; occBits mirrors occ[i] > 0 so
+	// Step can iterate occupied routers in ascending index order (curBits is
+	// the per-Step snapshot — packets pushed mid-cycle must not make their
+	// router route this cycle, matching the dense scan where such a visit is
+	// a credit-gated no-op). dirty lists routers whose queue lengths changed
+	// since the last lens snapshot: pops keep lens in step, so only pushes
+	// make a router dirty, and only dirty routers are re-snapshotted.
+	occ              []int
+	occBits, curBits []uint64
+	dirty            []int
+	inDirty          []bool
+	// offeredPEs and acceptedPEs let the sparse path touch only the PEs
+	// with an offer or a set accepted flag instead of all N² each cycle.
+	offeredPEs, acceptedPEs []int
+
+	// dense selects the reference stepping path; see SetDense.
+	dense bool
 }
 
 type slot struct {
@@ -69,6 +89,7 @@ func New(w, h int, cfg Config) (*Network, error) {
 		return nil, fmt.Errorf("buffered: FIFO depth %d must be positive", cfg.Depth)
 	}
 	n := w * h
+	words := (n + 63) / 64
 	return &Network{
 		w: w, h: h, depth: cfg.Depth,
 		queues:   make([][numPorts][]noc.Packet, n),
@@ -76,8 +97,19 @@ func New(w, h int, cfg Config) (*Network, error) {
 		rr:       make([][numPorts + 1]uint8, n),
 		offers:   make([]slot, n),
 		accepted: make([]bool, n),
+		occ:      make([]int, n),
+		occBits:  make([]uint64, words),
+		curBits:  make([]uint64, words),
+		inDirty:  make([]bool, n),
 	}, nil
 }
+
+// SetDense selects the reference stepping path: snapshot and route all N²
+// routers every cycle instead of only occupied ones. The two paths are
+// bit-exact (the golden equivalence tests compare them); the dense path
+// exists as the straightforward baseline for those tests and for
+// benchmarking the sparse path's speedup. Select before the first Step.
+func (nw *Network) SetDense(d bool) { nw.dense = d }
 
 // Width returns the mesh width.
 func (nw *Network) Width() int { return nw.w }
@@ -89,7 +121,12 @@ func (nw *Network) Height() int { return nw.h }
 func (nw *Network) NumPEs() int { return nw.w * nw.h }
 
 // Offer presents p for injection at PE pe this cycle.
-func (nw *Network) Offer(pe int, p noc.Packet) { nw.offers[pe] = slot{p: p, ok: true} }
+func (nw *Network) Offer(pe int, p noc.Packet) {
+	if !nw.offers[pe].ok {
+		nw.offeredPEs = append(nw.offeredPEs, pe)
+	}
+	nw.offers[pe] = slot{p: p, ok: true}
+}
 
 // Accepted reports whether the offer at pe entered the injection FIFO.
 func (nw *Network) Accepted(pe int) bool { return nw.accepted[pe] }
@@ -136,8 +173,71 @@ func (nw *Network) neighbour(x, y, out int) (idx, inPort int) {
 
 // Step advances the mesh one cycle: every output arbiter moves at most one
 // packet, gated by downstream credits computed from cycle-start occupancy.
+// Only routers with buffered packets are visited; idle routers cost
+// nothing. The visit order is ascending router index — identical to the
+// dense path's row-major scan — so delivery order, and with it every
+// downstream floating-point accumulation, is bit-exact with SetDense(true).
 func (nw *Network) Step(now int64) {
+	if nw.dense {
+		nw.stepDense(now)
+		return
+	}
 	nw.delivered = nw.delivered[:0]
+	for _, pe := range nw.acceptedPEs {
+		nw.accepted[pe] = false
+	}
+	nw.acceptedPEs = nw.acceptedPEs[:0]
+
+	// Accept injections into PE FIFOs first (they see last cycle's space).
+	// Per-PE injection touches only that PE's own queue, so processing the
+	// offered list in arrival order is equivalent to the dense scan.
+	for _, pe := range nw.offeredPEs {
+		off := nw.offers[pe]
+		nw.offers[pe] = slot{}
+		if len(nw.queues[pe][pPE]) < nw.depth {
+			p := off.p
+			p.Inject = now
+			nw.push(pe, pPE, p)
+			nw.inFlight++
+			nw.accepted[pe] = true
+			nw.acceptedPEs = append(nw.acceptedPEs, pe)
+		} else {
+			nw.counters.InjectionStalls++
+		}
+	}
+	nw.offeredPEs = nw.offeredPEs[:0]
+
+	// Refresh the credit snapshot where it went stale. pop keeps lens equal
+	// to the live queue length, so only routers that took a push since the
+	// last snapshot differ — exactly the dirty list.
+	for _, i := range nw.dirty {
+		nw.inDirty[i] = false
+		for p := 0; p < numPorts; p++ {
+			nw.lens[i][p] = len(nw.queues[i][p])
+		}
+	}
+	nw.dirty = nw.dirty[:0]
+
+	// Iterate a snapshot of the occupancy set: packets pushed mid-cycle set
+	// occBits but must not make their router route this cycle (in the dense
+	// scan such a visit is a lens-gated no-op).
+	copy(nw.curBits, nw.occBits)
+	for wd, b := range nw.curBits {
+		for b != 0 {
+			i := wd<<6 + bits.TrailingZeros64(b)
+			b &= b - 1
+			nw.routeOne(i%nw.w, i/nw.w)
+		}
+	}
+	nw.counters.Delivered += int64(len(nw.delivered))
+}
+
+// stepDense is the reference path: scan all offers, snapshot every router,
+// route every router.
+func (nw *Network) stepDense(now int64) {
+	nw.delivered = nw.delivered[:0]
+	nw.acceptedPEs = nw.acceptedPEs[:0]
+	nw.offeredPEs = nw.offeredPEs[:0]
 
 	// Accept injections into PE FIFOs first (they see last cycle's space).
 	for pe, off := range nw.offers {
@@ -149,7 +249,7 @@ func (nw *Network) Step(now int64) {
 		if len(nw.queues[pe][pPE]) < nw.depth {
 			p := off.p
 			p.Inject = now
-			nw.queues[pe][pPE] = append(nw.queues[pe][pPE], p)
+			nw.push(pe, pPE, p)
 			nw.inFlight++
 			nw.accepted[pe] = true
 		} else {
@@ -161,10 +261,12 @@ func (nw *Network) Step(now int64) {
 	// only into a FIFO that had space at cycle start (conservative, like
 	// registered credit counters in hardware).
 	for i := range nw.queues {
+		nw.inDirty[i] = false
 		for p := 0; p < numPorts; p++ {
 			nw.lens[i][p] = len(nw.queues[i][p])
 		}
 	}
+	nw.dirty = nw.dirty[:0]
 
 	for y := 0; y < nw.h; y++ {
 		for x := 0; x < nw.w; x++ {
@@ -208,11 +310,26 @@ func (nw *Network) routeOne(x, y int) {
 				popped[in] = true
 				head.ShortHops++
 				nw.counters.ShortTraversals++
-				nw.queues[nidx][nport] = append(nw.queues[nidx][nport], head)
+				nw.push(nidx, nport, head)
 			}
 			nw.rr[i][out] = uint8((in + 1) % numPorts)
 			break
 		}
+	}
+}
+
+// push appends p to FIFO (i, in) and keeps the occupancy set and the dirty
+// list in step. lens deliberately stays stale (it is the cycle-start
+// snapshot); the next Step re-snapshots this router via the dirty list.
+func (nw *Network) push(i, in int, p noc.Packet) {
+	nw.queues[i][in] = append(nw.queues[i][in], p)
+	if nw.occ[i] == 0 {
+		nw.occBits[i>>6] |= 1 << (uint(i) & 63)
+	}
+	nw.occ[i]++
+	if !nw.inDirty[i] {
+		nw.inDirty[i] = true
+		nw.dirty = append(nw.dirty, i)
 	}
 }
 
@@ -221,4 +338,8 @@ func (nw *Network) pop(i, in int) {
 	copy(q, q[1:])
 	nw.queues[i][in] = q[:len(q)-1]
 	nw.lens[i][in]--
+	nw.occ[i]--
+	if nw.occ[i] == 0 {
+		nw.occBits[i>>6] &^= 1 << (uint(i) & 63)
+	}
 }

@@ -230,6 +230,9 @@ func RunSynthetic(cfg Config, opts SyntheticOptions) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	if err := traffic.ValidateDims(pat, net.Width(), net.Height()); err != nil {
+		return Result{}, err
+	}
 	if opts.Faults != nil {
 		net, err = faults.Wrap(net, *opts.Faults)
 		if err != nil {

@@ -84,6 +84,13 @@ func TestRunSynthetic(t *testing.T) {
 		!strings.Contains(err.Error(), "unknown pattern") {
 		t.Errorf("bad pattern error = %v", err)
 	}
+	// Dimension-constrained patterns are validated against the built
+	// network: BITCOMPL is undefined on a 6×6 torus.
+	if _, err := RunSynthetic(Hoplite(6), SyntheticOptions{
+		Pattern: "BITCOMPL", Rate: 0.3, PacketsPerPE: 10, Seed: 1,
+	}); err == nil || !strings.Contains(err.Error(), "power-of-two") {
+		t.Errorf("BITCOMPL on 6x6 error = %v", err)
+	}
 }
 
 func TestRunTrace(t *testing.T) {

@@ -142,7 +142,7 @@ func TestRouterArbitrationExhaustive(t *testing.T) {
 				// Priority check: WEx, processed first, must land on the
 				// first existing candidate of its preference list.
 				if useWEx {
-					pr := nw.prefsFor(noc.PortWEx, wExPkt, c.x, c.y)
+					pr := nw.prefsFor(noc.PortWEx, wExPkt.Dst, c.x, c.y)
 					var first *cand
 					for k := 0; k < pr.n; k++ {
 						cd := pr.c[k]

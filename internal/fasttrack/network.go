@@ -1,6 +1,8 @@
 package fasttrack
 
 import (
+	"math/bits"
+
 	"fasttrack/internal/noc"
 )
 
@@ -26,7 +28,9 @@ type Network struct {
 
 	// Link registers, indexed by router index (y*n + x). Express registers
 	// exist for every router but are only ever populated at routers whose
-	// class carries the corresponding ports.
+	// class carries the corresponding ports. These full-packet registers
+	// belong to the dense reference path; the sparse fast path routes pool
+	// indices instead (see wShR below).
 	wShIn, wExIn []slot
 	nShIn, nExIn []slot
 
@@ -35,14 +39,47 @@ type Network struct {
 	// leaving router i, oldest first; likewise yPipe for Y links.
 	xPipe, yPipe [][]slot
 
-	// Output staging for the current Step, one slot per router per output.
+	// Output staging for the current Step, one slot per router per output
+	// (dense path).
 	outs [numOuts][]slot
+
+	// Sparse-path link registers: each holds an index into pool (-1 when
+	// empty), so a hop moves 4 bytes instead of an 80-byte slot. Packets
+	// live in pool from injection to delivery and are mutated in place;
+	// free is the LIFO recycle list. Registers are double buffered — the R
+	// side is read (and consumed) by the current cycle while RN collects
+	// what latches for the next — so granting an output writes the
+	// downstream register directly, with no staging and no latch pass. Each
+	// link has one driver, so a register is written at most once per cycle.
+	wShR, wExR, nShR, nExR     []int32
+	wShRN, wExRN, nShRN, nExRN []int32
+	pool                       []noc.Packet
+	free                       []int32
+
+	// Sparse express pipelines (index form of xPipe/yPipe). A pipelined
+	// express grant cannot latch downstream immediately, so it parks in
+	// exPend/syPend and a per-cycle pipe pass shifts it through the stages.
+	xPipeR, yPipeR [][]int32
+	exPend, syPend []int32
 
 	offers    []slot
 	accepted  []bool
 	delivered []noc.Packet
 	inFlight  int
 	counters  noc.Counters
+
+	// Occupancy tracking for the sparse fast path. activeBits marks routers
+	// that must route next Step (an input was latched or an offer is
+	// pending); curBits is the double buffer the current Step iterates.
+	// pipeBits marks routers whose express pipelines hold in-flight stages —
+	// they must keep latching even when nothing routes there. acceptedPEs
+	// lists routers whose accepted flag is set, so clearing it does not
+	// touch all N² entries.
+	activeBits, curBits, pipeBits []uint64
+	acceptedPEs                   []int
+
+	// dense selects the reference stepping path; see SetDense.
+	dense bool
 }
 
 // New builds an idle FastTrack network for the given configuration.
@@ -63,18 +100,60 @@ func New(cfg Config) (*Network, error) {
 		offers:   make([]slot, sz),
 		accepted: make([]bool, sz),
 	}
+	words := (sz + 63) / 64
+	nw.activeBits = make([]uint64, words)
+	nw.curBits = make([]uint64, words)
+	nw.pipeBits = make([]uint64, words)
 	for i := range nw.outs {
 		nw.outs[i] = make([]slot, sz)
 	}
+	emptyRegs := func() []int32 {
+		r := make([]int32, sz)
+		for i := range r {
+			r[i] = -1
+		}
+		return r
+	}
+	nw.wShR, nw.wExR = emptyRegs(), emptyRegs()
+	nw.nShR, nw.nExR = emptyRegs(), emptyRegs()
+	nw.wShRN, nw.wExRN = emptyRegs(), emptyRegs()
+	nw.nShRN, nw.nExRN = emptyRegs(), emptyRegs()
 	if cfg.ExpressPipeline > 0 {
 		nw.xPipe = make([][]slot, sz)
 		nw.yPipe = make([][]slot, sz)
+		nw.xPipeR = make([][]int32, sz)
+		nw.yPipeR = make([][]int32, sz)
+		nw.exPend, nw.syPend = emptyRegs(), emptyRegs()
 		for i := range nw.xPipe {
 			nw.xPipe[i] = make([]slot, cfg.ExpressPipeline)
 			nw.yPipe[i] = make([]slot, cfg.ExpressPipeline)
+			nw.xPipeR[i] = make([]int32, cfg.ExpressPipeline)
+			nw.yPipeR[i] = make([]int32, cfg.ExpressPipeline)
+			for k := 0; k < cfg.ExpressPipeline; k++ {
+				nw.xPipeR[i][k], nw.yPipeR[i][k] = -1, -1
+			}
 		}
 	}
 	return nw, nil
+}
+
+// alloc places p in the packet pool and returns its index, recycling a
+// freed entry when one is available (LIFO, so the order is deterministic).
+func (nw *Network) alloc(p noc.Packet) int32 {
+	if n := len(nw.free); n > 0 {
+		r := nw.free[n-1]
+		nw.free = nw.free[:n-1]
+		nw.pool[r] = p
+		return r
+	}
+	nw.pool = append(nw.pool, p)
+	return int32(len(nw.pool) - 1)
+}
+
+// deliverIdx hands the pooled packet at r to the client and recycles r.
+func (nw *Network) deliverIdx(r int32) {
+	nw.deliver(nw.pool[r])
+	nw.free = append(nw.free, r)
 }
 
 // shiftPipe advances one express-link pipeline: in enters the youngest
@@ -98,8 +177,21 @@ func (nw *Network) Height() int { return nw.n }
 // NumPEs returns the client count.
 func (nw *Network) NumPEs() int { return nw.n * nw.n }
 
+// SetDense selects the reference stepping path: clear and route all N²
+// routers every cycle instead of only occupied ones. The two paths are
+// bit-exact (the golden equivalence tests compare them); the dense path
+// exists as the straightforward baseline for those tests and for
+// benchmarking the sparse path's speedup. Select before the first Step.
+func (nw *Network) SetDense(d bool) { nw.dense = d }
+
+// markActive queues router i for routing on the next Step.
+func (nw *Network) markActive(i int) { nw.activeBits[i>>6] |= 1 << (uint(i) & 63) }
+
 // Offer presents p for injection at PE pe this cycle.
-func (nw *Network) Offer(pe int, p noc.Packet) { nw.offers[pe] = slot{p: p, ok: true} }
+func (nw *Network) Offer(pe int, p noc.Packet) {
+	nw.offers[pe] = slot{p: p, ok: true}
+	nw.markActive(pe)
+}
 
 // Accepted reports whether the offer at pe was injected in the last Step.
 func (nw *Network) Accepted(pe int) bool { return nw.accepted[pe] }
@@ -113,9 +205,119 @@ func (nw *Network) InFlight() int { return nw.inFlight }
 // Counters returns the network-wide event counters.
 func (nw *Network) Counters() *noc.Counters { return &nw.counters }
 
-// Step advances the network one clock cycle.
+// Step advances the network one clock cycle. Only routers holding an
+// in-flight input, a pending offer, or an occupied express-pipeline stage
+// are visited; idle routers cost nothing. The visit order is ascending
+// router index — identical to the dense path's row-major scan — so
+// delivery order, and with it every downstream floating-point
+// accumulation, is bit-exact with SetDense(true).
 func (nw *Network) Step(now int64) {
+	if nw.dense {
+		nw.stepDense(now)
+		return
+	}
 	nw.delivered = nw.delivered[:0]
+	for _, pe := range nw.acceptedPEs {
+		nw.accepted[pe] = false
+	}
+	nw.acceptedPEs = nw.acceptedPEs[:0]
+
+	// Swap the active set: the fused latch below (and Offer calls before
+	// the next Step) accumulate the next cycle's set in activeBits.
+	nw.curBits, nw.activeBits = nw.activeBits, nw.curBits
+	for w := range nw.activeBits {
+		nw.activeBits[w] = 0
+	}
+
+	for wd, b := range nw.curBits {
+		for b != 0 {
+			i := wd<<6 + bits.TrailingZeros64(b)
+			b &= b - 1
+			nw.routeSparse(i, i%nw.n, i/nw.n, now)
+		}
+	}
+
+	// Pipelined express links need a separate shift pass: a granted express
+	// packet parked in exPend/syPend this cycle, and routers with occupied
+	// stages must keep shifting even when nothing routed there.
+	if nw.xPipeR != nil {
+		for wd := range nw.curBits {
+			b := nw.curBits[wd] | nw.pipeBits[wd]
+			for b != 0 {
+				i := wd<<6 + bits.TrailingZeros64(b)
+				b &= b - 1
+				nw.pipeStep(i)
+			}
+		}
+	}
+
+	// Latch: the next-cycle registers become the current registers. The
+	// consumed buffers are all -1 again (inputs are cleared as they are
+	// read), so they can serve as next cycle's write side.
+	nw.wShR, nw.wShRN = nw.wShRN, nw.wShR
+	nw.wExR, nw.wExRN = nw.wExRN, nw.wExR
+	nw.nShR, nw.nShRN = nw.nShRN, nw.nShR
+	nw.nExR, nw.nExRN = nw.nExRN, nw.nExR
+}
+
+// shiftPipeR advances one sparse express-link pipeline: in enters the
+// youngest stage and the oldest stage pops out.
+func shiftPipeR(pipe []int32, in int32) (out int32) {
+	out = pipe[0]
+	copy(pipe, pipe[1:])
+	pipe[len(pipe)-1] = in
+	return out
+}
+
+// pipeStep shifts router i's express pipelines one stage and latches any
+// popped packet onto the downstream express input.
+func (nw *Network) pipeStep(i int) {
+	n, d := nw.n, nw.cfg.Topology.D
+	x, y := i%n, i/n
+	ex := shiftPipeR(nw.xPipeR[i], nw.exPend[i])
+	nw.exPend[i] = -1
+	sy := shiftPipeR(nw.yPipeR[i], nw.syPend[i])
+	nw.syPend[i] = -1
+	occupied := false
+	for _, r := range nw.xPipeR[i] {
+		if r >= 0 {
+			occupied = true
+			break
+		}
+	}
+	if !occupied {
+		for _, r := range nw.yPipeR[i] {
+			if r >= 0 {
+				occupied = true
+				break
+			}
+		}
+	}
+	if occupied {
+		nw.pipeBits[i>>6] |= 1 << (uint(i) & 63)
+	} else {
+		nw.pipeBits[i>>6] &^= 1 << (uint(i) & 63)
+	}
+	if ex >= 0 {
+		j := y*n + (x+d)%n
+		nw.wExRN[j] = ex
+		nw.markActive(j)
+	}
+	if sy >= 0 {
+		j := ((y+d)%n)*n + x
+		nw.nExRN[j] = sy
+		nw.markActive(j)
+	}
+}
+
+// stepDense is the reference path: clear all staging, route all routers,
+// latch all links.
+func (nw *Network) stepDense(now int64) {
+	nw.delivered = nw.delivered[:0]
+	nw.acceptedPEs = nw.acceptedPEs[:0]
+	for w := range nw.activeBits {
+		nw.activeBits[w] = 0
+	}
 	for o := range nw.outs {
 		outs := nw.outs[o]
 		for i := range outs {

@@ -56,16 +56,19 @@ func (nw *Network) route(x, y int, now int64) {
 		oSEx: t.HasYExpress(y),
 	}}
 
-	if s := nw.wExIn[i]; s.ok {
+	// Inputs are inspected through pointers: a slot is 80 bytes and most
+	// registers are empty most cycles, so value copies of the whole slot
+	// dominated the router profile.
+	if s := &nw.wExIn[i]; s.ok {
 		nw.place(&a, i, noc.PortWEx, s.p, x, y)
 	}
-	if s := nw.nExIn[i]; s.ok {
+	if s := &nw.nExIn[i]; s.ok {
 		nw.place(&a, i, noc.PortNEx, s.p, x, y)
 	}
-	if s := nw.wShIn[i]; s.ok {
+	if s := &nw.wShIn[i]; s.ok {
 		nw.place(&a, i, noc.PortWSh, s.p, x, y)
 	}
-	if s := nw.nShIn[i]; s.ok {
+	if s := &nw.nShIn[i]; s.ok {
 		nw.place(&a, i, noc.PortNSh, s.p, x, y)
 	}
 	nw.injectAt(&a, i, x, y, now)
@@ -76,7 +79,7 @@ func (nw *Network) route(x, y int, now int64) {
 // the priority discipline plus the recoverable emergency tails make the
 // assignment total, so running out of ports is a router bug and panics.
 func (nw *Network) place(a *arb, i int, port noc.Port, p noc.Packet, x, y int) {
-	pr := nw.prefsFor(port, p, x, y)
+	pr := nw.prefsFor(port, p.Dst, x, y)
 	for k := 0; k < pr.n; k++ {
 		c := pr.c[k]
 		if !a.exists[c.out] || a.taken[c.out] {
@@ -100,8 +103,8 @@ func (nw *Network) place(a *arb, i int, port noc.Port, p noc.Packet, x, y int) {
 		x, y, port, p.Src, p.Dst))
 }
 
-// prefsFor builds the output preference list for an in-flight packet on the
-// given input port at router (x, y).
+// prefsFor builds the output preference list for an in-flight packet bound
+// for dst on the given input port at router (x, y).
 //
 // The lists implement the paper's rules: dimension-ordered routing with
 // express links used only when the remaining offset is a multiple of D
@@ -112,11 +115,11 @@ func (nw *Network) place(a *arb, i int, port noc.Port, p noc.Packet, x, y int) {
 // WEx). Each list ends in a recoverable emergency tail so the assignment is
 // total: misrouted packets simply resume dimension-ordered routing, and a
 // misaligned express packet pops off to the short lane at the next router.
-func (nw *Network) prefsFor(port noc.Port, p noc.Packet, x, y int) prefs {
+func (nw *Network) prefsFor(port noc.Port, dst noc.Coord, x, y int) prefs {
 	t := nw.cfg.Topology
 	n := nw.n
-	dx := noc.RingDelta(x, p.Dst.X, n)
-	dy := noc.RingDelta(y, p.Dst.Y, n)
+	dx := noc.RingDelta(x, dst.X, n)
+	dy := noc.RingDelta(y, dst.Y, n)
 	full := nw.cfg.Variant == VariantFull
 
 	// exAfterEast reports whether deflecting onto the X express link leaves
@@ -282,11 +285,11 @@ func (nw *Network) prefsFor(port noc.Port, p noc.Packet, x, y int) prefs {
 // has the lowest priority because in-flight packets cannot wait).
 func (nw *Network) injectAt(a *arb, i, x, y int, now int64) {
 	nw.accepted[i] = false
-	off := nw.offers[i]
+	off := &nw.offers[i]
 	if !off.ok {
 		return
 	}
-	nw.offers[i] = slot{}
+	off.ok = false
 
 	t := nw.cfg.Topology
 	p := off.p
@@ -340,10 +343,186 @@ func (nw *Network) injectAt(a *arb, i, x, y int, now int64) {
 		p.Inject = now
 		nw.inFlight++
 		nw.accepted[i] = true
+		nw.acceptedPEs = append(nw.acceptedPEs, i)
 		if c.deliver {
 			nw.deliver(p)
 		} else {
 			nw.outs[c.out][i] = slot{p: p, ok: true}
+		}
+		return
+	}
+	nw.counters.InjectionStalls++
+}
+
+// routeSparse is the fast-path arbiter: identical decisions to route, but
+// over pool indices — staying on a ring moves an int32 instead of copying
+// an 80-byte slot — and with the latch fused in: granting an output writes
+// the downstream next-cycle register directly (emitR).
+func (nw *Network) routeSparse(i, x, y int, now int64) {
+	t := nw.cfg.Topology
+	a := arb{exists: [numOuts]bool{
+		oESh: true,
+		oSSh: true,
+		oEEx: t.HasXExpress(x),
+		oSEx: t.HasYExpress(y),
+	}}
+
+	// Inputs are consumed (and cleared, so a router that goes idle does not
+	// replay stale packets when it reactivates) as they are read.
+	if r := nw.wExR[i]; r >= 0 {
+		nw.wExR[i] = -1
+		nw.placeR(&a, i, noc.PortWEx, r, x, y)
+	}
+	if r := nw.nExR[i]; r >= 0 {
+		nw.nExR[i] = -1
+		nw.placeR(&a, i, noc.PortNEx, r, x, y)
+	}
+	if r := nw.wShR[i]; r >= 0 {
+		nw.wShR[i] = -1
+		nw.placeR(&a, i, noc.PortWSh, r, x, y)
+	}
+	if r := nw.nShR[i]; r >= 0 {
+		nw.nShR[i] = -1
+		nw.placeR(&a, i, noc.PortNSh, r, x, y)
+	}
+	nw.injectAtR(&a, i, x, y, now)
+}
+
+// placeR is place over a pool index.
+func (nw *Network) placeR(a *arb, i int, port noc.Port, r int32, x, y int) {
+	p := &nw.pool[r]
+	pr := nw.prefsFor(port, p.Dst, x, y)
+	for k := 0; k < pr.n; k++ {
+		c := pr.c[k]
+		if !a.exists[c.out] || a.taken[c.out] {
+			continue
+		}
+		a.taken[c.out] = true
+		if c.misroute {
+			nw.counters.MisroutesByInput[port]++
+			p.Deflections++
+		} else if k > 0 {
+			nw.counters.ExpressDeniedByInput[port]++
+		}
+		if c.deliver {
+			nw.deliverIdx(r)
+		} else {
+			nw.emitR(c.out, r, i, x, y)
+		}
+		return
+	}
+	panic(fmt.Sprintf("fasttrack: router (%d,%d) overcommitted: input %v packet %v->%v has no free output",
+		x, y, port, nw.pool[r].Src, nw.pool[r].Dst))
+}
+
+// emitR latches pool index r onto the downstream register for output out.
+// The hop accounting the dense path does in its latch pass happens here, at
+// grant time — totals and per-packet values at delivery are identical. A
+// pipelined express grant parks in exPend/syPend for the pipe pass instead.
+func (nw *Network) emitR(out uint8, r int32, i, x, y int) {
+	n, d := nw.n, nw.cfg.Topology.D
+	switch out {
+	case oESh:
+		nw.pool[r].ShortHops++
+		nw.counters.ShortTraversals++
+		j := y*n + (x+1)%n
+		nw.wShRN[j] = r
+		nw.markActive(j)
+	case oSSh:
+		nw.pool[r].ShortHops++
+		nw.counters.ShortTraversals++
+		j := ((y+1)%n)*n + x
+		nw.nShRN[j] = r
+		nw.markActive(j)
+	case oEEx:
+		nw.pool[r].ExpressHops++
+		nw.counters.ExpressTraversals++
+		if nw.xPipeR != nil {
+			nw.exPend[i] = r
+		} else {
+			j := y*n + (x+d)%n
+			nw.wExRN[j] = r
+			nw.markActive(j)
+		}
+	case oSEx:
+		nw.pool[r].ExpressHops++
+		nw.counters.ExpressTraversals++
+		if nw.yPipeR != nil {
+			nw.syPend[i] = r
+		} else {
+			j := ((y+d)%n)*n + x
+			nw.nExRN[j] = r
+			nw.markActive(j)
+		}
+	}
+}
+
+// injectAtR is injectAt over the pool: the offered packet is copied into
+// the pool only when an output is granted. accepted[i] is already false
+// here — Step cleared every flag set last cycle via acceptedPEs.
+func (nw *Network) injectAtR(a *arb, i, x, y int, now int64) {
+	off := &nw.offers[i]
+	if !off.ok {
+		return
+	}
+	off.ok = false
+
+	t := nw.cfg.Topology
+	dx := noc.RingDelta(x, off.p.Dst.X, nw.n)
+	dy := noc.RingDelta(y, off.p.Dst.Y, nw.n)
+
+	var pr prefs
+	switch {
+	case dx == 0 && dy == 0:
+		pr.add(oSSh, true, false)
+	case nw.cfg.Variant == VariantInject:
+		if nw.cfg.injectEligible(t, x, y, dx, dy) {
+			if dx > 0 {
+				pr.add(oEEx, false, false)
+				pr.add(oESh, false, false)
+			} else {
+				pr.add(oSEx, false, false)
+				pr.add(oSSh, false, false)
+			}
+		} else if dx > 0 {
+			pr.add(oESh, false, false)
+		} else {
+			pr.add(oSSh, false, false)
+		}
+	default: // VariantFull
+		if dx > 0 {
+			if t.HasXExpress(x) && dx%t.D == 0 {
+				pr.add(oEEx, false, false)
+			}
+			pr.add(oESh, false, false)
+		} else {
+			if t.HasYExpress(y) && dy%t.D == 0 {
+				pr.add(oSEx, false, false)
+			}
+			pr.add(oSSh, false, false)
+		}
+	}
+
+	for k := 0; k < pr.n; k++ {
+		c := pr.c[k]
+		if !a.exists[c.out] || a.taken[c.out] {
+			continue
+		}
+		a.taken[c.out] = true
+		if k > 0 {
+			nw.counters.ExpressDeniedByInput[noc.PortPE]++
+		}
+		nw.inFlight++
+		nw.accepted[i] = true
+		nw.acceptedPEs = append(nw.acceptedPEs, i)
+		if c.deliver {
+			p := off.p
+			p.Inject = now
+			nw.deliver(p)
+		} else {
+			r := nw.alloc(off.p)
+			nw.pool[r].Inject = now
+			nw.emitR(c.out, r, i, x, y)
 		}
 		return
 	}

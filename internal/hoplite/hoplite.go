@@ -18,6 +18,7 @@ package hoplite
 
 import (
 	"fmt"
+	"math/bits"
 
 	"fasttrack/internal/noc"
 )
@@ -34,16 +35,46 @@ type Network struct {
 	w, h int
 
 	// Link registers indexed by destination-router index (y*w + x): wIn is
-	// what arrives on the W input this cycle, nIn on the N input.
+	// what arrives on the W input this cycle, nIn on the N input. These
+	// full-packet registers belong to the dense reference path; the sparse
+	// fast path routes pool indices instead (see wInR below).
 	wIn, nIn []slot
-	// Output staging for the current Step.
+	// Output staging for the current Step (dense path).
 	eOut, sOut []slot
+
+	// Sparse-path link registers: each register holds an index into pool
+	// (-1 when empty) so a hop moves 4 bytes instead of an 80-byte slot.
+	// Packets live in pool from injection to delivery and are mutated in
+	// place; free is the LIFO recycle list. The registers are double
+	// buffered — wInR/nInR are read (and consumed) by the current cycle
+	// while wInRN/nInRN collect what latches for the next cycle, so routing
+	// writes downstream registers directly with no staging arrays and no
+	// separate latch pass. Each link has exactly one driver, so a register
+	// is written at most once per cycle. Only one representation is ever in
+	// use per network instance — SetDense selects before the first Step.
+	wInR, nInR   []int32
+	wInRN, nInRN []int32
+	pool         []noc.Packet
+	free         []int32
 
 	offers    []slot
 	accepted  []bool
 	delivered []noc.Packet
 	inFlight  int
 	counters  noc.Counters
+
+	// Occupancy tracking for the sparse fast path. activeBits marks routers
+	// that must route next Step — a packet was latched onto one of their
+	// inputs, or a client offer is pending. curBits is the double buffer the
+	// current Step iterates while latching marks the next cycle's set.
+	// acceptedPEs lists the routers whose accepted flag is set, so clearing
+	// it does not touch all N² entries.
+	activeBits, curBits []uint64
+	acceptedPEs         []int
+
+	// dense selects the reference stepping path that clears and routes
+	// every router every cycle; see SetDense.
+	dense bool
 
 	// exitGate, when non-nil, is consulted before delivering at PE pe; a
 	// false return blocks the exit for this cycle and the packet deflects.
@@ -64,14 +95,47 @@ func New(w, h int) (*Network, error) {
 		return nil, fmt.Errorf("hoplite: dimensions %dx%d too small (need at least 2x2)", w, h)
 	}
 	n := w * h
-	return &Network{
+	words := (n + 63) / 64
+	nw := &Network{
 		w: w, h: h,
 		wIn: make([]slot, n), nIn: make([]slot, n),
 		eOut: make([]slot, n), sOut: make([]slot, n),
-		offers:   make([]slot, n),
-		accepted: make([]bool, n),
-	}, nil
+		wInR: make([]int32, n), nInR: make([]int32, n),
+		wInRN: make([]int32, n), nInRN: make([]int32, n),
+		offers:     make([]slot, n),
+		accepted:   make([]bool, n),
+		activeBits: make([]uint64, words),
+		curBits:    make([]uint64, words),
+	}
+	for i := 0; i < n; i++ {
+		nw.wInR[i], nw.nInR[i] = -1, -1
+		nw.wInRN[i], nw.nInRN[i] = -1, -1
+	}
+	return nw, nil
 }
+
+// alloc places p in the packet pool and returns its index, recycling a
+// freed entry when one is available (LIFO, so the order is deterministic).
+func (nw *Network) alloc(p noc.Packet) int32 {
+	if n := len(nw.free); n > 0 {
+		r := nw.free[n-1]
+		nw.free = nw.free[:n-1]
+		nw.pool[r] = p
+		return r
+	}
+	nw.pool = append(nw.pool, p)
+	return int32(len(nw.pool) - 1)
+}
+
+// SetDense selects the reference stepping path: clear and route all N²
+// routers every cycle instead of only occupied ones. The two paths are
+// bit-exact (the golden equivalence tests compare them); the dense path
+// exists as the straightforward baseline for those tests and for
+// benchmarking the sparse path's speedup. Select before the first Step.
+func (nw *Network) SetDense(d bool) { nw.dense = d }
+
+// markActive queues router i for routing on the next Step.
+func (nw *Network) markActive(i int) { nw.activeBits[i>>6] |= 1 << (uint(i) & 63) }
 
 // Width returns the number of router columns.
 func (nw *Network) Width() int { return nw.w }
@@ -83,7 +147,10 @@ func (nw *Network) Height() int { return nw.h }
 func (nw *Network) NumPEs() int { return nw.w * nw.h }
 
 // Offer presents p for injection at PE pe this cycle.
-func (nw *Network) Offer(pe int, p noc.Packet) { nw.offers[pe] = slot{p: p, ok: true} }
+func (nw *Network) Offer(pe int, p noc.Packet) {
+	nw.offers[pe] = slot{p: p, ok: true}
+	nw.markActive(pe)
+}
 
 // Accepted reports whether the offer at pe was injected in the last Step.
 func (nw *Network) Accepted(pe int) bool { return nw.accepted[pe] }
@@ -97,10 +164,176 @@ func (nw *Network) InFlight() int { return nw.inFlight }
 // Counters returns the network-wide event counters.
 func (nw *Network) Counters() *noc.Counters { return &nw.counters }
 
-// Step advances the network one cycle: every router routes its inputs, then
-// the links latch.
+// Step advances the network one cycle: every occupied router routes its
+// inputs, then the links latch. Only routers holding an in-flight input or
+// a pending offer are visited; idle routers cost nothing. The visit order
+// is ascending router index — identical to the dense path's row-major scan
+// — so delivery order, and with it every downstream floating-point
+// accumulation, is bit-exact with SetDense(true).
 func (nw *Network) Step(now int64) {
+	if nw.dense {
+		nw.stepDense(now)
+		return
+	}
 	nw.delivered = nw.delivered[:0]
+	for _, pe := range nw.acceptedPEs {
+		nw.accepted[pe] = false
+	}
+	nw.acceptedPEs = nw.acceptedPEs[:0]
+
+	// Swap the active set: latching below (and Offer calls before the next
+	// Step) accumulate the next cycle's set in activeBits.
+	nw.curBits, nw.activeBits = nw.activeBits, nw.curBits
+	for w := range nw.activeBits {
+		nw.activeBits[w] = 0
+	}
+
+	for wd, b := range nw.curBits {
+		for b != 0 {
+			i := wd<<6 + bits.TrailingZeros64(b)
+			b &= b - 1
+			nw.routeSparse(i, i%nw.w, i/nw.w, now)
+		}
+	}
+
+	// Latch: the next-cycle registers routeSparse just filled become the
+	// current registers. The consumed buffer is all -1 again (inputs are
+	// cleared as they are read), so it can serve as next cycle's write side.
+	nw.wInR, nw.wInRN = nw.wInRN, nw.wInR
+	nw.nInR, nw.nInRN = nw.nInRN, nw.nInR
+}
+
+// fwdE and fwdS latch pool index r onto the downstream router's next-cycle
+// input register. The hop accounting the dense path does in its latch pass
+// happens here, at forward time — the totals and per-packet values at
+// delivery are identical.
+func (nw *Network) fwdE(r int32, x, y int) {
+	nw.pool[r].ShortHops++
+	nw.counters.ShortTraversals++
+	j := y*nw.w + (x+1)%nw.w
+	nw.wInRN[j] = r
+	nw.markActive(j)
+}
+
+func (nw *Network) fwdS(r int32, x, y int) {
+	nw.pool[r].ShortHops++
+	nw.counters.ShortTraversals++
+	j := ((y+1)%nw.h)*nw.w + x
+	nw.nInRN[j] = r
+	nw.markActive(j)
+}
+
+// routeSparse is the fast-path arbiter: identical decisions to route, but
+// over pool indices — staying on the ring costs an int32 move instead of an
+// 80-byte slot copy — and with the latch fused in: granting an output
+// writes the downstream next-cycle register directly.
+func (nw *Network) routeSparse(i, x, y int, now int64) {
+	var eTaken, sTaken bool
+
+	// Inputs are consumed (and cleared, so a router that goes idle does not
+	// replay stale packets when it reactivates) as they are read.
+	if r := nw.wInR[i]; r >= 0 {
+		nw.wInR[i] = -1
+		p := &nw.pool[r]
+		switch {
+		case p.Dst.X == x && p.Dst.Y == y:
+			if nw.canExit(i) {
+				sTaken = true
+				nw.deliverIdx(r)
+			} else {
+				p.Deflections++
+				nw.counters.MisroutesByInput[noc.PortWSh]++
+				nw.fwdE(r, x, y)
+				eTaken = true
+			}
+		case p.Dst.X != x:
+			nw.fwdE(r, x, y)
+			eTaken = true
+		default:
+			nw.fwdS(r, x, y)
+			sTaken = true
+		}
+	}
+
+	if r := nw.nInR[i]; r >= 0 {
+		nw.nInR[i] = -1
+		p := &nw.pool[r]
+		atDst := p.Dst.X == x && p.Dst.Y == y
+		if atDst && !nw.canExit(i) {
+			p.Deflections++
+			nw.counters.MisroutesByInput[noc.PortNSh]++
+			if !eTaken {
+				nw.fwdE(r, x, y)
+				eTaken = true
+			} else {
+				nw.fwdS(r, x, y)
+				sTaken = true
+			}
+		} else if !sTaken {
+			sTaken = true
+			if atDst {
+				nw.deliverIdx(r)
+			} else {
+				nw.fwdS(r, x, y)
+			}
+		} else {
+			p.Deflections++
+			nw.counters.MisroutesByInput[noc.PortNSh]++
+			nw.fwdE(r, x, y)
+			eTaken = true
+		}
+	}
+
+	// accepted[i] is already false here: Step cleared every flag set last
+	// cycle via acceptedPEs before routing started.
+	if off := &nw.offers[i]; off.ok {
+		switch {
+		case off.p.Dst.X != x && !eTaken:
+			r := nw.alloc(off.p)
+			nw.pool[r].Inject = now
+			nw.fwdE(r, x, y)
+			nw.inFlight++
+			nw.accepted[i] = true
+		case off.p.Dst.X == x && off.p.Dst.Y == y:
+			if !sTaken && nw.canExit(i) {
+				p := off.p
+				p.Inject = now
+				nw.inFlight++
+				nw.deliver(p)
+				nw.accepted[i] = true
+			} else {
+				nw.counters.InjectionStalls++
+			}
+		case off.p.Dst.X == x && !sTaken:
+			r := nw.alloc(off.p)
+			nw.pool[r].Inject = now
+			nw.fwdS(r, x, y)
+			nw.inFlight++
+			nw.accepted[i] = true
+		default:
+			nw.counters.InjectionStalls++
+		}
+		off.ok = false
+		if nw.accepted[i] {
+			nw.acceptedPEs = append(nw.acceptedPEs, i)
+		}
+	}
+}
+
+// deliverIdx hands the pooled packet at r to the client and recycles r.
+func (nw *Network) deliverIdx(r int32) {
+	nw.deliver(nw.pool[r])
+	nw.free = append(nw.free, r)
+}
+
+// stepDense is the reference path: clear all staging, route all routers,
+// latch all links.
+func (nw *Network) stepDense(now int64) {
+	nw.delivered = nw.delivered[:0]
+	nw.acceptedPEs = nw.acceptedPEs[:0]
+	for w := range nw.activeBits {
+		nw.activeBits[w] = 0
+	}
 	for i := range nw.eOut {
 		nw.eOut[i] = slot{}
 		nw.sOut[i] = slot{}
@@ -132,13 +365,15 @@ func (nw *Network) Step(now int64) {
 	}
 }
 
-// route arbitrates one router for the current cycle.
+// route arbitrates one router for the current cycle on the dense reference
+// path, moving whole packets between the full-slot link registers. The
+// sparse path's routeSparse makes the same decisions over pool indices.
 func (nw *Network) route(x, y int, now int64) {
 	i := y*nw.w + x
 	var eTaken, sTaken bool
 
 	// W input: highest priority, always granted its desired port.
-	if in := nw.wIn[i]; in.ok {
+	if in := &nw.wIn[i]; in.ok {
 		p := in.p
 		switch {
 		case p.Dst.X == x && p.Dst.Y == y:
@@ -163,7 +398,7 @@ func (nw *Network) route(x, y int, now int64) {
 	}
 
 	// N input: wants S (continue down or exit); deflected east if W holds S.
-	if in := nw.nIn[i]; in.ok {
+	if in := &nw.nIn[i]; in.ok {
 		p := in.p
 		atDst := p.Dst.X == x && p.Dst.Y == y
 		if atDst && !nw.canExit(i) {
@@ -199,7 +434,7 @@ func (nw *Network) route(x, y int, now int64) {
 	// PE injection: lowest priority, only into the packet's DOR-desired
 	// port, otherwise the client retries next cycle.
 	nw.accepted[i] = false
-	if off := nw.offers[i]; off.ok {
+	if off := &nw.offers[i]; off.ok {
 		p := off.p
 		switch {
 		case p.Dst.X != x && !eTaken:
@@ -225,7 +460,10 @@ func (nw *Network) route(x, y int, now int64) {
 		default:
 			nw.counters.InjectionStalls++
 		}
-		nw.offers[i] = slot{}
+		off.ok = false
+		if nw.accepted[i] {
+			nw.acceptedPEs = append(nw.acceptedPEs, i)
+		}
 	}
 }
 

@@ -33,6 +33,11 @@ type Network struct {
 	delivered []noc.Packet
 	startChan int // rotating channel service order
 
+	// offeredPEs, acceptedPEs, and busyPEs track which entries of the
+	// corresponding per-PE arrays are set, so the per-cycle bookkeeping
+	// touches only live PEs instead of all N².
+	offeredPEs, acceptedPEs, busyPEs []int
+
 	counters noc.Counters
 }
 
@@ -73,11 +78,22 @@ func (nw *Network) NumPEs() int { return nw.w * nw.h }
 // Channels returns the channel count K.
 func (nw *Network) Channels() int { return nw.k }
 
+// SetDense selects the reference stepping path in every channel; see
+// hoplite.Network.SetDense.
+func (nw *Network) SetDense(d bool) {
+	for _, ch := range nw.channels {
+		ch.SetDense(d)
+	}
+}
+
 // Offer presents p for injection at PE pe this cycle. The packet goes to a
 // single channel chosen by per-PE rotation.
 func (nw *Network) Offer(pe int, p noc.Packet) {
 	c := nw.nextChan[pe]
 	nw.channels[c].Offer(pe, p)
+	if nw.offered[pe] < 0 {
+		nw.offeredPEs = append(nw.offeredPEs, pe)
+	}
 	nw.offered[pe] = c
 }
 
@@ -85,34 +101,42 @@ func (nw *Network) Offer(pe int, p noc.Packet) {
 // order; once a channel delivers to a client, the port is busy for the
 // rest of the cycle and later channels deflect their completions there.
 func (nw *Network) Step(now int64) {
-	for pe := range nw.exitBusy {
+	for _, pe := range nw.busyPEs {
 		nw.exitBusy[pe] = false
 	}
+	nw.busyPEs = nw.busyPEs[:0]
 	nw.delivered = nw.delivered[:0]
 	for j := 0; j < nw.k; j++ {
 		ch := nw.channels[(nw.startChan+j)%nw.k]
 		ch.Step(now)
 		for _, p := range ch.Delivered() {
 			pe := noc.PEIndex(p.Dst, nw.w)
-			nw.exitBusy[pe] = true
+			if !nw.exitBusy[pe] {
+				nw.exitBusy[pe] = true
+				nw.busyPEs = append(nw.busyPEs, pe)
+			}
 			nw.delivered = append(nw.delivered, p)
 		}
 	}
 	nw.startChan = (nw.startChan + 1) % nw.k
 
 	// Record offer outcomes and rotate stalled clients to the next channel.
-	for pe, c := range nw.offered {
-		if c < 0 {
-			nw.accepted[pe] = false
-			continue
-		}
+	for _, pe := range nw.acceptedPEs {
+		nw.accepted[pe] = false
+	}
+	nw.acceptedPEs = nw.acceptedPEs[:0]
+	for _, pe := range nw.offeredPEs {
+		c := nw.offered[pe]
 		ok := nw.channels[c].Accepted(pe)
 		nw.accepted[pe] = ok
-		if !ok {
+		if ok {
+			nw.acceptedPEs = append(nw.acceptedPEs, pe)
+		} else {
 			nw.nextChan[pe] = (c + 1) % nw.k
 		}
 		nw.offered[pe] = -1
 	}
+	nw.offeredPEs = nw.offeredPEs[:0]
 }
 
 // Accepted reports whether the offer at pe was injected in the last Step.

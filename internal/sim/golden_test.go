@@ -1,0 +1,131 @@
+package sim_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"fasttrack/internal/buffered"
+	"fasttrack/internal/core"
+	"fasttrack/internal/faults"
+	"fasttrack/internal/hoplite"
+	"fasttrack/internal/noc"
+	"fasttrack/internal/sim"
+	"fasttrack/internal/traffic"
+)
+
+// denseSteppable is implemented by every network family that carries both
+// the sparse fast path and the dense reference path.
+type denseSteppable interface {
+	SetDense(dense bool)
+}
+
+// goldenNet names one network construction in the equivalence matrix.
+type goldenNet struct {
+	name  string
+	build func() (noc.Network, error)
+	w, h  int
+}
+
+func goldenNets() []goldenNet {
+	cfg := func(c core.Config) func() (noc.Network, error) {
+		return func() (noc.Network, error) { return c.Build() }
+	}
+	return []goldenNet{
+		{"hoplite-8x8", cfg(core.Hoplite(8)), 8, 8},
+		{"ft-full", cfg(core.FastTrack(8, 2, 1)), 8, 8},
+		{"ft-inject", cfg(core.FastTrack(8, 2, 1).WithVariant(core.VariantInject)), 8, 8},
+		{"ft-depop", cfg(core.FastTrack(8, 2, 2)), 8, 8},
+		{"ft-pipelined", cfg(core.FastTrack(8, 2, 1).WithPipeline(1)), 8, 8},
+		{"multichannel-2x", cfg(core.MultiChannel(8, 2)), 8, 8},
+		{"buffered-8x8", func() (noc.Network, error) {
+			return buffered.New(8, 8, buffered.Config{Depth: 4})
+		}, 8, 8},
+	}
+}
+
+// runGolden executes one (network, pattern, rate) cell. reference selects
+// the dense network path plus the engine's full PE scan.
+func runGolden(t *testing.T, gn goldenNet, pat traffic.Pattern, rate float64, reference bool) sim.Result {
+	t.Helper()
+	net, err := gn.build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reference {
+		net.(denseSteppable).SetDense(true)
+	}
+	wl := traffic.NewSynthetic(gn.w, gn.h, pat, rate, 120, 17)
+	res, err := sim.Run(net, wl, sim.Options{FullScan: reference})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestGoldenEquivalence holds the optimized hot path (sparse router
+// stepping + ActiveSet PE iteration) to byte-identical sim.Results against
+// the reference path (dense stepping + full PE scan) across every network
+// family, two patterns, and both sweep extremes. Bit-exactness — including
+// the float latency accumulators, which are sensitive to delivery order —
+// is the contract that makes the fast path safe for the paper sweeps.
+func TestGoldenEquivalence(t *testing.T) {
+	pats := []traffic.Pattern{traffic.Random{}, traffic.Transpose{}}
+	rates := []float64{0.05, 1.0}
+	for _, gn := range goldenNets() {
+		for _, pat := range pats {
+			for _, rate := range rates {
+				name := fmt.Sprintf("%s/%s/%.2f", gn.name, pat.Name(), rate)
+				t.Run(name, func(t *testing.T) {
+					ref := runGolden(t, gn, pat, rate, true)
+					opt := runGolden(t, gn, pat, rate, false)
+					if !reflect.DeepEqual(ref, opt) {
+						t.Errorf("optimized result diverges from reference:\nref: %+v\nopt: %+v", ref, opt)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestGoldenEquivalenceNonPow2 covers a 6×6 torus, where router indices do
+// not align with the 64-bit occupancy words the sparse path iterates.
+func TestGoldenEquivalenceNonPow2(t *testing.T) {
+	gn := goldenNet{"hoplite-6x6", func() (noc.Network, error) { return hoplite.New(6, 6) }, 6, 6}
+	for _, rate := range []float64{0.05, 1.0} {
+		ref := runGolden(t, gn, traffic.Random{}, rate, true)
+		opt := runGolden(t, gn, traffic.Random{}, rate, false)
+		if !reflect.DeepEqual(ref, opt) {
+			t.Errorf("rate %.2f: optimized result diverges from reference", rate)
+		}
+	}
+}
+
+// TestCrossFamilyDeterminism runs every family twice with the same seed and
+// config on the optimized path and requires identical sim.Results — the
+// occupancy bookkeeping must be a pure function of the simulation history.
+// The faults wrapper rides along because its packet-indexed fault schedule
+// must replay identically over the sparse-stepped inner network. make
+// verify executes this under the race detector.
+func TestCrossFamilyDeterminism(t *testing.T) {
+	nets := goldenNets()
+	nets = append(nets, goldenNet{"faulty-hoplite", func() (noc.Network, error) {
+		inner, err := hoplite.New(8, 8)
+		if err != nil {
+			return nil, err
+		}
+		return faults.Wrap(inner, faults.Config{
+			Seed: 11, DropRate: 0.02,
+			Stuck: []faults.Window{{PE: 3, From: 50, Until: 200}},
+		})
+	}, 8, 8})
+	for _, gn := range nets {
+		t.Run(gn.name, func(t *testing.T) {
+			a := runGolden(t, gn, traffic.Random{}, 0.2, false)
+			b := runGolden(t, gn, traffic.Random{}, 0.2, false)
+			if !reflect.DeepEqual(a, b) {
+				t.Errorf("two identically seeded runs diverged:\nfirst:  %+v\nsecond: %+v", a, b)
+			}
+		})
+	}
+}

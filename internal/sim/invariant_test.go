@@ -165,7 +165,8 @@ func TestStallErrorIsStructured(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, err = sim.Run(nw, stuckWorkload{}, sim.Options{MaxCycles: 100000, StallLimit: 500})
+	_, err = sim.Run(&refuser{Network: nw}, insistentWorkload{},
+		sim.Options{MaxCycles: 100000, StallLimit: 500})
 	if !errors.Is(err, sim.ErrStalled) {
 		t.Fatalf("err = %v, want ErrStalled", err)
 	}

@@ -34,6 +34,24 @@ type Workload interface {
 	Done() bool
 }
 
+// ActiveSet is optionally implemented by workloads that can cheaply
+// enumerate the PEs which may have a pending packet this cycle. When a
+// workload implements it, Run polls Pending only on those PEs instead of
+// scanning all N² every cycle — the dominant engine cost at the
+// low-injection-rate sweep points where almost every PE is idle.
+//
+// The contract: after Tick, every PE for which Pending would return ok must
+// appear in the returned set (a superset is fine, duplicates are not), and
+// the enumeration must be a deterministic function of the workload's
+// history so repeated runs replay identically. The fast path is bit-exact
+// with the full scan because per-PE offer operations are independent;
+// Options.FullScan forces the reference scan for equivalence testing.
+type ActiveSet interface {
+	// ActivePEs appends the live PE indices to buf and returns it.
+	ActivePEs(buf []int) []int
+}
+
+
 // Result summarizes one simulation run.
 type Result struct {
 	// Cycles is the makespan: the cycle count until the last delivery (or
@@ -88,6 +106,11 @@ type Options struct {
 	// fast with ErrStarvation and a diagnostic snapshot if any packet stays
 	// in flight longer than this many cycles. 0 disables the watchdog.
 	MaxPacketAge int64
+	// FullScan disables the ActiveSet fast path: the engine polls Pending
+	// on every PE each cycle even when the workload can enumerate live PEs.
+	// It is the reference engine path the golden equivalence tests compare
+	// the fast path against.
+	FullScan bool
 }
 
 func (o Options) withDefaults() Options {
@@ -112,6 +135,11 @@ func Run(net noc.Network, wl Workload, opts Options) (Result, error) {
 	offered := make([]bool, numPE)
 	offeredPkt := make([]noc.Packet, numPE)
 	aud := newAuditor(net, opts)
+	activeWL, fast := wl.(ActiveSet)
+	if opts.FullScan {
+		fast = false
+	}
+	var live []int
 	var latSum float64
 	var now, lastProgress int64
 
@@ -119,13 +147,34 @@ func Run(net noc.Network, wl Workload, opts Options) (Result, error) {
 		wl.Tick(now)
 
 		anyOffer := false
-		for pe := 0; pe < numPE; pe++ {
-			p, ok := wl.Pending(pe, now)
-			offered[pe] = ok
-			if ok {
-				offeredPkt[pe] = p
-				net.Offer(pe, p)
-				anyOffer = true
+		if fast {
+			// Fast path: poll only the PEs the workload marks live. Per-PE
+			// offer operations are independent, so this is bit-exact with
+			// the full scan below (the golden tests in golden_test.go hold
+			// the two paths to byte-identical Results).
+			live = activeWL.ActivePEs(live[:0])
+			for _, pe := range live {
+				p, ok := wl.Pending(pe, now)
+				offered[pe] = ok
+				if ok {
+					if aud != nil {
+						offeredPkt[pe] = p
+					}
+					net.Offer(pe, p)
+					anyOffer = true
+				}
+			}
+		} else {
+			for pe := 0; pe < numPE; pe++ {
+				p, ok := wl.Pending(pe, now)
+				offered[pe] = ok
+				if ok {
+					if aud != nil {
+						offeredPkt[pe] = p
+					}
+					net.Offer(pe, p)
+					anyOffer = true
+				}
 			}
 		}
 		if !anyOffer && wl.Done() && net.InFlight() == 0 {
@@ -135,14 +184,27 @@ func Run(net noc.Network, wl Workload, opts Options) (Result, error) {
 		net.Step(now)
 
 		progress := false
-		for pe := 0; pe < numPE; pe++ {
-			if offered[pe] && net.Accepted(pe) {
-				wl.Injected(pe, now)
-				res.Injected++
-				if aud != nil {
-					aud.onInject(offeredPkt[pe], now)
+		if fast {
+			for _, pe := range live {
+				if offered[pe] && net.Accepted(pe) {
+					wl.Injected(pe, now)
+					res.Injected++
+					if aud != nil {
+						aud.onInject(offeredPkt[pe], now)
+					}
+					progress = true
 				}
-				progress = true
+			}
+		} else {
+			for pe := 0; pe < numPE; pe++ {
+				if offered[pe] && net.Accepted(pe) {
+					wl.Injected(pe, now)
+					res.Injected++
+					if aud != nil {
+						aud.onInject(offeredPkt[pe], now)
+					}
+					progress = true
+				}
 			}
 		}
 		for _, p := range net.Delivered() {
@@ -175,9 +237,15 @@ func Run(net noc.Network, wl Workload, opts Options) (Result, error) {
 			}
 		}
 
-		if progress {
+		// Stall watchdog. A cycle counts toward the stall limit only when the
+		// network could have made progress and did not: a packet is in flight
+		// or an offer was presented (and, having produced no progress, was
+		// refused). A deliberately idle workload — a trace in a long compute
+		// gap with nothing pending and an empty network — is not a livelock
+		// and resets the window, no matter how long the gap.
+		if progress || (!anyOffer && net.InFlight() == 0) {
 			lastProgress = now
-		} else if now-lastProgress > opts.StallLimit && (net.InFlight() > 0 || !wl.Done()) {
+		} else if now-lastProgress > opts.StallLimit {
 			return res, &InvariantError{
 				Err: ErrStalled, Cycle: now,
 				Detail: fmt.Sprintf("stalled for %d cycles (in-flight %d)",

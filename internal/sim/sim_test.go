@@ -7,27 +7,98 @@ import (
 	"fasttrack/internal/hoplite"
 	"fasttrack/internal/noc"
 	"fasttrack/internal/sim"
+	"fasttrack/internal/trace"
 	"fasttrack/internal/traffic"
 )
 
-// stuckWorkload claims work remains but never produces a packet — the
-// stall tripwire must fire rather than spin forever.
-type stuckWorkload struct{}
+// idleWorkload claims work remains but never produces a packet. With the
+// network empty and no offers made, this is deliberate idleness, not a
+// livelock — the stall tripwire must leave it alone.
+type idleWorkload struct{}
 
-func (stuckWorkload) Tick(int64)                            {}
-func (stuckWorkload) Pending(int, int64) (noc.Packet, bool) { return noc.Packet{}, false }
-func (stuckWorkload) Injected(int, int64)                   {}
-func (stuckWorkload) Delivered(noc.Packet, int64)           {}
-func (stuckWorkload) Done() bool                            { return false }
+func (idleWorkload) Tick(int64)                            {}
+func (idleWorkload) Pending(int, int64) (noc.Packet, bool) { return noc.Packet{}, false }
+func (idleWorkload) Injected(int, int64)                   {}
+func (idleWorkload) Delivered(noc.Packet, int64)           {}
+func (idleWorkload) Done() bool                            { return false }
+
+// insistentWorkload offers the same packet at PE 0 every cycle, forever.
+type insistentWorkload struct{}
+
+func (insistentWorkload) Tick(int64) {}
+func (insistentWorkload) Pending(pe int, now int64) (noc.Packet, bool) {
+	if pe != 0 {
+		return noc.Packet{}, false
+	}
+	return noc.Packet{Dst: noc.Coord{X: 1}, Gen: now}, true
+}
+func (insistentWorkload) Injected(int, int64)         {}
+func (insistentWorkload) Delivered(noc.Packet, int64) {}
+func (insistentWorkload) Done() bool                  { return false }
+
+// refuser vetoes every injection — a client port that is permanently
+// backpressured. An offer refused cycle after cycle is a genuine livelock.
+type refuser struct{ noc.Network }
+
+func (r *refuser) Offer(int, noc.Packet) {}
+func (r *refuser) Accepted(int) bool     { return false }
 
 func TestStallTripwire(t *testing.T) {
 	nw, err := hoplite.New(4, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, err = sim.Run(nw, stuckWorkload{}, sim.Options{MaxCycles: 100000, StallLimit: 500})
+	_, err = sim.Run(&refuser{Network: nw}, insistentWorkload{},
+		sim.Options{MaxCycles: 100000, StallLimit: 500})
 	if !errors.Is(err, sim.ErrStalled) {
 		t.Fatalf("err = %v, want ErrStalled", err)
+	}
+}
+
+// TestIdleWorkloadDoesNotStall is the regression test for the watchdog
+// false positive: a workload that is merely idle — nothing pending, empty
+// network — must run to the cycle limit without tripping ErrStalled, no
+// matter how far past StallLimit the idle period stretches.
+func TestIdleWorkloadDoesNotStall(t *testing.T) {
+	nw, err := hoplite.New(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(nw, idleWorkload{}, sim.Options{MaxCycles: 5000, StallLimit: 500})
+	if err != nil {
+		t.Fatalf("idle workload tripped the watchdog: %v", err)
+	}
+	if !res.TimedOut {
+		t.Errorf("expected the idle run to hit MaxCycles, got %d cycles", res.Cycles)
+	}
+}
+
+// TestIdleTraceGapDoesNotStall replays a trace whose second event sits in a
+// compute gap far longer than StallLimit. The gap is legitimate idleness —
+// the run must complete both events rather than abort with ErrStalled.
+func TestIdleTraceGapDoesNotStall(t *testing.T) {
+	tr := &trace.Trace{
+		Name: "idle-gap",
+		PEs:  16,
+		Events: []trace.Event{
+			{Src: 0, Dst: 1, Delay: 0},
+			{Src: 1, Dst: 0, Deps: []int32{0}, Delay: 2000}, // gap > StallLimit
+		},
+	}
+	wl, err := trace.NewWorkload(tr, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := hoplite.New(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(nw, wl, sim.Options{MaxCycles: 100000, StallLimit: 500})
+	if err != nil {
+		t.Fatalf("idle trace gap tripped the watchdog: %v", err)
+	}
+	if res.Delivered != 2 || res.TimedOut {
+		t.Errorf("delivered %d (timedOut=%v), want both events delivered", res.Delivered, res.TimedOut)
 	}
 }
 

@@ -130,18 +130,28 @@ func (h *Histogram) Mean() float64 { return h.acc.Mean() }
 func (h *Histogram) Max() int64 { return int64(h.acc.Max()) }
 
 // Quantile returns an approximate q-quantile (0 <= q <= 1) using the bucket
-// upper bounds.
+// upper bounds. It uses ceil-rank semantics: the result is the bucket
+// holding the ceil(q*count)-th smallest sample, so Quantile(0.5) of two
+// samples lands on the first (truncation would skip to the second whenever
+// q*count is whole), and Quantile(0) / Quantile(1) are the buckets of the
+// minimum and maximum.
 func (h *Histogram) Quantile(q float64) int64 {
 	total := h.acc.Count()
 	if total == 0 {
 		return 0
 	}
-	target := int64(q * float64(total))
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
 	max := int64(h.acc.Max())
 	var cum int64
 	for i, c := range h.counts {
 		cum += c
-		if cum > target {
+		if cum >= rank {
 			if b := h.bounds[i]; b < max {
 				return b
 			}

@@ -117,6 +117,45 @@ func TestHistogramQuantilesAndBuckets(t *testing.T) {
 	}
 }
 
+// TestQuantileCeilRank pins the ceil-rank semantics: the q-quantile is the
+// bucket of the ceil(q*count)-th smallest sample. The regression case is
+// two samples, where truncation-based ranking returned the second sample
+// for P50 (int64(0.5*2) = 1 sample skipped) instead of the first.
+func TestQuantileCeilRank(t *testing.T) {
+	// Buckets below 8 are exact (width 1), so expectations are precise.
+	h := NewLatencyHistogram(1 << 10)
+	h.Add(1)
+	h.Add(5)
+	if got := h.Quantile(0.5); got != 1 {
+		t.Errorf("P50 of {1,5} = %d, want 1 (ceil-rank 1st sample)", got)
+	}
+	if got := h.Quantile(0); got != 1 {
+		t.Errorf("Quantile(0) = %d, want 1 (minimum's bucket)", got)
+	}
+	if got := h.Quantile(1); got != 5 {
+		t.Errorf("Quantile(1) = %d, want 5 (maximum)", got)
+	}
+	if got := h.Quantile(0.75); got != 5 {
+		t.Errorf("Quantile(0.75) = %d, want 5 (rank ceil(1.5)=2)", got)
+	}
+
+	single := NewLatencyHistogram(1 << 10)
+	single.Add(7)
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := single.Quantile(q); got != 7 {
+			t.Errorf("Quantile(%v) of {7} = %d, want 7", q, got)
+		}
+	}
+
+	// Quantiles never exceed the observed maximum even when the bucket's
+	// upper bound does.
+	capped := NewLatencyHistogram(1 << 10)
+	capped.Add(9) // bucket bound 10
+	if got := capped.Quantile(1); got != 9 {
+		t.Errorf("Quantile(1) of {9} = %d, want the sample max 9", got)
+	}
+}
+
 func TestHistogramOverflow(t *testing.T) {
 	h := NewLatencyHistogram(100)
 	h.Add(5000)

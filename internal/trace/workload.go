@@ -25,6 +25,13 @@ type Workload struct {
 	// selfQ holds ready self-addressed events, completed during Tick.
 	selfQ     eventHeap
 	completed int
+
+	// live lists PEs with a non-empty readyQ (inLive guards duplicates); it
+	// backs the sim.ActiveSet fast path. A PE whose head event is still in
+	// the future stays listed — ActivePEs may return a superset — and PEs
+	// are dropped lazily once their queue drains.
+	live   []int
+	inLive []bool
 }
 
 // item pairs an event index with the cycle it becomes injectable.
@@ -67,6 +74,7 @@ func NewWorkload(tr *Trace, width, height int) (*Workload, error) {
 		remaining: make([]int32, len(tr.Events)),
 		deps:      make([][]int32, len(tr.Events)),
 		readyQ:    make([]eventHeap, tr.PEs),
+		inLive:    make([]bool, tr.PEs),
 	}
 	for i, e := range tr.Events {
 		w.remaining[i] = int32(len(e.Deps))
@@ -90,6 +98,10 @@ func (w *Workload) schedule(ev int32, readyAt int64) {
 		return
 	}
 	heap.Push(&w.readyQ[e.Src], item{ev: ev, readyAt: readyAt})
+	if !w.inLive[e.Src] {
+		w.inLive[e.Src] = true
+		w.live = append(w.live, e.Src)
+	}
 }
 
 // complete marks ev finished at cycle now and releases its dependents.
@@ -138,6 +150,23 @@ func (w *Workload) Injected(pe int, _ int64) {
 // and may release dependents.
 func (w *Workload) Delivered(p noc.Packet, now int64) {
 	w.complete(p.Event, now)
+}
+
+// ActivePEs implements sim.ActiveSet: the PEs with queued events. PEs
+// whose head event is not ready yet are included (a permitted superset);
+// drained PEs are dropped during the walk.
+func (w *Workload) ActivePEs(buf []int) []int {
+	kept := w.live[:0]
+	for _, pe := range w.live {
+		if len(w.readyQ[pe]) == 0 {
+			w.inLive[pe] = false
+			continue
+		}
+		kept = append(kept, pe)
+		buf = append(buf, pe)
+	}
+	w.live = kept
+	return buf
 }
 
 // Done implements sim.Workload.

@@ -22,6 +22,13 @@ type Synthetic struct {
 	totalPending int
 	doneGen      int // PEs that reached quota
 	nextID       int64
+
+	// live lists PEs with a non-empty source queue (inLive guards against
+	// duplicates); it backs the sim.ActiveSet fast path. PEs are added when
+	// their queue first becomes non-empty and dropped lazily when ActivePEs
+	// finds them drained.
+	live   []int
+	inLive []bool
 }
 
 // NewSynthetic builds a synthetic workload for a w×h network. rate is the
@@ -39,6 +46,7 @@ func NewSynthetic(w, h int, pattern Pattern, rate float64, quota int, seed uint6
 		queues:    make([][]noc.Packet, n),
 		generated: make([]int, n),
 		silent:    make([]bool, n),
+		inLive:    make([]bool, n),
 	}
 	root := xrand.New(seed)
 	for pe := 0; pe < n; pe++ {
@@ -77,6 +85,10 @@ func (s *Synthetic) Tick(now int64) {
 			Event: -1,
 		})
 		s.totalPending++
+		if !s.inLive[pe] {
+			s.inLive[pe] = true
+			s.live = append(s.live, pe)
+		}
 		s.generated[pe]++
 		if s.generated[pe] == s.quota {
 			s.doneGen++
@@ -107,6 +119,23 @@ func (s *Synthetic) Delivered(noc.Packet, int64) {}
 // Done implements sim.Workload.
 func (s *Synthetic) Done() bool {
 	return s.doneGen == len(s.rngs) && s.totalPending == 0
+}
+
+// ActivePEs implements sim.ActiveSet: the PEs with a queued packet.
+// Drained PEs are dropped here rather than in Injected, so the list walk
+// doubles as the compaction pass and Injected stays O(queue).
+func (s *Synthetic) ActivePEs(buf []int) []int {
+	kept := s.live[:0]
+	for _, pe := range s.live {
+		if len(s.queues[pe]) == 0 {
+			s.inLive[pe] = false
+			continue
+		}
+		kept = append(kept, pe)
+		buf = append(buf, pe)
+	}
+	s.live = kept
+	return buf
 }
 
 // Generated returns the total packets created so far.

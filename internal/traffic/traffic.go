@@ -22,6 +22,22 @@ type Pattern interface {
 	Name() string
 }
 
+// DimValidator is optionally implemented by patterns that only make sense
+// on certain torus dimensions (for example BitComplement requires powers of
+// two). Instantiation sites call ValidateDims before running a sweep.
+type DimValidator interface {
+	// ValidateDims reports whether the pattern is well defined on w×h.
+	ValidateDims(w, h int) error
+}
+
+// ValidateDims checks p against the w×h torus if it cares about dimensions.
+func ValidateDims(p Pattern, w, h int) error {
+	if v, ok := p.(DimValidator); ok {
+		return v.ValidateDims(w, h)
+	}
+	return nil
+}
+
 // Random is uniform-random traffic over all other PEs.
 type Random struct{}
 
@@ -43,7 +59,10 @@ func (Random) Dest(src noc.Coord, w, h int, rng *xrand.Rand) (noc.Coord, bool) {
 // what "local" means on a unidirectional torus: destinations a short
 // forward hop away.
 type Local struct {
-	// Radius is the neighbourhood size in hops; 0 means max(1, width/4).
+	// Radius is the neighbourhood size in hops. 0 derives a per-axis
+	// default: max(1, w/4) east and max(1, h/4) south, so a rectangular
+	// torus keeps its Y destinations local instead of inheriting the wider
+	// dimension's reach. An explicit Radius applies to both axes.
 	Radius int
 }
 
@@ -52,16 +71,20 @@ func (Local) Name() string { return "LOCAL" }
 
 // Dest implements Pattern.
 func (l Local) Dest(src noc.Coord, w, h int, rng *xrand.Rand) (noc.Coord, bool) {
-	r := l.Radius
-	if r <= 0 {
-		r = w / 4
-		if r < 1 {
-			r = 1
+	rx, ry := l.Radius, l.Radius
+	if l.Radius <= 0 {
+		rx = w / 4
+		if rx < 1 {
+			rx = 1
+		}
+		ry = h / 4
+		if ry < 1 {
+			ry = 1
 		}
 	}
 	for {
-		dx := rng.Intn(r + 1)
-		dy := rng.Intn(r + 1)
+		dx := rng.Intn(rx + 1)
+		dy := rng.Intn(ry + 1)
 		if dx == 0 && dy == 0 {
 			continue
 		}
@@ -84,6 +107,16 @@ func (BitComplement) Dest(src noc.Coord, w, h int, _ *xrand.Rand) (noc.Coord, bo
 		return d, false
 	}
 	return d, true
+}
+
+// ValidateDims implements DimValidator: the bit masking in Dest is only a
+// permutation of the PE grid when both dimensions are powers of two; on a
+// 6×6 torus it would silently alias destinations off-grid.
+func (BitComplement) ValidateDims(w, h int) error {
+	if w < 1 || w&(w-1) != 0 || h < 1 || h&(h-1) != 0 {
+		return fmt.Errorf("traffic: BITCOMPL requires power-of-two dimensions, got %dx%d", w, h)
+	}
+	return nil
 }
 
 // Transpose sends (x, y) to (y, x); the diagonal stays silent.

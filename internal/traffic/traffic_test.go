@@ -102,6 +102,62 @@ func TestLocalStaysWithinRadius(t *testing.T) {
 	}
 }
 
+// TestBitComplementValidateDims is the regression test for the silent
+// wrong-pattern bug: on a 6×6 torus the w-1 bit mask aliases destinations,
+// so instantiation must be refused instead.
+func TestBitComplementValidateDims(t *testing.T) {
+	if err := ValidateDims(BitComplement{}, 6, 6); err == nil {
+		t.Error("BITCOMPL on 6x6 must be rejected")
+	}
+	if err := ValidateDims(BitComplement{}, 8, 4); err != nil {
+		t.Errorf("BITCOMPL on 8x4: %v", err)
+	}
+	// Mixed power-of-two / non-power-of-two dimensions are still invalid.
+	if err := ValidateDims(BitComplement{}, 8, 6); err == nil {
+		t.Error("BITCOMPL on 8x6 must be rejected")
+	}
+	// Patterns without dimension constraints validate anywhere.
+	if err := ValidateDims(Random{}, 6, 6); err != nil {
+		t.Errorf("RANDOM on 6x6: %v", err)
+	}
+}
+
+// TestLocalDefaultRadiusRectangular is the regression test for the default
+// radius using only the width: on a 16×4 torus the Y offset must be capped
+// by an h-derived radius (max(1, h/4) = 1), not by w/4 = 4.
+func TestLocalDefaultRadiusRectangular(t *testing.T) {
+	rng := xrand.New(6)
+	w, h := 16, 4
+	p := Local{}
+	for i := 0; i < 5000; i++ {
+		src := noc.Coord{X: i % w, Y: (i / w) % h}
+		dst, ok := p.Dest(src, w, h, rng)
+		if !ok {
+			t.Fatal("LOCAL should never be silent")
+		}
+		dx := noc.RingDelta(src.X, dst.X, w)
+		dy := noc.RingDelta(src.Y, dst.Y, h)
+		if dx > 4 {
+			t.Fatalf("LOCAL dx=%d from %v exceeds w/4=4", dx, src)
+		}
+		if dy > 1 {
+			t.Fatalf("LOCAL dy=%d from %v exceeds h/4=1", dy, src)
+		}
+		if dx == 0 && dy == 0 {
+			t.Fatalf("LOCAL produced self at %v", src)
+		}
+	}
+	// An explicit radius still applies to both axes.
+	pr := Local{Radius: 3}
+	for i := 0; i < 2000; i++ {
+		src := noc.Coord{X: i % w, Y: (i / w) % h}
+		dst, _ := pr.Dest(src, w, h, rng)
+		if dy := noc.RingDelta(src.Y, dst.Y, h); dy > 3 {
+			t.Fatalf("explicit radius: dy=%d from %v exceeds 3", dy, src)
+		}
+	}
+}
+
 func TestSyntheticQuotaAndRate(t *testing.T) {
 	const rate, quota = 0.25, 200
 	s := NewSynthetic(8, 8, Random{}, rate, quota, 42)

@@ -1,11 +1,15 @@
 # Verification targets. `make verify` is the tier-1 gate plus static
-# analysis and the race detector (the parallel sweep code in
-# internal/experiments/parallel.go shares result slices across goroutines,
+# analysis and the race detector (the sweep orchestrator in internal/runner
+# fans simulations across worker goroutines that write shared result slices,
 # so the race run is not optional hygiene).
 
 GO ?= go
 
-.PHONY: build test vet race fuzz verify bench
+# Cache directory used by the warm-cache CI check (wiped before the cold
+# pass so the assertion is meaningful).
+SWEEP_CACHE ?= .ftcache-quick
+
+.PHONY: build test vet race fuzz verify bench bench-sweep sweep-quick
 
 build:
 	$(GO) build ./...
@@ -25,6 +29,22 @@ race:
 # PRs can diff against the baseline).
 bench:
 	$(GO) run ./cmd/ftbench -out BENCH_sim.json
+
+# Orchestration benchmark: times the quick-scale Fig 11 rate sweep dense
+# vs adaptive (bisection + convergence early exit) and cold vs warm cache,
+# writing BENCH_sweep.json (checked in). The warm pass must execute zero
+# simulations or the tool fails.
+bench-sweep:
+	$(GO) run ./cmd/ftbench -sweep -out BENCH_sweep.json
+
+# Warm-cache round trip: run the quick sweep cold into a fresh cache, then
+# re-run it with -assert-cached, which exits non-zero if any simulation had
+# to execute — proving repeated sweeps are answered entirely from disk.
+sweep-quick:
+	rm -rf $(SWEEP_CACHE)
+	$(GO) run ./cmd/ftexp -quick -run paper -cache-dir $(SWEEP_CACHE)
+	$(GO) run ./cmd/ftexp -quick -run paper -cache-dir $(SWEEP_CACHE) -assert-cached
+	rm -rf $(SWEEP_CACHE)
 
 # Short fuzz pass over the property fuzzers (noc.RingDelta, FastTrack
 # topology construction); extend -fuzztime for deeper runs.

@@ -10,6 +10,11 @@
 //
 // Timing fields are best-of-reps wall clock; cycles and delivered counts
 // are deterministic for the fixed seed, so diffs isolate timing drift.
+//
+// With -sweep the tool instead benchmarks the sweep orchestration layer
+// (internal/runner): a quick-scale Fig 11 rate sweep timed dense-serial,
+// dense-parallel, adaptive with a cold result cache, and adaptive warm —
+// written to BENCH_sweep.json (see sweep.go).
 package main
 
 import (
@@ -105,9 +110,24 @@ func best(sc scenario, reference bool, reps int) (sim.Result, time.Duration, err
 }
 
 func main() {
-	out := flag.String("out", "BENCH_sim.json", "output JSON path")
+	out := flag.String("out", "", "output JSON path (default BENCH_sim.json, or BENCH_sweep.json with -sweep)")
 	reps := flag.Int("reps", 3, "repetitions per scenario (best kept)")
+	sweep := flag.Bool("sweep", false, "benchmark the sweep orchestrator instead of the engine hot path")
 	flag.Parse()
+
+	if *sweep {
+		if *out == "" {
+			*out = "BENCH_sweep.json"
+		}
+		if err := runSweep(*out); err != nil {
+			fmt.Fprintf(os.Stderr, "ftbench: sweep: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *out == "" {
+		*out = "BENCH_sim.json"
+	}
 
 	var rows []row
 	for _, sc := range scenarios() {

@@ -1,0 +1,216 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"fasttrack/internal/core"
+	"fasttrack/internal/runner"
+	"fasttrack/internal/sim"
+)
+
+// The sweep benchmark measures the orchestration layer the same way make
+// bench measures the engine hot path: one fixed workload — the Fig 11/12
+// rate sweep at quick scale — timed four ways.
+//
+//  1. dense serial, uncached: the pre-orchestrator behaviour (reference)
+//  2. dense through the worker pool, uncached: scheduling win only
+//  3. adaptive saturation search + convergence early exit, cold cache
+//  4. the same adaptive sweep again, warm cache (must execute 0 simulations)
+//
+// Results are deterministic for the fixed seed; only wall clock varies.
+type sweepReport struct {
+	Configs         []string `json:"configs"`
+	Patterns        []string `json:"patterns"`
+	Quota           int      `json:"quota"`
+	DenseRates      int      `json:"dense_rates"`
+	DenseRuns       int64    `json:"dense_runs"`
+	AdaptiveRuns    int64    `json:"adaptive_runs"`
+	DenseSerialNS   int64    `json:"dense_serial_ns"`
+	DenseParallelNS int64    `json:"dense_parallel_ns"`
+	AdaptiveColdNS  int64    `json:"adaptive_cold_ns"`
+	AdaptiveWarmNS  int64    `json:"adaptive_warm_ns"`
+	ParallelSpeedup float64  `json:"parallel_speedup"`
+	ColdSpeedup     float64  `json:"cold_speedup"`
+	WarmSpeedup     float64  `json:"warm_speedup"`
+}
+
+// The convergence window must hold enough deliveries that windowed-rate
+// sampling noise (~1/sqrt(packets per window)) sits inside the tolerance,
+// or stationarity never fires at low injection rates.
+const (
+	sweepQuota    = 500
+	sweepWindow   = 256
+	sweepTol      = 0.05
+	sweepSatTol   = 0.02
+	sweepLowProbe = 0.05
+)
+
+func sweepConfigs() []core.Config {
+	return []core.Config{
+		core.FastTrack(8, 2, 1),
+		core.FastTrack(8, 2, 2),
+		core.Hoplite(8),
+	}
+}
+
+var sweepPatterns = []string{"RANDOM", "TRANSPOSE"}
+
+// denseRates is the FullScale injection-rate grid the figures sweep.
+var denseRates = []float64{0.01, 0.02, 0.05, 0.1, 0.15, 0.2, 0.3, 0.5, 0.75, 1.0}
+
+func denseOptions(pat string, rate float64) core.SyntheticOptions {
+	return core.SyntheticOptions{
+		Pattern: pat, Rate: rate, PacketsPerPE: sweepQuota, Seed: seed,
+	}
+}
+
+// denseSerial is the reference: every grid point simulated fresh, in order.
+func denseSerial() (time.Duration, int64, error) {
+	start := time.Now()
+	var runs int64
+	for _, pat := range sweepPatterns {
+		for _, cfg := range sweepConfigs() {
+			for _, rate := range denseRates {
+				if _, err := core.RunSynthetic(cfg, denseOptions(pat, rate)); err != nil {
+					return 0, 0, err
+				}
+				runs++
+			}
+		}
+	}
+	return time.Since(start), runs, nil
+}
+
+// denseParallel runs the same grid through the orchestrator's worker pool,
+// still uncached, isolating the scheduling contribution.
+func denseParallel() (time.Duration, error) {
+	type job struct {
+		cfg  core.Config
+		pat  string
+		rate float64
+	}
+	var jobs []job
+	for _, pat := range sweepPatterns {
+		for _, cfg := range sweepConfigs() {
+			for _, rate := range denseRates {
+				jobs = append(jobs, job{cfg: cfg, pat: pat, rate: rate})
+			}
+		}
+	}
+	orch := &runner.Orchestrator{}
+	start := time.Now()
+	err := orch.ForEach(context.Background(), len(jobs), func(ctx context.Context, i int) error {
+		j := jobs[i]
+		_, err := core.RunSyntheticCtx(ctx, j.cfg, denseOptions(j.pat, j.rate))
+		return err
+	})
+	return time.Since(start), err
+}
+
+// adaptiveSweep runs one saturation search per curve through the given
+// orchestrator, with convergence-based early exit armed, and reports the
+// wall clock plus how many simulations actually executed (vs cache hits).
+func adaptiveSweep(orch *runner.Orchestrator) (time.Duration, int64, error) {
+	type curve struct {
+		cfg core.Config
+		pat string
+	}
+	var curves []curve
+	for _, pat := range sweepPatterns {
+		for _, cfg := range sweepConfigs() {
+			curves = append(curves, curve{cfg: cfg, pat: pat})
+		}
+	}
+	start := time.Now()
+	err := orch.ForEach(context.Background(), len(curves), func(ctx context.Context, i int) error {
+		c := curves[i]
+		_, err := runner.SaturationSearch(func(rate float64) (sim.Result, error) {
+			opts := denseOptions(c.pat, rate)
+			opts.ConvergeWindow = sweepWindow
+			opts.ConvergeTol = sweepTol
+			return runner.Do(orch, runner.SyntheticKey(c.cfg, opts), func() (sim.Result, error) {
+				return core.RunSyntheticCtx(ctx, c.cfg, opts)
+			})
+		}, runner.SaturationOptions{Tol: sweepSatTol, Probes: []float64{sweepLowProbe}})
+		return err
+	})
+	dur := time.Since(start)
+	executed, _ := orch.Stats()
+	return dur, executed, err
+}
+
+// runSweep executes the four phases and writes the report.
+func runSweep(out string) error {
+	cacheDir, err := os.MkdirTemp(".", ".ftcache-bench-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(cacheDir)
+	cache, err := runner.NewCache(cacheDir)
+	if err != nil {
+		return err
+	}
+
+	rep := sweepReport{
+		Patterns:   sweepPatterns,
+		Quota:      sweepQuota,
+		DenseRates: len(denseRates),
+	}
+	for _, cfg := range sweepConfigs() {
+		rep.Configs = append(rep.Configs, cfg.String())
+	}
+
+	serialDur, denseRuns, err := denseSerial()
+	if err != nil {
+		return fmt.Errorf("dense serial: %w", err)
+	}
+	rep.DenseSerialNS, rep.DenseRuns = serialDur.Nanoseconds(), denseRuns
+
+	parDur, err := denseParallel()
+	if err != nil {
+		return fmt.Errorf("dense parallel: %w", err)
+	}
+	rep.DenseParallelNS = parDur.Nanoseconds()
+
+	coldDur, coldRuns, err := adaptiveSweep(&runner.Orchestrator{Cache: cache})
+	if err != nil {
+		return fmt.Errorf("adaptive cold: %w", err)
+	}
+	rep.AdaptiveColdNS, rep.AdaptiveRuns = coldDur.Nanoseconds(), coldRuns
+
+	warmDur, warmRuns, err := adaptiveSweep(&runner.Orchestrator{Cache: cache})
+	if err != nil {
+		return fmt.Errorf("adaptive warm: %w", err)
+	}
+	if warmRuns != 0 {
+		return fmt.Errorf("adaptive warm: %d simulations executed, want 0 (cache miss)", warmRuns)
+	}
+	rep.AdaptiveWarmNS = warmDur.Nanoseconds()
+
+	rep.ParallelSpeedup = float64(rep.DenseSerialNS) / float64(rep.DenseParallelNS)
+	rep.ColdSpeedup = float64(rep.DenseSerialNS) / float64(rep.AdaptiveColdNS)
+	rep.WarmSpeedup = float64(rep.DenseSerialNS) / float64(rep.AdaptiveWarmNS)
+
+	fmt.Printf("dense    %3d runs  serial %8.2fms  parallel %8.2fms (%.2fx)\n",
+		rep.DenseRuns, float64(rep.DenseSerialNS)/1e6, float64(rep.DenseParallelNS)/1e6,
+		rep.ParallelSpeedup)
+	fmt.Printf("adaptive %3d runs  cold   %8.2fms (%.2fx)  warm %8.2fms (%.0fx)\n",
+		rep.AdaptiveRuns, float64(rep.AdaptiveColdNS)/1e6, rep.ColdSpeedup,
+		float64(rep.AdaptiveWarmNS)/1e6, rep.WarmSpeedup)
+
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

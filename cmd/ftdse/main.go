@@ -2,6 +2,10 @@
 // every evaluated point plus the throughput-vs-LUTs Pareto frontier —
 // the paper's "judiciously choose D and R" methodology as a tool.
 //
+// Simulations fan out across -workers and consult the content-addressed run
+// cache under -cache-dir first (disable with -no-cache), so re-exploring a
+// design space — e.g. after adding -variants — reruns only the new points.
+//
 // Example:
 //
 //	ftdse -n 8 -width 256 -pattern RANDOM -rate 1.0 -variants
@@ -14,6 +18,7 @@ import (
 	"text/tabwriter"
 
 	"fasttrack/internal/dse"
+	"fasttrack/internal/runner"
 )
 
 func main() {
@@ -25,12 +30,26 @@ func main() {
 	variants := flag.Bool("variants", false, "also evaluate FTlite(Inject) routers")
 	channels := flag.Int("channels", 3, "max multi-channel Hoplite replication")
 	seed := flag.Uint64("seed", 1, "random seed")
+	workers := flag.Int("workers", 0, "simulation worker pool size (0 = one per CPU)")
+	cacheDir := flag.String("cache-dir", runner.DefaultCacheDir, "content-addressed result cache directory")
+	noCache := flag.Bool("no-cache", false, "disable the result cache (every point simulates fresh)")
 	flag.Parse()
 
-	pts, err := dse.Explore(dse.Options{
+	var cache *runner.Cache
+	if !*noCache {
+		c, err := runner.NewCache(*cacheDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ftdse:", err)
+			os.Exit(1)
+		}
+		cache = c
+	}
+
+	pts, stats, err := dse.Explore(dse.Options{
 		N: *n, WidthBits: *width,
 		Pattern: *pattern, Rate: *rate, PacketsPerPE: *packets,
 		MaxChannels: *channels, Variants: *variants, Seed: *seed,
+		Workers: *workers, Cache: cache,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ftdse:", err)
@@ -59,4 +78,5 @@ func main() {
 	for _, p := range dse.Frontier(pts) {
 		fmt.Printf("  %-18s %8d LUTs  %8.0f Mpkt/s\n", p.Name, p.LUTs, p.ThroughputMPPS)
 	}
+	fmt.Printf("\n%d simulated, %d from cache\n", stats.Simulated, stats.Cached)
 }

@@ -6,6 +6,16 @@
 //	ftexp -run fig11            # one experiment
 //	ftexp -run all              # everything, paper order
 //	ftexp -run fig15a -quick    # CI-sized sweep
+//
+// Every simulation goes through the sweep orchestrator (internal/runner):
+// independent runs fan out across -workers, and each consults the
+// content-addressed result cache under -cache-dir first, so a re-run after
+// an interrupted or repeated sweep only simulates what is missing (disable
+// with -no-cache). -adaptive replaces the dense injection-rate grids of the
+// rate-sweep figures with a bisection search on the saturation knee, cutting
+// the simulation count per curve severalfold. -assert-cached exits non-zero
+// if any simulation had to execute — CI uses it to prove a warm cache
+// answers an entire sweep from disk.
 package main
 
 import (
@@ -15,6 +25,7 @@ import (
 	"time"
 
 	"fasttrack/internal/experiments"
+	"fasttrack/internal/runner"
 )
 
 func main() {
@@ -22,6 +33,12 @@ func main() {
 	run := flag.String("run", "all", "experiment id to run, or 'all'")
 	quick := flag.Bool("quick", false, "use the reduced-scale sweep")
 	seed := flag.Uint64("seed", 1, "random seed for all workloads")
+	workers := flag.Int("workers", 0, "simulation worker pool size (0 = one per CPU)")
+	cacheDir := flag.String("cache-dir", runner.DefaultCacheDir, "content-addressed result cache directory")
+	noCache := flag.Bool("no-cache", false, "disable the result cache (every run simulates fresh)")
+	adaptive := flag.Bool("adaptive", false, "adaptive saturation search instead of dense rate grids (figs 11-13)")
+	progress := flag.Bool("progress", false, "live job progress/ETA on stderr")
+	assertCached := flag.Bool("assert-cached", false, "exit 1 if any simulation executed (warm-cache check)")
 	flag.Parse()
 
 	if *list {
@@ -36,6 +53,21 @@ func main() {
 		sc = experiments.QuickScale()
 	}
 	sc.Seed = *seed
+	sc.AdaptiveRates = *adaptive
+
+	orch := &runner.Orchestrator{Workers: *workers}
+	if !*noCache {
+		cache, err := runner.NewCache(*cacheDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ftexp:", err)
+			os.Exit(1)
+		}
+		orch.Cache = cache
+	}
+	if *progress {
+		orch.Progress = os.Stderr
+	}
+	sc.Orch = orch
 
 	var todo []experiments.Experiment
 	switch *run {
@@ -59,5 +91,12 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+
+	executed, hits := orch.Stats()
+	fmt.Printf("%d simulated, %d from cache\n", executed, hits)
+	if *assertCached && executed > 0 {
+		fmt.Fprintf(os.Stderr, "ftexp: -assert-cached: %d simulations executed (cache was cold)\n", executed)
+		os.Exit(1)
 	}
 }

@@ -15,6 +15,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"fasttrack/internal/fasttrack"
@@ -217,11 +218,26 @@ type SyntheticOptions struct {
 	// MaxPacketAge, when positive, arms the starvation watchdog: fail fast
 	// if any packet stays in flight longer than this many cycles.
 	MaxPacketAge int64
+	// ConvergeWindow and ConvergeTol, when ConvergeWindow is positive, arm
+	// the engine's opt-in convergence-based early exit (sim.Options): a
+	// saturation run stops once windowed throughput and latency trend are
+	// stationary, instead of draining the full packet quota. 0 keeps the
+	// fixed-budget path bit-exact.
+	ConvergeWindow int64
+	ConvergeTol    float64
 }
 
 // RunSynthetic builds cfg's network and drives it with a statistical
 // workload, returning the paper's throughput/latency measurements.
 func RunSynthetic(cfg Config, opts SyntheticOptions) (Result, error) {
+	return RunSyntheticCtx(context.Background(), cfg, opts)
+}
+
+// RunSyntheticCtx is RunSynthetic with cooperative cancellation: the sweep
+// scheduler (internal/runner) cancels ctx when a sibling job fails, and the
+// engine aborts within a few thousand cycles. ctx deliberately stays out of
+// SyntheticOptions so cache keys never depend on it.
+func RunSyntheticCtx(ctx context.Context, cfg Config, opts SyntheticOptions) (Result, error) {
 	pat, err := traffic.ByName(opts.Pattern)
 	if err != nil {
 		return Result{}, err
@@ -253,6 +269,9 @@ func RunSynthetic(cfg Config, opts SyntheticOptions) (Result, error) {
 		MaxCycles:         opts.MaxCycles,
 		CheckConservation: opts.CheckConservation,
 		MaxPacketAge:      opts.MaxPacketAge,
+		Context:           ctx,
+		ConvergeWindow:    opts.ConvergeWindow,
+		ConvergeTol:       opts.ConvergeTol,
 	})
 }
 
@@ -260,6 +279,12 @@ func RunSynthetic(cfg Config, opts SyntheticOptions) (Result, error) {
 // dependency-driven injection, returning completion time and latency
 // statistics.
 func RunTrace(cfg Config, tr *Trace) (Result, error) {
+	return RunTraceCtx(context.Background(), cfg, tr)
+}
+
+// RunTraceCtx is RunTrace with cooperative cancellation (see
+// RunSyntheticCtx).
+func RunTraceCtx(ctx context.Context, cfg Config, tr *Trace) (Result, error) {
 	net, err := cfg.Build()
 	if err != nil {
 		return Result{}, err
@@ -268,5 +293,5 @@ func RunTrace(cfg Config, tr *Trace) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	return sim.Run(net, wl, sim.Options{})
+	return sim.Run(net, wl, sim.Options{Context: ctx})
 }

@@ -7,10 +7,12 @@
 package dse
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"fasttrack/internal/core"
+	"fasttrack/internal/runner"
 )
 
 // Options scopes an exploration.
@@ -31,6 +33,12 @@ type Options struct {
 	Variants bool
 	// Seed fixes the workload streams.
 	Seed uint64
+	// Workers bounds the simulation worker pool (0 = one per CPU).
+	Workers int
+	// Cache, when non-nil, is the content-addressed run cache consulted
+	// before every candidate simulation (ftdse -cache): re-exploring a
+	// design space reruns only the points whose keys are not on disk.
+	Cache *runner.Cache
 }
 
 func (o Options) withDefaults() Options {
@@ -104,31 +112,52 @@ func candidates(o Options) []core.Config {
 
 // Explore evaluates every candidate and marks the Pareto frontier
 // (maximize throughput, minimize LUTs) among routable designs.
-func Explore(opts Options) ([]Point, error) {
+//
+// Specs (cost/clock/routability) are evaluated serially — they are closed-
+// form and cheap. The simulations behind routable points then fan out across
+// Options.Workers, each consulting Options.Cache first, so re-exploring a
+// design space reruns only cache-missing points. Returns Stats alongside the
+// points: how many simulations executed fresh vs were served from cache.
+func Explore(opts Options) ([]Point, Stats, error) {
 	o := opts.withDefaults()
 	dev := core.Virtex7()
-	var pts []Point
-	for _, cfg := range candidates(o) {
+	cands := candidates(o)
+	pts := make([]Point, len(cands))
+	var simIdx []int
+	for i, cfg := range cands {
 		spec, err := cfg.Spec()
 		if err != nil {
-			return nil, fmt.Errorf("dse: %s: %w", cfg, err)
+			return nil, Stats{}, fmt.Errorf("dse: %s: %w", cfg, err)
 		}
 		p := Point{Config: cfg, Name: cfg.String(), WireFactor: spec.WireFactor()}
 		p.LUTs, p.FFs = spec.Resources()
 		p.Routable = spec.Routable(dev)
-		if !p.Routable {
-			pts = append(pts, p)
-			continue
+		if p.Routable {
+			p.ClockMHz = spec.ClockMHz(dev)
+			p.PowerW = spec.PowerW(dev)
+			simIdx = append(simIdx, i)
 		}
-		p.ClockMHz = spec.ClockMHz(dev)
-		p.PowerW = spec.PowerW(dev)
+		pts[i] = p
+	}
 
-		res, err := core.RunSynthetic(cfg, core.SyntheticOptions{
+	orch := &runner.Orchestrator{Cache: o.Cache, Workers: o.Workers}
+	err := orch.ForEach(context.Background(), len(simIdx), func(ctx context.Context, j int) error {
+		i := simIdx[j]
+		cfg := cands[i]
+		sopts := core.SyntheticOptions{
 			Pattern: o.Pattern, Rate: o.Rate, PacketsPerPE: o.PacketsPerPE, Seed: o.Seed,
+		}
+		res, err := runner.Do(orch, runner.SyntheticKey(cfg, sopts), func() (core.Result, error) {
+			return core.RunSyntheticCtx(ctx, cfg, sopts)
 		})
 		if err != nil {
-			return nil, fmt.Errorf("dse: %s: %w", cfg, err)
+			return fmt.Errorf("dse: %s: %w", cfg, err)
 		}
+		spec, err := cfg.Spec()
+		if err != nil {
+			return fmt.Errorf("dse: %s: %w", cfg, err)
+		}
+		p := &pts[i]
 		p.SustainedRate = res.SustainedRate
 		p.ThroughputMPPS = res.SustainedRate * float64(o.N*o.N) * p.ClockMHz
 		if p.ClockMHz > 0 {
@@ -138,11 +167,22 @@ func Explore(opts Options) ([]Point, error) {
 				p.EnergyPerPacketNJ = joules / float64(res.Delivered) * 1e9
 			}
 		}
-		pts = append(pts, p)
+		return nil
+	})
+	if err != nil {
+		return nil, Stats{}, err
 	}
 	markPareto(pts)
 	sort.Slice(pts, func(i, j int) bool { return pts[i].LUTs < pts[j].LUTs })
-	return pts, nil
+	executed, hits := orch.Stats()
+	return pts, Stats{Simulated: executed, Cached: hits}, nil
+}
+
+// Stats reports how an exploration's simulations were satisfied.
+type Stats struct {
+	// Simulated counts fresh simulation runs; Cached counts points served
+	// from the content-addressed run cache.
+	Simulated, Cached int64
 }
 
 // markPareto flags the non-dominated routable points under (max throughput,

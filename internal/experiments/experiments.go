@@ -12,6 +12,8 @@ import (
 	"io"
 	"sort"
 	"text/tabwriter"
+
+	"fasttrack/internal/runner"
 )
 
 // Scale sizes an experiment run.
@@ -27,6 +29,21 @@ type Scale struct {
 	TraceBenchmarks int
 	// Seed fixes all random streams.
 	Seed uint64
+	// Orch, when non-nil, schedules this scale's simulations: worker-pool
+	// fan-out, live progress, and a content-addressed result cache that
+	// skips every simulation already on disk (ftexp -cache). nil falls back
+	// to an uncached CPU-parallel default.
+	Orch *runner.Orchestrator
+	// AdaptiveRates replaces the dense Rates grid of the injection-rate
+	// figures (11-13) with an adaptive saturation search: bisection on the
+	// throughput knee whose evaluations double as curve samples, cutting
+	// the run count per curve ~2-4x (ftexp -adaptive).
+	AdaptiveRates bool
+	// ConvergeWindow and ConvergeTol arm the engine's convergence-based
+	// early exit for adaptive saturation evaluations (sim.Options). 0
+	// leaves every run on the fixed packet-quota budget.
+	ConvergeWindow int64
+	ConvergeTol    float64
 }
 
 // FullScale reproduces the paper-sized sweeps.

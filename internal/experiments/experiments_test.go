@@ -2,8 +2,11 @@ package experiments
 
 import (
 	"bytes"
+	"math"
 	"strings"
 	"testing"
+
+	"fasttrack/internal/core"
 )
 
 // testScale is small enough for CI but big enough that the paper's
@@ -259,6 +262,55 @@ func TestFig15Shapes(t *testing.T) {
 	if freqmine > 0.8*best {
 		t.Errorf("freqmine (local traffic, %.2fx) should gain much less than the best (%.2fx)",
 			freqmine, best)
+	}
+}
+
+// TestAdaptiveSweepMatchesDense asserts the bisection-driven sweep agrees
+// with the dense grid on what the figures report — each curve's saturation
+// throughput — while evaluating fewer points per curve.
+func TestAdaptiveSweepMatchesDense(t *testing.T) {
+	sc := Scale{
+		Quota: 300,
+		Rates: []float64{0.01, 0.02, 0.05, 0.1, 0.15, 0.2, 0.3, 0.5, 0.75, 1.0},
+		MaxN:  4,
+		Seed:  1,
+	}
+	configs := []core.Config{core.Hoplite(4), core.FastTrack(4, 2, 1)}
+	patterns := []string{"RANDOM"}
+
+	dense, err := sweepSynthetic(sc, configs, patterns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asc := sc
+	asc.AdaptiveRates = true
+	adaptive, err := sweepSynthetic(asc, configs, patterns)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	maxRate := func(pts []RatePoint, cfg string) float64 {
+		var m float64
+		for _, p := range pts {
+			if p.Config == cfg && p.SustainedRate > m {
+				m = p.SustainedRate
+			}
+		}
+		return m
+	}
+	for _, cfg := range configs {
+		d, a := maxRate(dense, cfg.String()), maxRate(adaptive, cfg.String())
+		if d == 0 {
+			t.Fatalf("%s: dense sweep found no throughput", cfg)
+		}
+		if rel := math.Abs(a-d) / d; rel > 0.08 {
+			t.Errorf("%s: adaptive saturation %.4f deviates %.1f%% from dense %.4f",
+				cfg, a, 100*rel, d)
+		}
+	}
+	if len(adaptive) >= len(dense) {
+		t.Errorf("adaptive sweep ran %d points, no cheaper than the dense grid's %d",
+			len(adaptive), len(dense))
 	}
 }
 

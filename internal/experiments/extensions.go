@@ -6,6 +6,7 @@ package experiments
 // are registered with ext- identifiers and run by ftexp like any figure.
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -14,6 +15,7 @@ import (
 	"fasttrack/internal/core"
 	"fasttrack/internal/fpga"
 	"fasttrack/internal/message"
+	"fasttrack/internal/runner"
 	"fasttrack/internal/sim"
 	"fasttrack/internal/stats"
 	"fasttrack/internal/traffic"
@@ -53,7 +55,7 @@ func ExtVariantsData(sc Scale) ([]VariantPoint, error) {
 		}
 		luts, _ := spec.Resources()
 		for _, rate := range sc.Rates {
-			res, err := core.RunSynthetic(cfg, core.SyntheticOptions{
+			res, err := sc.runSynthetic(context.Background(), cfg, core.SyntheticOptions{
 				Pattern: "RANDOM", Rate: rate, PacketsPerPE: sc.Quota, Seed: sc.Seed,
 			})
 			if err != nil {
@@ -109,7 +111,7 @@ func ExtPipelineData(sc Scale) ([]PipelinePoint, error) {
 			return nil, err
 		}
 		mhz := spec.ClockMHz(dev)
-		res, err := core.RunSynthetic(cfg, core.SyntheticOptions{
+		res, err := sc.runSynthetic(context.Background(), cfg, core.SyntheticOptions{
 			Pattern: "RANDOM", Rate: 1.0, PacketsPerPE: sc.Quota, Seed: sc.Seed,
 		})
 		if err != nil {
@@ -157,7 +159,9 @@ func RunExtZeroLoad(w io.Writer, sc Scale) error {
 		core.FastTrack(n, 2, 1),
 		core.FastTrack(n, 2, 1).WithVariant(core.VariantInject),
 	} {
-		zl, err := analysis.ZeroLoadProfile(cfg)
+		cfg := cfg
+		zl, err := runner.Do(sc.orch(), runner.RawKey("zeroload", runner.ConfigKey(cfg)),
+			func() (analysis.ZeroLoad, error) { return analysis.ZeroLoadProfile(cfg) })
 		if err != nil {
 			return err
 		}
@@ -187,7 +191,7 @@ func ExtFairnessData(sc Scale) ([]FairnessPoint, error) {
 	n := sc.capN(8)
 	var pts []FairnessPoint
 	for _, cfg := range fig11Configs(n) {
-		res, err := core.RunSynthetic(cfg, core.SyntheticOptions{
+		res, err := sc.runSynthetic(context.Background(), cfg, core.SyntheticOptions{
 			Pattern: "RANDOM", Rate: 1.0, PacketsPerPE: sc.Quota, Seed: sc.Seed,
 		})
 		if err != nil {
@@ -263,14 +267,13 @@ func ExtCachelineData(sc Scale) ([]CachelinePoint, error) {
 			}
 			if pt.Routable {
 				pt.ClockMHz = spec.ClockMHz(dev)
-				res, ms, err := runCachelines(wc, lineBits, width, sc)
+				cr, err := runCachelines(wc, lineBits, width, sc)
 				if err != nil {
 					return nil, err
 				}
-				lines := float64(ms.MessagesDelivered())
-				seconds := float64(res.Cycles) / (pt.ClockMHz * 1e6)
-				pt.LinesPerSec = lines / seconds / 1e6
-				pt.AvgLatencyNS = ms.MessageLatency().Mean() / pt.ClockMHz * 1000
+				seconds := float64(cr.Res.Cycles) / (pt.ClockMHz * 1e6)
+				pt.LinesPerSec = float64(cr.Lines) / seconds / 1e6
+				pt.AvgLatencyNS = cr.LatMean / pt.ClockMHz * 1000
 			}
 			pts = append(pts, pt)
 		}
@@ -278,17 +281,34 @@ func ExtCachelineData(sc Scale) ([]CachelinePoint, error) {
 	return pts, nil
 }
 
-func runCachelines(cfg core.Config, lineBits, width int, sc Scale) (sim.Result, *message.Stream, error) {
-	net, err := cfg.Build()
-	if err != nil {
-		return sim.Result{}, nil, err
-	}
-	ms, err := message.NewStream(net.Width(), net.Height(), lineBits, width, 1.0, sc.Quota, sc.Seed)
-	if err != nil {
-		return sim.Result{}, nil, err
-	}
-	res, err := sim.Run(net, ms, sim.Options{})
-	return res, ms, err
+// cachelineRun is the cacheable summary of one cacheline-stream simulation:
+// the message.Stream itself does not serialize, so the derived message
+// statistics ride alongside the engine result.
+type cachelineRun struct {
+	Res     sim.Result
+	Lines   int64
+	LatMean float64
+}
+
+func runCachelines(cfg core.Config, lineBits, width int, sc Scale) (cachelineRun, error) {
+	key := runner.RawKey("cacheline", runner.ConfigKey(cfg), lineBits, width, sc.Quota, sc.Seed)
+	return runner.Do(sc.orch(), key, func() (cachelineRun, error) {
+		net, err := cfg.Build()
+		if err != nil {
+			return cachelineRun{}, err
+		}
+		ms, err := message.NewStream(net.Width(), net.Height(), lineBits, width, 1.0, sc.Quota, sc.Seed)
+		if err != nil {
+			return cachelineRun{}, err
+		}
+		res, err := sim.Run(net, ms, sim.Options{})
+		if err != nil {
+			return cachelineRun{}, err
+		}
+		return cachelineRun{
+			Res: res, Lines: ms.MessagesDelivered(), LatMean: ms.MessageLatency().Mean(),
+		}, nil
+	})
 }
 
 // RunExtCacheline renders the serialization study.
@@ -333,12 +353,15 @@ func ExtBufferedData(sc Scale) ([]BufferedPoint, error) {
 	var pts []BufferedPoint
 
 	run := func(name string, build func() (core.Network, error), luts int, mhz float64) error {
-		net, err := build()
-		if err != nil {
-			return err
-		}
-		wl := traffic.NewSynthetic(net.Width(), net.Height(), traffic.Random{}, 1.0, sc.Quota, sc.Seed)
-		res, err := sim.Run(net, wl, sim.Options{})
+		key := runner.RawKey("extbuffered", name, n, sc.Quota, sc.Seed)
+		res, err := runner.Do(sc.orch(), key, func() (sim.Result, error) {
+			net, err := build()
+			if err != nil {
+				return sim.Result{}, err
+			}
+			wl := traffic.NewSynthetic(net.Width(), net.Height(), traffic.Random{}, 1.0, sc.Quota, sc.Seed)
+			return sim.Run(net, wl, sim.Options{})
+		})
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}

@@ -1,56 +1,59 @@
 package experiments
 
 import (
-	"runtime"
-	"sync"
+	"context"
+
+	"fasttrack/internal/core"
+	"fasttrack/internal/runner"
+	"fasttrack/internal/sim"
+	"fasttrack/internal/trace"
 )
 
-// forEachParallel runs f(0..n-1) across a bounded worker pool and returns
-// the first error. Every simulation owns its network and PRNG streams, so
-// results are bit-identical to the serial loop; only wall-clock changes.
-func forEachParallel(n int, f func(i int) error) error {
-	workers := runtime.NumCPU()
-	if workers > n {
-		workers = n
+// defaultOrch schedules simulations for Scales that carry no orchestrator:
+// parallel across CPUs, uncached — the behaviour of the historical
+// forEachParallel helper this file used to implement directly.
+var defaultOrch = &runner.Orchestrator{}
+
+// orch returns the sweep orchestrator in effect for this scale.
+func (s Scale) orch() *runner.Orchestrator {
+	if s.Orch != nil {
+		return s.Orch
 	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			if err := f(i); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-		next     int
-	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				mu.Lock()
-				if firstErr != nil || next >= n {
-					mu.Unlock()
-					return
-				}
-				i := next
-				next++
-				mu.Unlock()
-				if err := f(i); err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
-					return
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	return firstErr
+	return defaultOrch
+}
+
+// forEachParallel fans f(ctx, 0..n-1) across the orchestrator's worker pool
+// and returns the first error, wrapped in *runner.JobError so the failing
+// job index survives. When a job fails, the context handed to in-flight
+// siblings is cancelled (sim.Run polls it) and queued jobs never start.
+// Every simulation owns its network and PRNG streams, so results are
+// bit-identical to the serial loop; only wall-clock changes.
+func (s Scale) forEachParallel(n int, f func(ctx context.Context, i int) error) error {
+	return s.orch().ForEach(context.Background(), n, f)
+}
+
+// runSynthetic funnels one synthetic-workload simulation through the
+// orchestrator: content-addressed cache lookup first, fresh (cancellable)
+// run on a miss.
+func (s Scale) runSynthetic(ctx context.Context, cfg core.Config, o core.SyntheticOptions) (sim.Result, error) {
+	return runner.Do(s.orch(), runner.SyntheticKey(cfg, o), func() (sim.Result, error) {
+		return core.RunSyntheticCtx(ctx, cfg, o)
+	})
+}
+
+// runTrace funnels one trace replay through the orchestrator, keyed by the
+// trace's content fingerprint.
+func (s Scale) runTrace(ctx context.Context, cfg core.Config, tr *trace.Trace) (sim.Result, error) {
+	return runner.Do(s.orch(), runner.TraceKey(cfg, tr), func() (sim.Result, error) {
+		return core.RunTraceCtx(ctx, cfg, tr)
+	})
+}
+
+// convergeOptions copies the scale's opt-in early-exit knobs into synthetic
+// run options (adaptive saturation evals use it; dense grids never do, so
+// figure output stays bit-stable unless adaptivity is requested).
+func (s Scale) convergeOptions(o core.SyntheticOptions) core.SyntheticOptions {
+	o.ConvergeWindow = s.ConvergeWindow
+	o.ConvergeTol = s.ConvergeTol
+	return o
 }

@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"fasttrack/internal/core"
 	"fasttrack/internal/noc"
+	"fasttrack/internal/runner"
 	"fasttrack/internal/sim"
 )
 
@@ -30,9 +32,14 @@ type RatePoint struct {
 }
 
 // sweepSynthetic runs the rate sweep for the given configs and patterns,
-// fanning the independent simulations across CPU cores (results are
-// deterministic regardless of scheduling).
+// fanning the independent simulations across the scale's orchestrator
+// (results are deterministic regardless of scheduling and are served from
+// the result cache when one is configured). With AdaptiveRates set the
+// dense grid is replaced by one adaptive saturation search per curve.
 func sweepSynthetic(sc Scale, configs []core.Config, patterns []string) ([]RatePoint, error) {
+	if sc.AdaptiveRates {
+		return sweepSyntheticAdaptive(sc, configs, patterns)
+	}
 	type job struct {
 		pat  string
 		cfg  core.Config
@@ -47,9 +54,9 @@ func sweepSynthetic(sc Scale, configs []core.Config, patterns []string) ([]RateP
 		}
 	}
 	pts := make([]RatePoint, len(jobs))
-	err := forEachParallel(len(jobs), func(i int) error {
+	err := sc.forEachParallel(len(jobs), func(ctx context.Context, i int) error {
 		j := jobs[i]
-		res, err := core.RunSynthetic(j.cfg, core.SyntheticOptions{
+		res, err := sc.runSynthetic(ctx, j.cfg, core.SyntheticOptions{
 			Pattern: j.pat, Rate: j.rate, PacketsPerPE: sc.Quota, Seed: sc.Seed,
 		})
 		if err != nil {
@@ -63,6 +70,75 @@ func sweepSynthetic(sc Scale, configs []core.Config, patterns []string) ([]RateP
 		return nil
 	})
 	return pts, err
+}
+
+// adaptiveBracket derives the search bracket from a dense grid: the lowest
+// rate stays as a guaranteed curve anchor (the figures' "no win below
+// saturation" region) and the highest bounds the bisection.
+func adaptiveBracket(rates []float64) (probes []float64, hi float64) {
+	hi = 1.0
+	if len(rates) == 0 {
+		return nil, hi
+	}
+	lo := rates[0]
+	hi = rates[0]
+	for _, r := range rates[1:] {
+		if r < lo {
+			lo = r
+		}
+		if r > hi {
+			hi = r
+		}
+	}
+	return []float64{lo}, hi
+}
+
+// sweepSyntheticAdaptive runs one saturation search per (pattern, config)
+// curve. Each bisection is sequential by nature, so parallelism is across
+// curves; every evaluation goes through the result cache, and bisection
+// midpoints are deterministic, so warm reruns evaluate nothing.
+func sweepSyntheticAdaptive(sc Scale, configs []core.Config, patterns []string) ([]RatePoint, error) {
+	type curve struct {
+		pat string
+		cfg core.Config
+	}
+	var curves []curve
+	for _, pat := range patterns {
+		for _, cfg := range configs {
+			curves = append(curves, curve{pat: pat, cfg: cfg})
+		}
+	}
+	probes, hi := adaptiveBracket(sc.Rates)
+	results := make([][]RatePoint, len(curves))
+	err := sc.forEachParallel(len(curves), func(ctx context.Context, i int) error {
+		c := curves[i]
+		sat, err := runner.SaturationSearch(func(rate float64) (sim.Result, error) {
+			return sc.runSynthetic(ctx, c.cfg, sc.convergeOptions(core.SyntheticOptions{
+				Pattern: c.pat, Rate: rate, PacketsPerPE: sc.Quota, Seed: sc.Seed,
+			}))
+		}, runner.SaturationOptions{Hi: hi, Probes: probes})
+		if err != nil {
+			return fmt.Errorf("%s/%s: %w", c.cfg, c.pat, err)
+		}
+		pts := make([]RatePoint, len(sat.Evals))
+		for j, e := range sat.Evals {
+			pts[j] = RatePoint{
+				Config: c.cfg.String(), Pattern: c.pat, InjectionRate: e.Rate,
+				SustainedRate: e.Result.SustainedRate, AvgLatency: e.Result.AvgLatency,
+				WorstLatency: e.Result.WorstLatency,
+			}
+		}
+		results[i] = pts
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var pts []RatePoint
+	for _, r := range results {
+		pts = append(pts, r...)
+	}
+	return pts, nil
 }
 
 // Fig11Data sweeps sustained rate vs injection rate for the paper's four
@@ -127,7 +203,7 @@ func Fig16Data(sc Scale) ([]Fig16Result, error) {
 	n := sc.capN(8)
 	var out []Fig16Result
 	for _, cfg := range fig11Configs(n) {
-		res, err := core.RunSynthetic(cfg, core.SyntheticOptions{
+		res, err := sc.runSynthetic(context.Background(), cfg, core.SyntheticOptions{
 			Pattern: "RANDOM", Rate: 0.09, PacketsPerPE: sc.Quota, Seed: sc.Seed,
 		})
 		if err != nil {
@@ -208,10 +284,10 @@ func Fig17Data(sc Scale) ([]Fig17Point, error) {
 		}
 	}
 	pts := make([]Fig17Point, len(jobs))
-	err := forEachParallel(len(jobs), func(i int) error {
+	err := sc.forEachParallel(len(jobs), func(ctx context.Context, i int) error {
 		j := jobs[i]
 		cfg := core.FastTrack(j.n, j.d, j.r)
-		res, err := core.RunSynthetic(cfg, core.SyntheticOptions{
+		res, err := sc.runSynthetic(ctx, cfg, core.SyntheticOptions{
 			Pattern: "RANDOM", Rate: 0.5, PacketsPerPE: sc.Quota, Seed: sc.Seed,
 		})
 		if err != nil {
@@ -257,7 +333,7 @@ func Fig18Data(sc Scale) ([]Fig18Result, error) {
 	n := sc.capN(8)
 	var out []Fig18Result
 	for _, cfg := range fig11Configs(n) {
-		res, err := core.RunSynthetic(cfg, core.SyntheticOptions{
+		res, err := sc.runSynthetic(context.Background(), cfg, core.SyntheticOptions{
 			Pattern: "RANDOM", Rate: 0.5, PacketsPerPE: sc.Quota, Seed: sc.Seed,
 		})
 		if err != nil {
@@ -314,7 +390,7 @@ func RunFig18(w io.Writer, sc Scale) error {
 
 // saturationThroughput returns the sustained rate at 100% injection.
 func saturationThroughput(cfg core.Config, sc Scale) (sim.Result, error) {
-	return core.RunSynthetic(cfg, core.SyntheticOptions{
+	return sc.runSynthetic(context.Background(), cfg, core.SyntheticOptions{
 		Pattern: "RANDOM", Rate: 1.0, PacketsPerPE: sc.Quota, Seed: sc.Seed,
 	})
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -41,16 +42,16 @@ func ftCandidates(n int) []core.Config {
 }
 
 // traceSpeedup measures one benchmark trace on Hoplite and the FastTrack
-// candidates.
-func traceSpeedup(tr *trace.Trace, n int) (SpeedupPoint, error) {
+// candidates, reusing cached replays keyed by the trace fingerprint.
+func traceSpeedup(ctx context.Context, sc Scale, tr *trace.Trace, n int) (SpeedupPoint, error) {
 	pt := SpeedupPoint{Benchmark: tr.Name, PEs: n * n}
-	hop, err := core.RunTrace(core.Hoplite(n), tr)
+	hop, err := sc.runTrace(ctx, core.Hoplite(n), tr)
 	if err != nil {
 		return pt, fmt.Errorf("%s on Hoplite %dx%d: %w", tr.Name, n, n, err)
 	}
 	pt.HopliteCycles = hop.Cycles
 	for _, cfg := range ftCandidates(n) {
-		res, err := core.RunTrace(cfg, tr)
+		res, err := sc.runTrace(ctx, cfg, tr)
 		if err != nil {
 			return pt, fmt.Errorf("%s on %s: %w", tr.Name, cfg, err)
 		}
@@ -90,15 +91,16 @@ type traceJob struct {
 	gen func() (*trace.Trace, error)
 }
 
-// runTraceJobs generates and measures trace speedups across CPU cores.
-func runTraceJobs(jobs []traceJob) ([]SpeedupPoint, error) {
+// runTraceJobs generates and measures trace speedups across the scale's
+// orchestrator (worker pool + result cache).
+func runTraceJobs(sc Scale, jobs []traceJob) ([]SpeedupPoint, error) {
 	pts := make([]SpeedupPoint, len(jobs))
-	err := forEachParallel(len(jobs), func(i int) error {
+	err := sc.forEachParallel(len(jobs), func(ctx context.Context, i int) error {
 		tr, err := jobs[i].gen()
 		if err != nil {
 			return err
 		}
-		pt, err := traceSpeedup(tr, jobs[i].n)
+		pt, err := traceSpeedup(ctx, sc, tr, jobs[i].n)
 		if err != nil {
 			return err
 		}
@@ -125,7 +127,7 @@ func Fig15aData(sc Scale) ([]SpeedupPoint, error) {
 			}})
 		}
 	}
-	return runTraceJobs(jobs)
+	return runTraceJobs(sc, jobs)
 }
 
 // RunFig15a renders the SpMV speedups.
@@ -152,7 +154,7 @@ func Fig15bData(sc Scale) ([]SpeedupPoint, error) {
 			}})
 		}
 	}
-	return runTraceJobs(jobs)
+	return runTraceJobs(sc, jobs)
 }
 
 // RunFig15b renders the graph analytics speedups.
@@ -179,7 +181,7 @@ func Fig15cData(sc Scale) ([]SpeedupPoint, error) {
 			}})
 		}
 	}
-	return runTraceJobs(jobs)
+	return runTraceJobs(sc, jobs)
 }
 
 // RunFig15c renders the LU dataflow speedups.
@@ -209,7 +211,7 @@ func Fig15dData(sc Scale) ([]SpeedupPoint, error) {
 			return overlay.Trace(b, n, n, active, sc.Seed)
 		}})
 	}
-	return runTraceJobs(jobs)
+	return runTraceJobs(sc, jobs)
 }
 
 // RunFig15d renders the overlay speedups.

@@ -1,0 +1,142 @@
+package runner
+
+import (
+	"fmt"
+	"sort"
+
+	"fasttrack/internal/sim"
+)
+
+// RatePoint pairs an offered injection rate with its simulation result.
+type RatePoint struct {
+	Rate   float64
+	Result sim.Result
+}
+
+// SaturationOptions tunes SaturationSearch.
+type SaturationOptions struct {
+	// Hi is the top of the search bracket (default 1.0, the paper grids'
+	// maximum offered rate).
+	Hi float64
+	// Tol is the rate resolution of the bisection (default 0.02): the knee
+	// is bracketed to within Tol before the search stops.
+	Tol float64
+	// Slack is the relative shortfall tolerated before a rate counts as
+	// saturated (default 0.05): sustained >= rate*(1-Slack) means the
+	// network still delivers the offered load.
+	Slack float64
+	// MaxEvals bounds the total number of simulations (default 16).
+	MaxEvals int
+	// Probes are extra rates always evaluated (deduplicated), used as curve
+	// anchors so adaptive figure sweeps keep their low-injection points.
+	Probes []float64
+}
+
+func (o SaturationOptions) withDefaults() SaturationOptions {
+	if o.Hi == 0 {
+		o.Hi = 1.0
+	}
+	if o.Tol == 0 {
+		o.Tol = 0.02
+	}
+	if o.Slack == 0 {
+		o.Slack = 0.05
+	}
+	if o.MaxEvals == 0 {
+		o.MaxEvals = 16
+	}
+	return o
+}
+
+// Saturation is the outcome of an adaptive saturation search.
+type Saturation struct {
+	// KneeRate is the largest offered rate the network sustained within
+	// slack — the throughput knee the dense grids locate by brute force.
+	KneeRate float64
+	// Throughput is the maximum sustained rate observed across all
+	// evaluations (the saturation throughput the paper reports).
+	Throughput float64
+	// Evals holds every distinct evaluation, ascending by rate. Dense-grid
+	// figures are replaced by exactly these points.
+	Evals []RatePoint
+}
+
+// SaturationSearch locates the throughput knee of a monotone
+// offered-vs-sustained curve by bisection instead of a dense rate grid.
+// Below the knee a bufferless NoC delivers the offered load (sustained ≈
+// offered); above it throughput plateaus. The search brackets the knee to
+// within Tol using O(log2(Hi/Tol)) simulations — 3-5x fewer than the dense
+// grids of Figs 11-13 — and every evaluated point doubles as a curve sample.
+// Bisection midpoints are exact float64 halvings of the same bracket, so
+// repeated searches evaluate identical rates and hit the result cache.
+//
+// eval must be deterministic for a given rate (it usually closes over a
+// cached orchestrator run).
+func SaturationSearch(eval func(rate float64) (sim.Result, error), opts SaturationOptions) (Saturation, error) {
+	o := opts.withDefaults()
+	var sat Saturation
+	if o.Hi <= 0 {
+		return sat, fmt.Errorf("runner: saturation bracket top %v must be positive", o.Hi)
+	}
+
+	seen := map[float64]sim.Result{}
+	evals := 0
+	call := func(rate float64) (sim.Result, error) {
+		if res, ok := seen[rate]; ok {
+			return res, nil
+		}
+		if evals >= o.MaxEvals {
+			return sim.Result{}, fmt.Errorf("runner: saturation search exceeded %d evaluations", o.MaxEvals)
+		}
+		evals++
+		res, err := eval(rate)
+		if err != nil {
+			return res, fmt.Errorf("rate %v: %w", rate, err)
+		}
+		seen[rate] = res
+		return res, nil
+	}
+	sustains := func(rate float64, res sim.Result) bool {
+		return res.SustainedRate >= rate*(1-o.Slack)
+	}
+
+	for _, p := range o.Probes {
+		if p > 0 && p < o.Hi {
+			if _, err := call(p); err != nil {
+				return sat, err
+			}
+		}
+	}
+	hiRes, err := call(o.Hi)
+	if err != nil {
+		return sat, err
+	}
+
+	lo, hi := 0.0, o.Hi
+	if sustains(o.Hi, hiRes) {
+		// The network never saturates inside the bracket.
+		lo = o.Hi
+	}
+	for hi-lo > o.Tol && evals < o.MaxEvals {
+		mid := (lo + hi) / 2
+		res, err := call(mid)
+		if err != nil {
+			return sat, err
+		}
+		if sustains(mid, res) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	sat.KneeRate = lo
+
+	for rate, res := range seen {
+		sat.Evals = append(sat.Evals, RatePoint{Rate: rate, Result: res})
+		if res.SustainedRate > sat.Throughput {
+			sat.Throughput = res.SustainedRate
+		}
+	}
+	sort.Slice(sat.Evals, func(i, j int) bool { return sat.Evals[i].Rate < sat.Evals[j].Rate })
+	return sat, nil
+}

@@ -1,0 +1,134 @@
+package runner
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"fasttrack/internal/core"
+	"fasttrack/internal/sim"
+)
+
+// analyticCurve models a bufferless NoC's offered-vs-sustained curve: the
+// network delivers the offered load up to the knee, then plateaus.
+func analyticCurve(knee float64) func(rate float64) (sim.Result, error) {
+	return func(rate float64) (sim.Result, error) {
+		return sim.Result{SustainedRate: math.Min(rate, knee)}, nil
+	}
+}
+
+// TestSaturationSearchFindsKnee: on a monotone curve, bisection locates the
+// same knee a dense sweep does, to within tolerance + slack.
+func TestSaturationSearchFindsKnee(t *testing.T) {
+	for _, knee := range []float64{0.11, 0.37, 0.62, 0.93} {
+		evals := 0
+		eval := func(rate float64) (sim.Result, error) {
+			evals++
+			return analyticCurve(knee)(rate)
+		}
+		sat, err := SaturationSearch(eval, SaturationOptions{Tol: 0.01})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Dense-sweep reference: the largest grid rate still delivered in
+		// full — i.e. the knee itself for this analytic curve.
+		slackBand := knee*0.05 + 0.01 // Slack widens the sustained band, Tol the bracket
+		if math.Abs(sat.KneeRate-knee) > slackBand {
+			t.Errorf("knee %.2f: found %.4f (off by %.4f > %.4f)", knee, sat.KneeRate,
+				math.Abs(sat.KneeRate-knee), slackBand)
+		}
+		if math.Abs(sat.Throughput-knee) > 0.05*knee+1e-9 {
+			t.Errorf("knee %.2f: throughput %.4f", knee, sat.Throughput)
+		}
+		if evals > 16 {
+			t.Errorf("knee %.2f: %d evals exceeds budget", knee, evals)
+		}
+		if dense := 10; evals >= dense {
+			t.Errorf("knee %.2f: %d evals is no cheaper than the %d-point dense grid", knee, evals, dense)
+		}
+	}
+}
+
+// TestSaturationSearchNeverSaturates: a curve that always delivers the
+// offered load reports the bracket top as the knee after one evaluation
+// beyond the probes.
+func TestSaturationSearchNeverSaturates(t *testing.T) {
+	evals := 0
+	sat, err := SaturationSearch(func(rate float64) (sim.Result, error) {
+		evals++
+		return sim.Result{SustainedRate: rate}, nil
+	}, SaturationOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sat.KneeRate != 1.0 || evals != 1 {
+		t.Fatalf("want knee=1.0 in 1 eval, got %.3f in %d", sat.KneeRate, evals)
+	}
+}
+
+// TestSaturationSearchProbes: probe rates are always present in the curve
+// samples and deduplicated against bisection midpoints.
+func TestSaturationSearchProbes(t *testing.T) {
+	sat, err := SaturationSearch(analyticCurve(0.4), SaturationOptions{
+		Probes: []float64{0.05, 0.5, 0.05},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := map[float64]bool{}
+	for _, p := range sat.Evals {
+		if found[p.Rate] {
+			t.Fatalf("duplicate eval at rate %v", p.Rate)
+		}
+		found[p.Rate] = true
+	}
+	if !found[0.05] || !found[0.5] {
+		t.Fatalf("probes missing from evals: %v", sat.Evals)
+	}
+	for i := 1; i < len(sat.Evals); i++ {
+		if sat.Evals[i-1].Rate >= sat.Evals[i].Rate {
+			t.Fatal("evals must be sorted ascending by rate")
+		}
+	}
+}
+
+// TestSaturationSearchPropagatesErrors: an eval failure aborts with context.
+func TestSaturationSearchPropagatesErrors(t *testing.T) {
+	boom := errors.New("sim exploded")
+	_, err := SaturationSearch(func(rate float64) (sim.Result, error) {
+		return sim.Result{}, boom
+	}, SaturationOptions{})
+	if !errors.Is(err, boom) {
+		t.Fatalf("want wrapped eval error, got %v", err)
+	}
+}
+
+// TestSaturationSearchMatchesDenseSweepOnRealNoC: integration check on a
+// real (tiny) simulation — the bisected knee's throughput matches the dense
+// grid's saturation throughput.
+func TestSaturationSearchMatchesDenseSweepOnRealNoC(t *testing.T) {
+	cfg := core.Hoplite(4)
+	runAt := func(rate float64) (sim.Result, error) {
+		return core.RunSynthetic(cfg, core.SyntheticOptions{
+			Pattern: "RANDOM", Rate: rate, PacketsPerPE: 150, Seed: 1,
+		})
+	}
+	var dense float64
+	for _, rate := range []float64{0.05, 0.1, 0.2, 0.3, 0.5, 0.75, 1.0} {
+		res, err := runAt(rate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.SustainedRate > dense {
+			dense = res.SustainedRate
+		}
+	}
+	sat, err := SaturationSearch(runAt, SaturationOptions{Tol: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(sat.Throughput-dense) / dense; rel > 0.05 {
+		t.Fatalf("adaptive throughput %.4f deviates %.1f%% from dense %.4f",
+			sat.Throughput, 100*rel, dense)
+	}
+}

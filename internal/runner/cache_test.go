@@ -1,0 +1,202 @@
+package runner
+
+import (
+	"context"
+	"os"
+	"reflect"
+	"testing"
+
+	"fasttrack/internal/core"
+	"fasttrack/internal/sim"
+)
+
+func testCache(t *testing.T) *Cache {
+	t.Helper()
+	c, err := NewCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func quickOpts() core.SyntheticOptions {
+	return core.SyntheticOptions{Pattern: "RANDOM", Rate: 0.3, PacketsPerPE: 50, Seed: 5}
+}
+
+// TestCacheRoundTripBitIdentical is the golden contract: a result served
+// from the cache is bit-identical (reflect.DeepEqual over every field,
+// histogram and per-source accumulator included) to the freshly simulated
+// one.
+func TestCacheRoundTripBitIdentical(t *testing.T) {
+	cfg := core.FastTrack(4, 2, 1)
+	opts := quickOpts()
+	fresh, err := core.RunSynthetic(cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := testCache(t)
+	key := SyntheticKey(cfg, opts)
+	if err := c.Put(key, fresh); err != nil {
+		t.Fatal(err)
+	}
+	var cached sim.Result
+	if !c.Get(key, &cached) {
+		t.Fatal("entry vanished")
+	}
+	if !reflect.DeepEqual(fresh, cached) {
+		t.Fatalf("cached result is not bit-identical to the fresh run:\nfresh:  %+v\ncached: %+v", fresh, cached)
+	}
+	// And the simulation itself is deterministic, so the cache never masks
+	// a rerun.
+	again, err := core.RunSynthetic(cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fresh, again) {
+		t.Fatal("simulation is not deterministic; caching contract broken")
+	}
+}
+
+// TestCacheMissAndInvalidation: unknown keys miss, and any config or
+// workload change re-keys the entry.
+func TestCacheMissAndInvalidation(t *testing.T) {
+	c := testCache(t)
+	cfg := core.Hoplite(4)
+	opts := quickOpts()
+	var out sim.Result
+	if c.Get(SyntheticKey(cfg, opts), &out) {
+		t.Fatal("empty cache must miss")
+	}
+	if err := c.Put(SyntheticKey(cfg, opts), sim.Result{Cycles: 42}); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Get(SyntheticKey(cfg, opts), &out) || out.Cycles != 42 {
+		t.Fatal("stored entry must hit")
+	}
+	for _, k := range []string{
+		SyntheticKey(core.Hoplite(8), opts),          // different network
+		SyntheticKey(core.FastTrack(4, 2, 1), opts),  // different family
+		SyntheticKey(cfg, withRate(opts, 0.31)),      // different rate
+		SyntheticKey(cfg, withSeed(opts, 6)),         // different seed
+	} {
+		if c.Get(k, &out) {
+			t.Fatalf("key %q must not alias the stored entry", k)
+		}
+	}
+}
+
+func withRate(o core.SyntheticOptions, r float64) core.SyntheticOptions {
+	o.Rate = r
+	return o
+}
+
+func withSeed(o core.SyntheticOptions, s uint64) core.SyntheticOptions {
+	o.Seed = s
+	return o
+}
+
+// TestCacheCorruptFileTolerance: truncated or garbage entries behave as
+// misses, heal (the file is removed), and the slot is rewritable.
+func TestCacheCorruptFileTolerance(t *testing.T) {
+	c := testCache(t)
+	const key = "corruption-probe"
+	if err := c.Put(key, sim.Result{Cycles: 7}); err != nil {
+		t.Fatal(err)
+	}
+	for _, garbage := range [][]byte{{}, []byte("not gob"), {0x0e, 0xff, 0x81}} {
+		if err := os.WriteFile(c.Path(key), garbage, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var out sim.Result
+		if c.Get(key, &out) {
+			t.Fatal("corrupt entry must read as a miss")
+		}
+		if _, err := os.Stat(c.Path(key)); !os.IsNotExist(err) {
+			t.Fatal("corrupt entry should be removed")
+		}
+		if err := c.Put(key, sim.Result{Cycles: 9}); err != nil {
+			t.Fatal(err)
+		}
+		var back sim.Result
+		if !c.Get(key, &back) || back.Cycles != 9 {
+			t.Fatal("cache did not heal after corruption")
+		}
+	}
+}
+
+// TestDoCountsHitsAndExecutions: Do computes once, then serves the cache.
+func TestDoCountsHitsAndExecutions(t *testing.T) {
+	o := &Orchestrator{Cache: testCache(t)}
+	runs := 0
+	run := func() (sim.Result, error) {
+		runs++
+		return sim.Result{Cycles: 11}, nil
+	}
+	for i := 0; i < 3; i++ {
+		res, err := Do(o, "the-key", run)
+		if err != nil || res.Cycles != 11 {
+			t.Fatalf("iteration %d: %v %+v", i, err, res)
+		}
+	}
+	if runs != 1 {
+		t.Fatalf("want 1 execution, got %d", runs)
+	}
+	executed, hits := o.Stats()
+	if executed != 1 || hits != 2 {
+		t.Fatalf("want stats 1/2, got %d/%d", executed, hits)
+	}
+}
+
+// TestDoWithoutCache: a cacheless orchestrator recomputes every time but
+// still counts executions.
+func TestDoWithoutCache(t *testing.T) {
+	o := &Orchestrator{}
+	runs := 0
+	for i := 0; i < 2; i++ {
+		if _, err := Do(o, "k", func() (int, error) { runs++; return runs, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	executed, hits := o.Stats()
+	if runs != 2 || executed != 2 || hits != 0 {
+		t.Fatalf("want 2 executions, got runs=%d stats=%d/%d", runs, executed, hits)
+	}
+}
+
+// TestCachedSweepThroughForEach: the full orchestration path — parallel
+// ForEach jobs each funneled through Do — produces identical results on a
+// cold and a warm pass, with the warm pass executing nothing.
+func TestCachedSweepThroughForEach(t *testing.T) {
+	cache := testCache(t)
+	cfgs := []core.Config{core.Hoplite(4), core.FastTrack(4, 2, 1), core.FastTrack(4, 2, 2)}
+	sweep := func() ([]sim.Result, *Orchestrator, error) {
+		o := &Orchestrator{Cache: cache, Workers: 4}
+		out := make([]sim.Result, len(cfgs))
+		err := o.ForEach(context.Background(), len(cfgs), func(ctx context.Context, i int) error {
+			opts := quickOpts()
+			res, err := Do(o, SyntheticKey(cfgs[i], opts), func() (sim.Result, error) {
+				return core.RunSyntheticCtx(ctx, cfgs[i], opts)
+			})
+			out[i] = res
+			return err
+		})
+		return out, o, err
+	}
+	cold, co, err := sweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex, _ := co.Stats(); ex != int64(len(cfgs)) {
+		t.Fatalf("cold pass should execute all %d jobs, did %d", len(cfgs), ex)
+	}
+	warm, wo, err := sweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex, hits := wo.Stats(); ex != 0 || hits != int64(len(cfgs)) {
+		t.Fatalf("warm pass must be all hits: executed=%d hits=%d", ex, hits)
+	}
+	if !reflect.DeepEqual(cold, warm) {
+		t.Fatal("warm results diverge from cold results")
+	}
+}

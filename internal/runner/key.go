@@ -1,0 +1,60 @@
+package runner
+
+import (
+	"fmt"
+	"strings"
+
+	"fasttrack/internal/core"
+	"fasttrack/internal/sim"
+	"fasttrack/internal/trace"
+)
+
+// Cache keys are canonical strings, not hashes of in-memory structs: every
+// field that can change a simulation bit is spelled out by name, so adding a
+// field to an options struct forces a conscious decision here, and a key is
+// readable when debugging a cache directory. All keys embed sim.Version —
+// the engine tag part of the cache-key contract (DESIGN.md §9).
+
+// ConfigKey canonicalizes the cycle-behaviour-relevant part of a NoC
+// configuration. WidthBits is deliberately excluded: the datapath width only
+// feeds the FPGA cost/clock/power models, never the cycle simulation.
+func ConfigKey(cfg core.Config) string {
+	return fmt.Sprintf("kind=%d n=%d d=%d r=%d var=%d chan=%d pipe=%d",
+		cfg.Kind, cfg.N, cfg.D, cfg.R, cfg.Variant, cfg.Channels, cfg.ExpressPipeline)
+}
+
+// SyntheticKey is the cache key for core.RunSynthetic(cfg, o).
+func SyntheticKey(cfg core.Config, o core.SyntheticOptions) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s|synthetic|%s|", sim.Version, ConfigKey(cfg))
+	fmt.Fprintf(&b, "pat=%s rate=%v quota=%d seed=%d maxcyc=%d reg=%v/%v check=%v age=%d conv=%d/%v",
+		o.Pattern, o.Rate, o.PacketsPerPE, o.Seed, o.MaxCycles,
+		o.RegulateRate, o.RegulateBurst, o.CheckConservation, o.MaxPacketAge,
+		o.ConvergeWindow, o.ConvergeTol)
+	if o.Faults != nil {
+		fmt.Fprintf(&b, " faults=%+v", *o.Faults)
+	}
+	if o.Retry != nil {
+		fmt.Fprintf(&b, " retry=%+v", *o.Retry)
+	}
+	return b.String()
+}
+
+// TraceKey is the cache key for core.RunTrace(cfg, tr): the trace enters by
+// content fingerprint, so regenerating an identical trace reuses the entry.
+func TraceKey(cfg core.Config, tr *trace.Trace) string {
+	return fmt.Sprintf("%s|trace|%s|name=%s pes=%d events=%d fp=%016x",
+		sim.Version, ConfigKey(cfg), tr.Name, tr.PEs, len(tr.Events), tr.Fingerprint())
+}
+
+// RawKey builds a key for bespoke simulations (buffered mesh, message
+// streams) from caller-supplied parts; sim.Version is prefixed
+// automatically. Parts must jointly determine the run.
+func RawKey(parts ...any) string {
+	var b strings.Builder
+	b.WriteString(sim.Version)
+	for _, p := range parts {
+		fmt.Fprintf(&b, "|%v", p)
+	}
+	return b.String()
+}

@@ -1,0 +1,191 @@
+// Package runner is the sweep orchestration layer shared by ftexp, ftdse and
+// ftbench: the paper's evaluation is thousands of independent cycle-accurate
+// simulations, and this package schedules them across workers, memoizes their
+// results in a content-addressed on-disk cache, and replaces dense
+// injection-rate grids with an adaptive bisection on the throughput knee.
+//
+// The contract with the simulator is strict determinism: a run is a pure
+// function of its resolved configuration, workload parameters, seed and
+// engine version, so a cached sim.Result is bit-identical to a fresh one and
+// scheduling order never changes any value, only wall clock.
+package runner
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// JobError reports which job of a ForEach batch failed; Unwrap exposes the
+// job's own error.
+type JobError struct {
+	// Index is the failing job's index in [0, n).
+	Index int
+	// Err is the error the job returned.
+	Err error
+}
+
+func (e *JobError) Error() string { return fmt.Sprintf("job %d: %v", e.Index, e.Err) }
+
+// Unwrap implements errors.Unwrap.
+func (e *JobError) Unwrap() error { return e.Err }
+
+// Orchestrator runs batches of independent simulation jobs. The zero value
+// is usable: no cache, one worker per CPU, silent.
+type Orchestrator struct {
+	// Cache, when non-nil, memoizes job results across processes (see Do).
+	Cache *Cache
+	// Workers bounds concurrent jobs; 0 means runtime.NumCPU().
+	Workers int
+	// Progress, when non-nil, receives a live single-line job counter with
+	// percentage, elapsed time and ETA (carriage-return updates; typically
+	// os.Stderr).
+	Progress io.Writer
+
+	mu       sync.Mutex
+	executed int64
+	hits     int64
+	busy     time.Duration
+	slowest  time.Duration
+	slowestI int
+}
+
+func (o *Orchestrator) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.NumCPU()
+}
+
+// Stats reports how many jobs were computed versus served from the cache
+// since the orchestrator was created.
+func (o *Orchestrator) Stats() (executed, cacheHits int64) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.executed, o.hits
+}
+
+// Timing reports aggregate per-job wall clock: total busy time across all
+// executed jobs and the slowest single job with its ForEach index (-1 when
+// the slowest job ran outside ForEach).
+func (o *Orchestrator) Timing() (busy, slowest time.Duration, slowestIndex int) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.busy, o.slowest, o.slowestI
+}
+
+func (o *Orchestrator) recordJob(index int, d time.Duration) {
+	o.mu.Lock()
+	o.busy += d
+	if d > o.slowest {
+		o.slowest, o.slowestI = d, index
+	}
+	o.mu.Unlock()
+}
+
+// ForEach runs f(ctx, 0..n-1) across the worker pool and returns the first
+// error, wrapped in *JobError so the failing index survives. On the first
+// failure the context passed to in-flight siblings is cancelled (sim.Run
+// polls it via Options.Context) and no further jobs start. Job results must
+// be written to per-index storage by f; completion order is unspecified but
+// every index below the failing one either ran or was cancelled.
+func (o *Orchestrator) ForEach(ctx context.Context, n int, f func(ctx context.Context, i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	workers := o.workers()
+	if workers > n {
+		workers = n
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr *JobError
+		next     int
+		done     int
+		start    = time.Now()
+	)
+	runOne := func(i int) {
+		t0 := time.Now()
+		err := f(cctx, i)
+		d := time.Since(t0)
+		mu.Lock()
+		done++
+		if err != nil && firstErr == nil {
+			firstErr = &JobError{Index: i, Err: err}
+			cancel()
+		}
+		if o.Progress != nil {
+			elapsed := time.Since(start)
+			eta := time.Duration(float64(elapsed) / float64(done) * float64(n-done))
+			fmt.Fprintf(o.Progress, "\r%4d/%d jobs %5.1f%%  elapsed %s  eta %s   ",
+				done, n, 100*float64(done)/float64(n),
+				elapsed.Round(time.Millisecond), eta.Round(time.Millisecond))
+			if done == n {
+				fmt.Fprintln(o.Progress)
+			}
+		}
+		mu.Unlock()
+		o.recordJob(i, d)
+	}
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				if firstErr != nil || next >= n || cctx.Err() != nil {
+					mu.Unlock()
+					return
+				}
+				i := next
+				next++
+				mu.Unlock()
+				runOne(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}
+
+// Do funnels one job through the orchestrator's cache: a hit returns the
+// persisted value (counted in Stats), a miss computes it with run and stores
+// the result. With no cache configured it just runs and counts. The key must
+// be a complete canonical description of the computation (see SyntheticKey);
+// run must be a deterministic function of that key.
+func Do[T any](o *Orchestrator, key string, run func() (T, error)) (T, error) {
+	var v T
+	if o.Cache != nil && o.Cache.Get(key, &v) {
+		o.mu.Lock()
+		o.hits++
+		o.mu.Unlock()
+		return v, nil
+	}
+	v, err := run()
+	if err != nil {
+		return v, err
+	}
+	o.mu.Lock()
+	o.executed++
+	o.mu.Unlock()
+	if o.Cache != nil {
+		// Best-effort: a failed write (full disk, read-only dir) only costs
+		// a recompute next time.
+		_ = o.Cache.Put(key, v)
+	}
+	return v, nil
+}

@@ -1,0 +1,145 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestForEachCoversEveryIndex: all indices run exactly once and results land
+// at their own slots regardless of scheduling (run under -race in CI).
+func TestForEachCoversEveryIndex(t *testing.T) {
+	o := &Orchestrator{Workers: 8}
+	const n = 200
+	out := make([]int, n)
+	var calls atomic.Int64
+	err := o.ForEach(context.Background(), n, func(_ context.Context, i int) error {
+		calls.Add(1)
+		out[i] = i*i + 1
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != n {
+		t.Fatalf("want %d calls, got %d", n, calls.Load())
+	}
+	for i, v := range out {
+		if v != i*i+1 {
+			t.Fatalf("slot %d corrupted: %d", i, v)
+		}
+	}
+}
+
+// TestForEachReportsFailingIndex: the first error comes back wrapped in
+// *JobError carrying the job index and unwrapping to the cause.
+func TestForEachReportsFailingIndex(t *testing.T) {
+	o := &Orchestrator{Workers: 4}
+	boom := errors.New("boom")
+	err := o.ForEach(context.Background(), 10, func(_ context.Context, i int) error {
+		if i == 7 {
+			return fmt.Errorf("wrapped: %w", boom)
+		}
+		return nil
+	})
+	var je *JobError
+	if !errors.As(err, &je) {
+		t.Fatalf("want *JobError, got %T: %v", err, err)
+	}
+	if je.Index != 7 {
+		t.Fatalf("want failing index 7, got %d", je.Index)
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("JobError must unwrap to the cause")
+	}
+}
+
+// TestForEachCancelsSiblings: when one job fails, in-flight siblings observe
+// context cancellation (so simulations abort mid-run) and queued jobs never
+// start.
+func TestForEachCancelsSiblings(t *testing.T) {
+	o := &Orchestrator{Workers: 4}
+	const n = 100
+	var started atomic.Int64
+	fail := errors.New("fail fast")
+	err := o.ForEach(context.Background(), n, func(ctx context.Context, i int) error {
+		started.Add(1)
+		if i == 0 {
+			return fail
+		}
+		// Siblings park until cancelled; without propagation this deadlocks
+		// the test (guarded by the select timeout below).
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(30 * time.Second):
+			return errors.New("cancellation never arrived")
+		}
+	})
+	var je *JobError
+	if !errors.As(err, &je) || je.Index != 0 || !errors.Is(err, fail) {
+		t.Fatalf("want JobError{0, fail fast}, got %v", err)
+	}
+	if s := started.Load(); s >= n {
+		t.Fatalf("scheduler kept dispatching after failure: %d/%d jobs started", s, n)
+	}
+}
+
+// TestForEachExternalCancel: a cancelled parent context stops the batch and
+// is reported.
+func TestForEachExternalCancel(t *testing.T) {
+	o := &Orchestrator{Workers: 2}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var started atomic.Int64
+	err := o.ForEach(ctx, 50, func(ctx context.Context, i int) error {
+		started.Add(1)
+		return ctx.Err()
+	})
+	if err == nil {
+		t.Fatal("want error from cancelled context")
+	}
+	if s := started.Load(); s > 2 {
+		t.Fatalf("pre-cancelled batch still started %d jobs", s)
+	}
+}
+
+// TestForEachSerialPathSemantics: a single worker must preserve the same
+// error contract as the pool.
+func TestForEachSerialPathSemantics(t *testing.T) {
+	o := &Orchestrator{Workers: 1}
+	var ran []int
+	err := o.ForEach(context.Background(), 5, func(_ context.Context, i int) error {
+		ran = append(ran, i)
+		if i == 2 {
+			return errors.New("stop")
+		}
+		return nil
+	})
+	var je *JobError
+	if !errors.As(err, &je) || je.Index != 2 {
+		t.Fatalf("want JobError at 2, got %v", err)
+	}
+	if len(ran) != 3 {
+		t.Fatalf("serial path must stop after the failure: ran %v", ran)
+	}
+}
+
+// TestTiming: per-job wall clock aggregates are recorded.
+func TestTiming(t *testing.T) {
+	o := &Orchestrator{Workers: 2}
+	err := o.ForEach(context.Background(), 4, func(context.Context, int) error {
+		time.Sleep(2 * time.Millisecond)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	busy, slowest, _ := o.Timing()
+	if busy < 8*time.Millisecond || slowest < 2*time.Millisecond {
+		t.Fatalf("timing not recorded: busy=%v slowest=%v", busy, slowest)
+	}
+}

@@ -10,11 +10,20 @@
 package sim
 
 import (
+	"context"
 	"fmt"
+	"math"
 
 	"fasttrack/internal/noc"
 	"fasttrack/internal/stats"
 )
+
+// Version tags the cycle-level semantics of the engine. The content-addressed
+// result cache (internal/runner) folds it into every cache key, so persisted
+// results are invalidated whenever the simulator's behaviour changes. Bump it
+// on any change that can alter a Result bit for identical inputs (stepping
+// order, workload protocol, statistics definitions, histogram geometry).
+const Version = "ft-sim/3"
 
 // Workload produces the packets a simulation injects and observes delivery.
 // Implementations: traffic.Synthetic (statistical patterns) and
@@ -78,6 +87,10 @@ type Result struct {
 	Counters noc.Counters
 	// TimedOut reports the run hit MaxCycles before the workload drained.
 	TimedOut bool
+	// Converged reports that the run ended early because the windowed
+	// throughput/latency stationarity test (Options.ConvergeWindow) passed;
+	// the workload may not have drained.
+	Converged bool
 	// Faults counts injected faults when the network is wrapped by a fault
 	// injector (internal/faults); zero otherwise.
 	Faults stats.FaultCounts
@@ -111,6 +124,24 @@ type Options struct {
 	// It is the reference engine path the golden equivalence tests compare
 	// the fast path against.
 	FullScan bool
+	// Context, when non-nil, is polled every few thousand cycles so a sweep
+	// scheduler (internal/runner) can cancel in-flight sibling simulations
+	// once one job fails; Run returns the context's error. nil never cancels.
+	Context context.Context
+	// ConvergeWindow, when positive, arms the opt-in early-exit stationarity
+	// test: every ConvergeWindow cycles the windowed delivery rate and mean
+	// latency are compared against the previous window, and once both change
+	// by less than ConvergeTol (relative) for ConvergePatience consecutive
+	// windows the run stops with Result.Converged set. The default (0) keeps
+	// the fixed-budget path, so golden bit-exactness is untouched. Intended
+	// for saturation-throughput measurements where steady state arrives long
+	// before the packet quota drains.
+	ConvergeWindow int64
+	// ConvergeTol is the relative per-window change threshold; 0 means 0.01.
+	ConvergeTol float64
+	// ConvergePatience is the number of consecutive stationary windows
+	// required before exiting; 0 means 3.
+	ConvergePatience int
 }
 
 func (o Options) withDefaults() Options {
@@ -123,7 +154,25 @@ func (o Options) withDefaults() Options {
 	if o.HistogramMax == 0 {
 		o.HistogramMax = 1 << 20
 	}
+	if o.ConvergeWindow > 0 {
+		if o.ConvergeTol == 0 {
+			o.ConvergeTol = 0.01
+		}
+		if o.ConvergePatience == 0 {
+			o.ConvergePatience = 3
+		}
+	}
 	return o
+}
+
+// relDelta is the relative change between two window statistics, symmetric
+// in its arguments and 0 when both are 0.
+func relDelta(a, b float64) float64 {
+	den := math.Max(math.Abs(a), math.Abs(b))
+	if den == 0 {
+		return 0
+	}
+	return math.Abs(a-b) / den
 }
 
 // Run drives net against wl until the workload drains or a limit is hit.
@@ -143,7 +192,18 @@ func Run(net noc.Network, wl Workload, opts Options) (Result, error) {
 	var latSum float64
 	var now, lastProgress int64
 
+	// Convergence-window state (only touched when ConvergeWindow > 0).
+	var convStreak, winStarted int
+	var winPrevRate, winPrevLat, winPrevLatDelta float64
+	var winDelivered int64
+	var winLatSum float64
+
 	for now = 0; now < opts.MaxCycles; now++ {
+		if opts.Context != nil && now&4095 == 0 {
+			if err := opts.Context.Err(); err != nil {
+				return res, err
+			}
+		}
 		wl.Tick(now)
 
 		anyOffer := false
@@ -253,6 +313,38 @@ func Run(net noc.Network, wl Workload, opts Options) (Result, error) {
 				Snapshot: aud.snapshot(now),
 			}
 		}
+
+		// Windowed stationarity test (opt-in early exit). The delivery rate
+		// must be stable, and the windowed mean latency must be *trend*
+		// stationary: either flat (below saturation) or growing by a stable
+		// amount per window (at saturation the measured latency includes
+		// source queueing, which grows linearly for as long as the quota
+		// lasts — a flat-latency criterion would never pass there).
+		if opts.ConvergeWindow > 0 && (now+1)%opts.ConvergeWindow == 0 {
+			d := res.Delivered - winDelivered
+			rate := float64(d) / float64(opts.ConvergeWindow)
+			lat := 0.0
+			if d > 0 {
+				lat = (latSum - winLatSum) / float64(d)
+			}
+			latDelta := lat - winPrevLat
+			if winStarted >= 2 && res.Delivered > 0 {
+				slopeStable := math.Abs(latDelta-winPrevLatDelta) <= opts.ConvergeTol*math.Max(lat, 1)
+				if relDelta(rate, winPrevRate) < opts.ConvergeTol && slopeStable {
+					convStreak++
+				} else {
+					convStreak = 0
+				}
+			}
+			winStarted++
+			winPrevRate, winPrevLat, winPrevLatDelta = rate, lat, latDelta
+			winDelivered, winLatSum = res.Delivered, latSum
+			if convStreak >= opts.ConvergePatience {
+				res.Converged = true
+				now++ // this cycle completed in full
+				break
+			}
+		}
 	}
 
 	res.Cycles = now
@@ -263,7 +355,7 @@ func Run(net noc.Network, wl Workload, opts Options) (Result, error) {
 	if rr, ok := findRecoveryReporter(wl); ok {
 		res.Recovery = rr.RecoveryCounts()
 	}
-	if got := res.Delivered + res.Faults.Lost(); got != res.Injected && !res.TimedOut {
+	if got := res.Delivered + res.Faults.Lost(); got != res.Injected && !res.TimedOut && !res.Converged {
 		return res, &InvariantError{
 			Err: ErrConservation, Cycle: now,
 			Detail: fmt.Sprintf("injected %d != delivered %d + lost %d (in-flight %d)",

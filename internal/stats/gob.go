@@ -1,0 +1,67 @@
+package stats
+
+// Gob codecs for the measurement types embedded in sim.Result. The sweep
+// orchestration layer (internal/runner) persists results under .ftcache/
+// with encoding/gob, which only serializes exported fields; these custom
+// codecs capture the full private state so a decoded result is bit-identical
+// to the freshly measured one (float64 payloads round-trip exactly through
+// gob). The wire structs are versioned implicitly by the cache key's engine
+// tag, so layout changes only require bumping sim.Version.
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+// accumulatorWire mirrors Accumulator's private state for serialization.
+type accumulatorWire struct {
+	N              int64
+	Mean, M2       float64
+	MinVal, MaxVal float64
+}
+
+// GobEncode implements gob.GobEncoder.
+func (a Accumulator) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(accumulatorWire{
+		N: a.n, Mean: a.mean, M2: a.m2, MinVal: a.min, MaxVal: a.max,
+	})
+	return buf.Bytes(), err
+}
+
+// GobDecode implements gob.GobDecoder.
+func (a *Accumulator) GobDecode(b []byte) error {
+	var w accumulatorWire
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&w); err != nil {
+		return err
+	}
+	a.n, a.mean, a.m2, a.min, a.max = w.N, w.Mean, w.M2, w.MinVal, w.MaxVal
+	return nil
+}
+
+// histogramWire mirrors Histogram's private state for serialization.
+type histogramWire struct {
+	Bounds []int64
+	Counts []int64
+	Over   int64
+	Acc    Accumulator
+}
+
+// GobEncode implements gob.GobEncoder.
+func (h *Histogram) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(histogramWire{
+		Bounds: h.bounds, Counts: h.counts, Over: h.over, Acc: h.acc,
+	})
+	return buf.Bytes(), err
+}
+
+// GobDecode implements gob.GobDecoder.
+func (h *Histogram) GobDecode(b []byte) error {
+	var w histogramWire
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&w); err != nil {
+		return err
+	}
+	h.bounds, h.counts, h.over, h.acc = w.Bounds, w.Counts, w.Over, w.Acc
+	return nil
+}

@@ -1,0 +1,70 @@
+package stats
+
+import (
+	"bytes"
+	"encoding/gob"
+	"reflect"
+	"testing"
+)
+
+func TestAccumulatorGobRoundTrip(t *testing.T) {
+	var a Accumulator
+	for _, x := range []float64{3, 1.5, 9.25, 0.125, 7} {
+		a.Add(x)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(a); err != nil {
+		t.Fatal(err)
+	}
+	var b Accumulator
+	if err := gob.NewDecoder(&buf).Decode(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("round trip changed accumulator: %+v vs %+v", a, b)
+	}
+	if b.Mean() != a.Mean() || b.Variance() != a.Variance() {
+		t.Fatalf("moments drifted: mean %v vs %v", a.Mean(), b.Mean())
+	}
+}
+
+func TestAccumulatorGobZeroValue(t *testing.T) {
+	var a Accumulator
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(a); err != nil {
+		t.Fatal(err)
+	}
+	var b Accumulator
+	if err := gob.NewDecoder(&buf).Decode(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("zero-value round trip diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestHistogramGobRoundTrip(t *testing.T) {
+	h := NewLatencyHistogram(1 << 12)
+	for _, x := range []int64{1, 3, 17, 400, 4096, 9999999} { // incl. overflow
+		h.Add(x)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(h); err != nil {
+		t.Fatal(err)
+	}
+	g := new(Histogram)
+	if err := gob.NewDecoder(&buf).Decode(g); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(h, g) {
+		t.Fatalf("round trip changed histogram")
+	}
+	if g.Count() != h.Count() || g.Quantile(0.5) != h.Quantile(0.5) || g.Max() != h.Max() {
+		t.Fatalf("derived stats drifted after decode")
+	}
+	// Decoded histograms must keep working as accumulators.
+	g.Add(7)
+	if g.Count() != h.Count()+1 {
+		t.Fatalf("decoded histogram rejects new samples")
+	}
+}

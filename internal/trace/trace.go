@@ -7,7 +7,9 @@ package trace
 
 import (
 	"bufio"
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"strconv"
 	"strings"
@@ -34,6 +36,33 @@ type Trace struct {
 	PEs int
 	// Events holds the messages; Deps index into this slice.
 	Events []Event
+}
+
+// Fingerprint returns a stable 64-bit content hash over the trace's name,
+// PE count and every event (endpoints, delay, dependencies). The sweep
+// result cache (internal/runner) keys trace simulations on it, so two
+// generator invocations that produce the same trace share one cache entry
+// and any change to the generated events invalidates stale results.
+func (t *Trace) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	word := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	io.WriteString(h, t.Name)
+	word(uint64(t.PEs))
+	word(uint64(len(t.Events)))
+	for _, e := range t.Events {
+		word(uint64(e.Src))
+		word(uint64(e.Dst))
+		word(uint64(e.Delay))
+		word(uint64(len(e.Deps)))
+		for _, d := range e.Deps {
+			word(uint64(d))
+		}
+	}
+	return h.Sum64()
 }
 
 // Validate checks internal consistency: PE indices in range, dependency

@@ -14,6 +14,7 @@ import (
 	"fasttrack/internal/experiments"
 	"fasttrack/internal/fpga"
 	"fasttrack/internal/sim"
+	"fasttrack/internal/telemetry"
 	"fasttrack/internal/traffic"
 )
 
@@ -369,32 +370,41 @@ func BenchmarkRouterStep(b *testing.B) {
 
 // simBench runs one full hoplite 16×16 RANDOM simulation per iteration,
 // either on the optimized engine (sparse occupancy-driven stepping plus
-// ActiveSet PE iteration) or on the dense reference path (SetDense plus a
-// full PE scan). The two are bit-exact — the golden tests in internal/sim
-// enforce it — so the pair measures pure hot-loop speedup; `make bench`
-// records the ratio in BENCH_sim.json.
-func simBench(b *testing.B, rate float64, reference bool) {
+// ActiveSet PE iteration) or on the dense reference path (Engine =
+// EngineDense plus a full PE scan). The two are bit-exact — the golden
+// tests in internal/sim enforce it — so the pair measures pure hot-loop
+// speedup; `make bench` records the ratio in BENCH_sim.json.
+func simBench(b *testing.B, opts sim.Options, rate float64) {
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
 		net, err := core.Hoplite(16).Build()
 		if err != nil {
 			b.Fatal(err)
 		}
-		if reference {
-			net.(interface{ SetDense(bool) }).SetDense(true)
-		}
 		wl := traffic.NewSynthetic(16, 16, traffic.Random{}, rate, 200, 17)
 		b.StartTimer()
-		if _, err := sim.Run(net, wl, sim.Options{FullScan: reference}); err != nil {
+		if _, err := sim.Run(net, wl, opts); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
 
-func BenchmarkSimLowRate(b *testing.B)             { simBench(b, 0.05, false) }
-func BenchmarkSimLowRateReference(b *testing.B)    { simBench(b, 0.05, true) }
-func BenchmarkSimSaturation(b *testing.B)          { simBench(b, 1.0, false) }
-func BenchmarkSimSaturationReference(b *testing.B) { simBench(b, 1.0, true) }
+func BenchmarkSimLowRate(b *testing.B) { simBench(b, sim.Options{}, 0.05) }
+func BenchmarkSimLowRateReference(b *testing.B) {
+	simBench(b, sim.Options{Engine: sim.EngineDense}, 0.05)
+}
+func BenchmarkSimSaturation(b *testing.B) { simBench(b, sim.Options{}, 1.0) }
+func BenchmarkSimSaturationReference(b *testing.B) {
+	simBench(b, sim.Options{Engine: sim.EngineDense}, 1.0)
+}
+
+// BenchmarkSimSaturationNopObserver is BenchmarkSimSaturation with a no-op
+// telemetry observer attached; comparing the pair bounds the cost of the
+// observer hooks when telemetry is wired but idle (budget: <2% over the
+// no-telemetry run, which itself pays only nil checks).
+func BenchmarkSimSaturationNopObserver(b *testing.B) {
+	simBench(b, sim.Options{Observer: telemetry.Base{}}, 1.0)
+}
 
 // BenchmarkWireModel measures the FPGA delay model.
 func BenchmarkWireModel(b *testing.B) {

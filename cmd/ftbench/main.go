@@ -9,7 +9,11 @@
 //	make bench
 //
 // Timing fields are best-of-reps wall clock; cycles and delivered counts
-// are deterministic for the fixed seed, so diffs isolate timing drift.
+// are deterministic for the fixed seed, so diffs isolate timing drift. Each
+// scenario also times the optimized engine with a no-op telemetry observer
+// attached (observer_ns): the observer_overhead ratio is the cost of the
+// hook nil-checks plus a virtual call per event, and guards the "disabled
+// telemetry is free" claim alongside BenchmarkSim* (<2%% budget).
 //
 // With -sweep the tool instead benchmarks the sweep orchestration layer
 // (internal/runner): a quick-scale Fig 11 rate sweep timed dense-serial,
@@ -29,14 +33,9 @@ import (
 	"fasttrack/internal/core"
 	"fasttrack/internal/noc"
 	"fasttrack/internal/sim"
+	"fasttrack/internal/telemetry"
 	"fasttrack/internal/traffic"
 )
-
-// denseSteppable selects the reference stepping path on every network
-// family that carries the sparse fast path.
-type denseSteppable interface {
-	SetDense(dense bool)
-}
 
 // scenario is one benchmark point.
 type scenario struct {
@@ -56,6 +55,10 @@ type row struct {
 	ReferenceNS int64   `json:"reference_ns"`
 	OptimizedNS int64   `json:"optimized_ns"`
 	Speedup     float64 `json:"speedup"`
+	// ObserverNS is the optimized engine with a no-op observer attached;
+	// ObserverOverhead = observer_ns / optimized_ns (1.0 = free).
+	ObserverNS       int64   `json:"observer_ns"`
+	ObserverOverhead float64 `json:"observer_overhead"`
 }
 
 const seed = 17
@@ -75,30 +78,26 @@ func scenarios() []scenario {
 	}
 }
 
-// runOnce executes sc on one engine path and returns the result and the
-// wall-clock time of the sim.Run call (workload and network construction
-// excluded).
-func runOnce(sc scenario, reference bool) (sim.Result, time.Duration, error) {
+// runOnce executes sc under opts and returns the result and the wall-clock
+// time of the sim.Run call (workload and network construction excluded).
+func runOnce(sc scenario, opts sim.Options) (sim.Result, time.Duration, error) {
 	net, err := sc.build()
 	if err != nil {
 		return sim.Result{}, 0, err
 	}
-	if reference {
-		net.(denseSteppable).SetDense(true)
-	}
 	wl := traffic.NewSynthetic(sc.w, sc.h, sc.pattern, sc.rate, sc.quota, seed)
 	start := time.Now()
-	res, err := sim.Run(net, wl, sim.Options{FullScan: reference})
+	res, err := sim.Run(net, wl, opts)
 	return res, time.Since(start), err
 }
 
-// best runs sc reps times on one path and keeps the fastest wall clock;
+// best runs sc reps times under opts and keeps the fastest wall clock;
 // the result is identical across reps (the workload is seeded).
-func best(sc scenario, reference bool, reps int) (sim.Result, time.Duration, error) {
+func best(sc scenario, opts sim.Options, reps int) (sim.Result, time.Duration, error) {
 	var bestRes sim.Result
 	var bestDur time.Duration
 	for r := 0; r < reps; r++ {
-		res, dur, err := runOnce(sc, reference)
+		res, dur, err := runOnce(sc, opts)
 		if err != nil {
 			return sim.Result{}, 0, err
 		}
@@ -131,32 +130,44 @@ func main() {
 
 	var rows []row
 	for _, sc := range scenarios() {
-		ref, refDur, err := best(sc, true, *reps)
+		ref, refDur, err := best(sc, sim.Options{Engine: sim.EngineDense}, *reps)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ftbench: %s (reference): %v\n", sc.name, err)
 			os.Exit(1)
 		}
-		opt, optDur, err := best(sc, false, *reps)
+		opt, optDur, err := best(sc, sim.Options{}, *reps)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ftbench: %s (optimized): %v\n", sc.name, err)
+			os.Exit(1)
+		}
+		obs, obsDur, err := best(sc, sim.Options{Observer: telemetry.Base{}}, *reps)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ftbench: %s (observer): %v\n", sc.name, err)
 			os.Exit(1)
 		}
 		if !reflect.DeepEqual(ref, opt) {
 			fmt.Fprintf(os.Stderr, "ftbench: %s: optimized result diverges from reference\n", sc.name)
 			os.Exit(1)
 		}
+		if !reflect.DeepEqual(obs, opt) {
+			fmt.Fprintf(os.Stderr, "ftbench: %s: no-op observer changed the result\n", sc.name)
+			os.Exit(1)
+		}
 		r := row{
-			Name:        sc.name,
-			Cycles:      opt.Cycles,
-			Delivered:   opt.Delivered,
-			ReferenceNS: refDur.Nanoseconds(),
-			OptimizedNS: optDur.Nanoseconds(),
-			Speedup:     float64(refDur) / float64(optDur),
+			Name:             sc.name,
+			Cycles:           opt.Cycles,
+			Delivered:        opt.Delivered,
+			ReferenceNS:      refDur.Nanoseconds(),
+			OptimizedNS:      optDur.Nanoseconds(),
+			Speedup:          float64(refDur) / float64(optDur),
+			ObserverNS:       obsDur.Nanoseconds(),
+			ObserverOverhead: float64(obsDur) / float64(optDur),
 		}
 		rows = append(rows, r)
-		fmt.Printf("%-36s %10d cycles  ref %8.2fms  opt %8.2fms  %.2fx\n",
+		fmt.Printf("%-36s %10d cycles  ref %8.2fms  opt %8.2fms  %.2fx  obs %.3fx\n",
 			r.Name, r.Cycles,
-			float64(r.ReferenceNS)/1e6, float64(r.OptimizedNS)/1e6, r.Speedup)
+			float64(r.ReferenceNS)/1e6, float64(r.OptimizedNS)/1e6, r.Speedup,
+			r.ObserverOverhead)
 	}
 
 	f, err := os.Create(*out)

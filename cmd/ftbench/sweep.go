@@ -75,7 +75,7 @@ func denseSerial() (time.Duration, int64, error) {
 	for _, pat := range sweepPatterns {
 		for _, cfg := range sweepConfigs() {
 			for _, rate := range denseRates {
-				if _, err := core.RunSynthetic(cfg, denseOptions(pat, rate)); err != nil {
+				if _, err := core.RunSynthetic(context.Background(), cfg, denseOptions(pat, rate)); err != nil {
 					return 0, 0, err
 				}
 				runs++
@@ -105,7 +105,7 @@ func denseParallel() (time.Duration, error) {
 	start := time.Now()
 	err := orch.ForEach(context.Background(), len(jobs), func(ctx context.Context, i int) error {
 		j := jobs[i]
-		_, err := core.RunSyntheticCtx(ctx, j.cfg, denseOptions(j.pat, j.rate))
+		_, err := core.RunSynthetic(ctx, j.cfg, denseOptions(j.pat, j.rate))
 		return err
 	})
 	return time.Since(start), err
@@ -133,7 +133,7 @@ func adaptiveSweep(orch *runner.Orchestrator) (time.Duration, int64, error) {
 			opts.ConvergeWindow = sweepWindow
 			opts.ConvergeTol = sweepTol
 			return runner.Do(orch, runner.SyntheticKey(c.cfg, opts), func() (sim.Result, error) {
-				return core.RunSyntheticCtx(ctx, c.cfg, opts)
+				return core.RunSynthetic(ctx, c.cfg, opts)
 			})
 		}, runner.SaturationOptions{Tol: sweepSatTol, Probes: []float64{sweepLowProbe}})
 		return err

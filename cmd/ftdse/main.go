@@ -17,39 +17,31 @@ import (
 	"os"
 	"text/tabwriter"
 
+	"fasttrack/internal/cliflags"
 	"fasttrack/internal/dse"
-	"fasttrack/internal/runner"
 )
 
 func main() {
 	n := flag.Int("n", 8, "torus width (NoC is NxN)")
 	width := flag.Int("width", 256, "datapath width in bits")
-	pattern := flag.String("pattern", "RANDOM", "traffic pattern")
-	rate := flag.Float64("rate", 1.0, "injection rate")
-	packets := flag.Int("packets", 300, "packets per PE")
+	work := cliflags.RegisterWorkload(flag.CommandLine,
+		cliflags.Workload{Pattern: "RANDOM", Rate: 1.0, PacketsPerPE: 300, Seed: 1})
 	variants := flag.Bool("variants", false, "also evaluate FTlite(Inject) routers")
 	channels := flag.Int("channels", 3, "max multi-channel Hoplite replication")
-	seed := flag.Uint64("seed", 1, "random seed")
-	workers := flag.Int("workers", 0, "simulation worker pool size (0 = one per CPU)")
-	cacheDir := flag.String("cache-dir", runner.DefaultCacheDir, "content-addressed result cache directory")
-	noCache := flag.Bool("no-cache", false, "disable the result cache (every point simulates fresh)")
+	sweep := cliflags.RegisterSweep(flag.CommandLine)
 	flag.Parse()
 
-	var cache *runner.Cache
-	if !*noCache {
-		c, err := runner.NewCache(*cacheDir)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "ftdse:", err)
-			os.Exit(1)
-		}
-		cache = c
+	cache, err := sweep.Cache()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ftdse:", err)
+		os.Exit(1)
 	}
 
 	pts, stats, err := dse.Explore(dse.Options{
 		N: *n, WidthBits: *width,
-		Pattern: *pattern, Rate: *rate, PacketsPerPE: *packets,
-		MaxChannels: *channels, Variants: *variants, Seed: *seed,
-		Workers: *workers, Cache: cache,
+		Pattern: work.Pattern, Rate: work.Rate, PacketsPerPE: work.PacketsPerPE,
+		MaxChannels: *channels, Variants: *variants, Seed: work.Seed,
+		Workers: sweep.Workers, Cache: cache,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ftdse:", err)

@@ -24,8 +24,8 @@ import (
 	"os"
 	"time"
 
+	"fasttrack/internal/cliflags"
 	"fasttrack/internal/experiments"
-	"fasttrack/internal/runner"
 )
 
 func main() {
@@ -33,9 +33,7 @@ func main() {
 	run := flag.String("run", "all", "experiment id to run, or 'all'")
 	quick := flag.Bool("quick", false, "use the reduced-scale sweep")
 	seed := flag.Uint64("seed", 1, "random seed for all workloads")
-	workers := flag.Int("workers", 0, "simulation worker pool size (0 = one per CPU)")
-	cacheDir := flag.String("cache-dir", runner.DefaultCacheDir, "content-addressed result cache directory")
-	noCache := flag.Bool("no-cache", false, "disable the result cache (every run simulates fresh)")
+	sweep := cliflags.RegisterSweep(flag.CommandLine)
 	adaptive := flag.Bool("adaptive", false, "adaptive saturation search instead of dense rate grids (figs 11-13)")
 	progress := flag.Bool("progress", false, "live job progress/ETA on stderr")
 	assertCached := flag.Bool("assert-cached", false, "exit 1 if any simulation executed (warm-cache check)")
@@ -55,14 +53,10 @@ func main() {
 	sc.Seed = *seed
 	sc.AdaptiveRates = *adaptive
 
-	orch := &runner.Orchestrator{Workers: *workers}
-	if !*noCache {
-		cache, err := runner.NewCache(*cacheDir)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "ftexp:", err)
-			os.Exit(1)
-		}
-		orch.Cache = cache
+	orch, err := sweep.Orchestrator()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ftexp:", err)
+		os.Exit(1)
 	}
 	if *progress {
 		orch.Progress = os.Stderr

@@ -10,10 +10,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
+	"fasttrack/internal/cliflags"
 	"fasttrack/internal/core"
 	"fasttrack/internal/noc"
 	"fasttrack/internal/stats"
@@ -21,66 +23,48 @@ import (
 )
 
 func main() {
-	kind := flag.String("noc", "ft", "network kind: hoplite | ft | multi")
-	n := flag.Int("n", 8, "torus width (NoC is NxN)")
-	d := flag.Int("d", 2, "FastTrack express link length D")
-	r := flag.Int("r", 1, "FastTrack depopulation factor R")
-	variant := flag.String("variant", "full", "FastTrack router variant: full | inject")
-	channels := flag.Int("channels", 2, "channel count for -noc multi")
-	width := flag.Int("width", 256, "datapath width in bits (FPGA model)")
-	pattern := flag.String("pattern", "RANDOM", "traffic pattern: RANDOM|LOCAL|BITCOMPL|TRANSPOSE|TORNADO")
-	rate := flag.Float64("rate", 0.5, "injection rate per PE per cycle")
-	quota := flag.Int("packets", 1000, "packets generated per PE")
-	seed := flag.Uint64("seed", 1, "random seed")
+	topo := cliflags.RegisterTopology(flag.CommandLine, cliflags.TopologyDefaults())
+	work := cliflags.RegisterWorkload(flag.CommandLine, cliflags.WorkloadDefaults())
+	flt := cliflags.RegisterFaults(flag.CommandLine)
+	telem := cliflags.RegisterTelemetry(flag.CommandLine)
 	regulateRate := flag.Float64("regulate", 0, "token-bucket injection regulation rate (0 = off)")
 	heatmap := flag.Bool("heatmap", false, "render a per-source mean-latency heatmap")
-	faultDrop := flag.Float64("faults", 0, "transient fault injection: per-packet drop probability (0 = off)")
-	faultMisroute := flag.Float64("misroute", 0, "transient fault injection: per-packet address-corruption probability")
-	faultSeed := flag.Uint64("faultseed", 1, "fault schedule seed (schedules replay identically per seed)")
-	retry := flag.Int64("retry", 0, "resilient delivery: retransmit timeout in cycles (0 = off)")
 	watchdog := flag.Int64("watchdog", 0, "starvation watchdog: max in-flight packet age in cycles (0 = off)")
 	check := flag.Bool("check", false, "audit packet conservation and delivery identity every cycle")
 	flag.Parse()
 
-	var cfg core.Config
-	switch *kind {
-	case "hoplite":
-		cfg = core.Hoplite(*n)
-	case "ft":
-		cfg = core.FastTrack(*n, *d, *r)
-		if *variant == "inject" {
-			cfg = cfg.WithVariant(core.VariantInject)
-		}
-	case "multi":
-		cfg = core.MultiChannel(*n, *channels)
-	default:
-		fmt.Fprintf(os.Stderr, "ftsim: unknown -noc %q\n", *kind)
+	cfg, err := topo.Config()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ftsim: %v\n", err)
 		os.Exit(2)
 	}
-	cfg = cfg.WithWidth(*width)
 
 	opts := core.SyntheticOptions{
-		Pattern: *pattern, Rate: *rate, PacketsPerPE: *quota, Seed: *seed,
 		RegulateRate:      *regulateRate,
 		CheckConservation: *check,
 		MaxPacketAge:      *watchdog,
 	}
-	if *faultDrop > 0 || *faultMisroute > 0 {
-		opts.Faults = &core.FaultConfig{
-			Seed: *faultSeed, DropRate: *faultDrop, MisrouteRate: *faultMisroute,
-		}
-	}
-	if *retry > 0 {
-		opts.Retry = &core.RetryConfig{Timeout: *retry}
-	}
-	res, err := core.RunSynthetic(cfg, opts)
+	work.Apply(&opts)
+	flt.Apply(&opts)
+	sinks, err := telem.Build(topo.N, topo.N)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ftsim: %v\n", err)
 		os.Exit(1)
 	}
+	opts.Observer = sinks.Observer
 
-	fmt.Printf("config          %s (%dx%d, %db)\n", cfg, *n, *n, *width)
-	fmt.Printf("workload        %s @ %.2f inj rate, %d pkts/PE, seed %d\n", *pattern, *rate, *quota, *seed)
+	res, err := core.RunSynthetic(context.Background(), cfg, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ftsim: %v\n", err)
+		os.Exit(1)
+	}
+	if err := sinks.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "ftsim: telemetry: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("config          %s (%dx%d, %db)\n", cfg, topo.N, topo.N, topo.Width)
+	fmt.Printf("workload        %s @ %.2f inj rate, %d pkts/PE, seed %d\n", work.Pattern, work.Rate, work.PacketsPerPE, work.Seed)
 	fmt.Printf("cycles          %d\n", res.Cycles)
 	fmt.Printf("delivered       %d\n", res.Delivered)
 	fmt.Printf("sustained rate  %.4f pkt/cycle/PE\n", res.SustainedRate)
@@ -119,7 +103,7 @@ func main() {
 			}
 		}
 		fmt.Println()
-		if err := viz.Heatmap(os.Stdout, "mean latency by source PE", *n, *n, vals); err != nil {
+		if err := viz.Heatmap(os.Stdout, "mean latency by source PE", topo.N, topo.N, vals); err != nil {
 			fmt.Fprintf(os.Stderr, "ftsim: %v\n", err)
 		}
 	}
@@ -134,7 +118,7 @@ func main() {
 	mhz := spec.ClockMHz(dev)
 	fmt.Printf("\nFPGA model (%s)\n", dev.Name)
 	if mhz == 0 {
-		fmt.Printf("  does not route at %db (utilization %.2f)\n", *width, spec.Utilization(dev))
+		fmt.Printf("  does not route at %db (utilization %.2f)\n", topo.Width, spec.Utilization(dev))
 		return
 	}
 	fmt.Printf("  resources     %d LUTs, %d FFs (util %.0f%% of channel tracks)\n",
@@ -142,6 +126,6 @@ func main() {
 	fmt.Printf("  clock         %.0f MHz\n", mhz)
 	fmt.Printf("  power         %.1f W (dynamic, saturated)\n", spec.PowerW(dev))
 	fmt.Printf("  throughput    %.1f Mpkt/s (%.3f pkt/ns peak switch BW)\n",
-		res.SustainedRate*float64(*n**n)*mhz, spec.PeakBandwidth(dev))
+		res.SustainedRate*float64(topo.N*topo.N)*mhz, spec.PeakBandwidth(dev))
 	fmt.Printf("  energy        %.4f J for this workload\n", spec.EnergyJ(dev, res.Cycles))
 }

@@ -10,10 +10,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
+	"fasttrack/internal/cliflags"
 	"fasttrack/internal/core"
 	"fasttrack/internal/trace"
 	"fasttrack/internal/workloads/dataflow"
@@ -33,6 +35,7 @@ func main() {
 	d := flag.Int("d", 2, "FastTrack D for replay")
 	r := flag.Int("r", 1, "FastTrack R for replay")
 	seed := flag.Uint64("seed", 1, "seed for synthetic trace generation")
+	telem := cliflags.RegisterTelemetry(flag.CommandLine)
 	flag.Parse()
 
 	if *list {
@@ -69,8 +72,15 @@ func main() {
 		if *nocKind == "ft" {
 			cfg = core.FastTrack(*n, *d, *r)
 		}
-		res, err := core.RunTrace(cfg, tr)
+		sinks, err := telem.Build(*n, *n)
 		if err != nil {
+			fatal(err)
+		}
+		res, err := core.RunTrace(context.Background(), cfg, tr, core.TraceOptions{Observer: sinks.Observer})
+		if err != nil {
+			fatal(err)
+		}
+		if err := sinks.Close(); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("%s on %s: %d cycles, %d messages, avg latency %.1f, worst %d\n",

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -38,7 +39,7 @@ func main() {
 	var base int64
 	fmt.Printf("%-20s %10s %12s %10s\n", "config", "cycles", "avg latency", "speedup")
 	for _, cfg := range configs {
-		res, err := core.RunTrace(cfg, tr)
+		res, err := core.RunTrace(context.Background(), cfg, tr, core.TraceOptions{})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -52,7 +53,7 @@ func main() {
 	// packets per second — cycle rate × modeled clock (Fig 14's metric).
 	fmt.Printf("%-12s %10s %8s %14s\n", "config", "sustained", "MHz", "Mpackets/s")
 	for _, cfg := range feasible {
-		res, err := core.RunSynthetic(cfg, core.SyntheticOptions{
+		res, err := core.RunSynthetic(context.Background(), cfg, core.SyntheticOptions{
 			Pattern: "RANDOM", Rate: 1.0, PacketsPerPE: 500, Seed: 3,
 		})
 		if err != nil {

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -44,11 +45,11 @@ func main() {
 		fmt.Printf("%s\n  %s\n  %d NoC messages, avg forward distance %.1f hops\n",
 			s.graph, s.why, st.Events, st.AvgDistance)
 
-		hop, err := core.RunTrace(core.Hoplite(n), tr)
+		hop, err := core.RunTrace(context.Background(), core.Hoplite(n), tr, core.TraceOptions{})
 		if err != nil {
 			log.Fatal(err)
 		}
-		ft, err := core.RunTrace(core.FastTrack(n, 2, 1), tr)
+		ft, err := core.RunTrace(context.Background(), core.FastTrack(n, 2, 1), tr, core.TraceOptions{})
 		if err != nil {
 			log.Fatal(err)
 		}

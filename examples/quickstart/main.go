@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -23,7 +24,7 @@ func main() {
 
 	var base float64
 	for _, cfg := range configs {
-		res, err := core.RunSynthetic(cfg, core.SyntheticOptions{
+		res, err := core.RunSynthetic(context.Background(), cfg, core.SyntheticOptions{
 			Pattern:      "RANDOM",
 			Rate:         1.0,
 			PacketsPerPE: 1000,

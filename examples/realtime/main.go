@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -37,7 +38,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := core.RunSynthetic(cfg, core.SyntheticOptions{
+		res, err := core.RunSynthetic(context.Background(), cfg, core.SyntheticOptions{
 			Pattern:       "RANDOM",
 			Rate:          regulatedRate,       // offered load below saturation...
 			RegulateRate:  regulatedRate * 1.5, // shaper headroom: drain faster than arrivals

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -43,7 +44,7 @@ func main() {
 
 		var base int64
 		for _, cfg := range configs {
-			res, err := core.RunTrace(cfg, tr)
+			res, err := core.RunTrace(context.Background(), cfg, tr, core.TraceOptions{})
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -15,6 +15,7 @@ import (
 	"math/bits"
 
 	"fasttrack/internal/noc"
+	"fasttrack/internal/telemetry"
 )
 
 // port indices within a router.
@@ -70,6 +71,11 @@ type Network struct {
 
 	// dense selects the reference stepping path; see SetDense.
 	dense bool
+
+	// obs, when non-nil, receives telemetry events; now mirrors the current
+	// Step's cycle so routeOne (no now parameter) can stamp events.
+	obs telemetry.Observer
+	now int64
 }
 
 type slot struct {
@@ -110,6 +116,12 @@ func New(w, h int, cfg Config) (*Network, error) {
 // exists as the straightforward baseline for those tests and for
 // benchmarking the sparse path's speedup. Select before the first Step.
 func (nw *Network) SetDense(d bool) { nw.dense = d }
+
+// SetObserver attaches a telemetry observer (nil detaches). The mesh has no
+// express plane and bidirectional links: horizontal moves report as
+// noc.PortESh and vertical moves as noc.PortSSh, and no deflection events
+// occur (buffered routers wait instead of misrouting).
+func (nw *Network) SetObserver(o telemetry.Observer) { nw.obs = o }
 
 // Width returns the mesh width.
 func (nw *Network) Width() int { return nw.w }
@@ -182,6 +194,7 @@ func (nw *Network) Step(now int64) {
 		nw.stepDense(now)
 		return
 	}
+	nw.now = now
 	nw.delivered = nw.delivered[:0]
 	for _, pe := range nw.acceptedPEs {
 		nw.accepted[pe] = false
@@ -235,6 +248,7 @@ func (nw *Network) Step(now int64) {
 // stepDense is the reference path: scan all offers, snapshot every router,
 // route every router.
 func (nw *Network) stepDense(now int64) {
+	nw.now = now
 	nw.delivered = nw.delivered[:0]
 	nw.acceptedPEs = nw.acceptedPEs[:0]
 	nw.offeredPEs = nw.offeredPEs[:0]
@@ -310,6 +324,13 @@ func (nw *Network) routeOne(x, y int) {
 				popped[in] = true
 				head.ShortHops++
 				nw.counters.ShortTraversals++
+				if nw.obs != nil {
+					port := noc.PortESh
+					if out == pN || out == pS {
+						port = noc.PortSSh
+					}
+					nw.obs.OnHop(nw.now, i, port, &head)
+				}
 				nw.push(nidx, nport, head)
 			}
 			nw.rr[i][out] = uint8((in + 1) % numPorts)

@@ -8,7 +8,7 @@
 //
 //	cfg := core.FastTrack(8, 2, 1)            // FT(64,2,1)
 //	net, _ := cfg.Build()                     // cycle-accurate network
-//	res, _ := core.RunSynthetic(cfg, core.SyntheticOptions{
+//	res, _ := core.RunSynthetic(context.Background(), cfg, core.SyntheticOptions{
 //	    Pattern: "RANDOM", Rate: 0.5, PacketsPerPE: 1000, Seed: 1,
 //	})
 //	fmt.Println(res.SustainedRate, res.AvgLatency)
@@ -27,6 +27,7 @@ import (
 	"fasttrack/internal/regulate"
 	"fasttrack/internal/reliability"
 	"fasttrack/internal/sim"
+	"fasttrack/internal/telemetry"
 	"fasttrack/internal/trace"
 	"fasttrack/internal/traffic"
 )
@@ -53,12 +54,22 @@ type (
 	FaultWindow = faults.Window
 	// RetryConfig tunes the resilient-delivery (retransmission) layer.
 	RetryConfig = reliability.Config
+	// Engine selects the simulation path (EngineSparse or EngineDense).
+	Engine = sim.Engine
+	// Observer receives cycle-level telemetry events (internal/telemetry).
+	Observer = telemetry.Observer
 )
 
 // FastTrack router variants.
 const (
 	VariantFull   = fasttrack.VariantFull
 	VariantInject = fasttrack.VariantInject
+)
+
+// Simulation engine paths (see sim.Engine).
+const (
+	EngineSparse = sim.EngineSparse
+	EngineDense  = sim.EngineDense
 )
 
 // Kind selects the network family.
@@ -225,19 +236,32 @@ type SyntheticOptions struct {
 	// fixed-budget path bit-exact.
 	ConvergeWindow int64
 	ConvergeTol    float64
+	// Engine selects the simulation path: EngineSparse (default, optimized)
+	// or EngineDense (the bit-exact straight-line reference).
+	Engine Engine
+	// Observer, when non-nil, receives cycle-level telemetry events; see
+	// internal/telemetry for the event vocabulary and ready-made observers
+	// (packet tracer, link-utilization counters, windowed metrics).
+	Observer Observer
+}
+
+// TraceOptions parameterizes RunTrace.
+type TraceOptions struct {
+	// MaxCycles optionally bounds the replay; 0 means the engine default.
+	MaxCycles int64
+	// Engine selects the simulation path (see SyntheticOptions.Engine).
+	Engine Engine
+	// Observer, when non-nil, receives cycle-level telemetry events.
+	Observer Observer
 }
 
 // RunSynthetic builds cfg's network and drives it with a statistical
-// workload, returning the paper's throughput/latency measurements.
-func RunSynthetic(cfg Config, opts SyntheticOptions) (Result, error) {
-	return RunSyntheticCtx(context.Background(), cfg, opts)
-}
-
-// RunSyntheticCtx is RunSynthetic with cooperative cancellation: the sweep
-// scheduler (internal/runner) cancels ctx when a sibling job fails, and the
-// engine aborts within a few thousand cycles. ctx deliberately stays out of
-// SyntheticOptions so cache keys never depend on it.
-func RunSyntheticCtx(ctx context.Context, cfg Config, opts SyntheticOptions) (Result, error) {
+// workload, returning the paper's throughput/latency measurements. ctx
+// cancels cooperatively: the sweep scheduler (internal/runner) cancels it
+// when a sibling job fails and the engine aborts within a few thousand
+// cycles. ctx deliberately stays out of SyntheticOptions so cache keys never
+// depend on it; pass context.Background() when cancellation is not needed.
+func RunSynthetic(ctx context.Context, cfg Config, opts SyntheticOptions) (Result, error) {
 	pat, err := traffic.ByName(opts.Pattern)
 	if err != nil {
 		return Result{}, err
@@ -272,19 +296,23 @@ func RunSyntheticCtx(ctx context.Context, cfg Config, opts SyntheticOptions) (Re
 		Context:           ctx,
 		ConvergeWindow:    opts.ConvergeWindow,
 		ConvergeTol:       opts.ConvergeTol,
+		Engine:            opts.Engine,
+		Observer:          opts.Observer,
 	})
+}
+
+// RunSyntheticCtx is the old name of RunSynthetic, kept for source
+// compatibility.
+//
+// Deprecated: call RunSynthetic, which is context-first.
+func RunSyntheticCtx(ctx context.Context, cfg Config, opts SyntheticOptions) (Result, error) {
+	return RunSynthetic(ctx, cfg, opts)
 }
 
 // RunTrace builds cfg's network and replays an application trace with
 // dependency-driven injection, returning completion time and latency
-// statistics.
-func RunTrace(cfg Config, tr *Trace) (Result, error) {
-	return RunTraceCtx(context.Background(), cfg, tr)
-}
-
-// RunTraceCtx is RunTrace with cooperative cancellation (see
-// RunSyntheticCtx).
-func RunTraceCtx(ctx context.Context, cfg Config, tr *Trace) (Result, error) {
+// statistics. ctx cancels cooperatively (see RunSynthetic).
+func RunTrace(ctx context.Context, cfg Config, tr *Trace, opts TraceOptions) (Result, error) {
 	net, err := cfg.Build()
 	if err != nil {
 		return Result{}, err
@@ -293,5 +321,18 @@ func RunTraceCtx(ctx context.Context, cfg Config, tr *Trace) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	return sim.Run(net, wl, sim.Options{Context: ctx})
+	return sim.Run(net, wl, sim.Options{
+		MaxCycles: opts.MaxCycles,
+		Context:   ctx,
+		Engine:    opts.Engine,
+		Observer:  opts.Observer,
+	})
+}
+
+// RunTraceCtx is the old signature of RunTrace, kept for source
+// compatibility.
+//
+// Deprecated: call RunTrace, which is context-first and takes TraceOptions.
+func RunTraceCtx(ctx context.Context, cfg Config, tr *Trace) (Result, error) {
+	return RunTrace(ctx, cfg, tr, TraceOptions{})
 }

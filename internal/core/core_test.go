@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -71,7 +72,7 @@ func TestSpecConsistency(t *testing.T) {
 }
 
 func TestRunSynthetic(t *testing.T) {
-	res, err := RunSynthetic(FastTrack(4, 2, 1), SyntheticOptions{
+	res, err := RunSynthetic(context.Background(), FastTrack(4, 2, 1), SyntheticOptions{
 		Pattern: "RANDOM", Rate: 0.3, PacketsPerPE: 50, Seed: 3,
 	})
 	if err != nil {
@@ -80,13 +81,13 @@ func TestRunSynthetic(t *testing.T) {
 	if res.Delivered != 16*50 {
 		t.Errorf("delivered %d", res.Delivered)
 	}
-	if _, err := RunSynthetic(Hoplite(4), SyntheticOptions{Pattern: "bogus"}); err == nil ||
+	if _, err := RunSynthetic(context.Background(), Hoplite(4), SyntheticOptions{Pattern: "bogus"}); err == nil ||
 		!strings.Contains(err.Error(), "unknown pattern") {
 		t.Errorf("bad pattern error = %v", err)
 	}
 	// Dimension-constrained patterns are validated against the built
 	// network: BITCOMPL is undefined on a 6×6 torus.
-	if _, err := RunSynthetic(Hoplite(6), SyntheticOptions{
+	if _, err := RunSynthetic(context.Background(), Hoplite(6), SyntheticOptions{
 		Pattern: "BITCOMPL", Rate: 0.3, PacketsPerPE: 10, Seed: 1,
 	}); err == nil || !strings.Contains(err.Error(), "power-of-two") {
 		t.Errorf("BITCOMPL on 6x6 error = %v", err)
@@ -99,11 +100,11 @@ func TestRunTrace(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	hop, err := RunTrace(Hoplite(4), tr)
+	hop, err := RunTrace(context.Background(), Hoplite(4), tr, TraceOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	ft, err := RunTrace(FastTrack(4, 2, 1), tr)
+	ft, err := RunTrace(context.Background(), FastTrack(4, 2, 1), tr, TraceOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +151,7 @@ func fpgaLUTs(t *testing.T, cfg Config) int {
 }
 
 func TestRunSyntheticRegulated(t *testing.T) {
-	res, err := RunSynthetic(Hoplite(4), SyntheticOptions{
+	res, err := RunSynthetic(context.Background(), Hoplite(4), SyntheticOptions{
 		Pattern: "RANDOM", Rate: 1.0, PacketsPerPE: 50, Seed: 2,
 		RegulateRate: 0.1, RegulateBurst: 1,
 	})
@@ -161,7 +162,7 @@ func TestRunSyntheticRegulated(t *testing.T) {
 		t.Errorf("regulated run injected at %.3f, above the 0.1 cap", offered)
 	}
 	// Non-positive rates mean "regulation off" (documented semantics).
-	off, err := RunSynthetic(Hoplite(4), SyntheticOptions{
+	off, err := RunSynthetic(context.Background(), Hoplite(4), SyntheticOptions{
 		Pattern: "RANDOM", Rate: 1, PacketsPerPE: 50, Seed: 2, RegulateRate: -1,
 	})
 	if err != nil {
@@ -178,7 +179,7 @@ func TestRunTraceGeometryMismatch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := RunTrace(Hoplite(8), tr); err == nil {
+	if _, err := RunTrace(context.Background(), Hoplite(8), tr, TraceOptions{}); err == nil {
 		t.Error("16-PE trace on a 64-PE network should fail")
 	}
 }

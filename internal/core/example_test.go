@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"fmt"
 
 	"fasttrack/internal/core"
@@ -24,7 +25,7 @@ func ExampleConfig_Spec() {
 
 // Run deterministic synthetic traffic and read the paper's metrics.
 func ExampleRunSynthetic() {
-	res, err := core.RunSynthetic(core.FastTrack(4, 2, 1), core.SyntheticOptions{
+	res, err := core.RunSynthetic(context.Background(), core.FastTrack(4, 2, 1), core.SyntheticOptions{
 		Pattern:      "RANDOM",
 		Rate:         0.2,
 		PacketsPerPE: 100,
@@ -46,11 +47,11 @@ func ExampleRunTrace() {
 	if err != nil {
 		panic(err)
 	}
-	hop, err := core.RunTrace(core.Hoplite(4), tr)
+	hop, err := core.RunTrace(context.Background(), core.Hoplite(4), tr, core.TraceOptions{})
 	if err != nil {
 		panic(err)
 	}
-	ft, err := core.RunTrace(core.FastTrack(4, 2, 1), tr)
+	ft, err := core.RunTrace(context.Background(), core.FastTrack(4, 2, 1), tr, core.TraceOptions{})
 	if err != nil {
 		panic(err)
 	}

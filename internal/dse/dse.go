@@ -148,7 +148,7 @@ func Explore(opts Options) ([]Point, Stats, error) {
 			Pattern: o.Pattern, Rate: o.Rate, PacketsPerPE: o.PacketsPerPE, Seed: o.Seed,
 		}
 		res, err := runner.Do(orch, runner.SyntheticKey(cfg, sopts), func() (core.Result, error) {
-			return core.RunSyntheticCtx(ctx, cfg, sopts)
+			return core.RunSynthetic(ctx, cfg, sopts)
 		})
 		if err != nil {
 			return fmt.Errorf("dse: %s: %w", cfg, err)

@@ -37,15 +37,15 @@ func (s Scale) forEachParallel(n int, f func(ctx context.Context, i int) error) 
 // run on a miss.
 func (s Scale) runSynthetic(ctx context.Context, cfg core.Config, o core.SyntheticOptions) (sim.Result, error) {
 	return runner.Do(s.orch(), runner.SyntheticKey(cfg, o), func() (sim.Result, error) {
-		return core.RunSyntheticCtx(ctx, cfg, o)
+		return core.RunSynthetic(ctx, cfg, o)
 	})
 }
 
 // runTrace funnels one trace replay through the orchestrator, keyed by the
 // trace's content fingerprint.
 func (s Scale) runTrace(ctx context.Context, cfg core.Config, tr *trace.Trace) (sim.Result, error) {
-	return runner.Do(s.orch(), runner.TraceKey(cfg, tr), func() (sim.Result, error) {
-		return core.RunTraceCtx(ctx, cfg, tr)
+	return runner.Do(s.orch(), runner.TraceKey(cfg, tr, core.TraceOptions{}), func() (sim.Result, error) {
+		return core.RunTrace(ctx, cfg, tr, core.TraceOptions{})
 	})
 }
 

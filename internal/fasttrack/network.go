@@ -4,6 +4,7 @@ import (
 	"math/bits"
 
 	"fasttrack/internal/noc"
+	"fasttrack/internal/telemetry"
 )
 
 // slot is a link register: a packet plus a valid bit.
@@ -80,6 +81,12 @@ type Network struct {
 
 	// dense selects the reference stepping path; see SetDense.
 	dense bool
+
+	// obs, when non-nil, receives telemetry events; now mirrors the current
+	// Step's cycle so helpers without a now parameter (emitR, latch) can
+	// stamp events. Every emission site is guarded by a single nil check.
+	obs telemetry.Observer
+	now int64
 }
 
 // New builds an idle FastTrack network for the given configuration.
@@ -184,6 +191,10 @@ func (nw *Network) NumPEs() int { return nw.n * nw.n }
 // benchmarking the sparse path's speedup. Select before the first Step.
 func (nw *Network) SetDense(d bool) { nw.dense = d }
 
+// SetObserver attaches a telemetry observer (nil detaches); sim.Run
+// attaches Options.Observer through this.
+func (nw *Network) SetObserver(o telemetry.Observer) { nw.obs = o }
+
 // markActive queues router i for routing on the next Step.
 func (nw *Network) markActive(i int) { nw.activeBits[i>>6] |= 1 << (uint(i) & 63) }
 
@@ -216,6 +227,7 @@ func (nw *Network) Step(now int64) {
 		nw.stepDense(now)
 		return
 	}
+	nw.now = now
 	nw.delivered = nw.delivered[:0]
 	for _, pe := range nw.acceptedPEs {
 		nw.accepted[pe] = false
@@ -313,6 +325,7 @@ func (nw *Network) pipeStep(i int) {
 // stepDense is the reference path: clear all staging, route all routers,
 // latch all links.
 func (nw *Network) stepDense(now int64) {
+	nw.now = now
 	nw.delivered = nw.delivered[:0]
 	nw.acceptedPEs = nw.acceptedPEs[:0]
 	for w := range nw.activeBits {
@@ -345,6 +358,9 @@ func (nw *Network) latch() {
 			if s := nw.outs[oESh][i]; s.ok {
 				s.p.ShortHops++
 				nw.counters.ShortTraversals++
+				if nw.obs != nil {
+					nw.obs.OnHop(nw.now, i, noc.PortESh, &s.p)
+				}
 				nw.wShIn[y*n+(x+1)%n] = s
 			} else {
 				nw.wShIn[y*n+(x+1)%n] = slot{}
@@ -352,6 +368,9 @@ func (nw *Network) latch() {
 			if s := nw.outs[oSSh][i]; s.ok {
 				s.p.ShortHops++
 				nw.counters.ShortTraversals++
+				if nw.obs != nil {
+					nw.obs.OnHop(nw.now, i, noc.PortSSh, &s.p)
+				}
 				nw.nShIn[((y+1)%n)*n+x] = s
 			} else {
 				nw.nShIn[((y+1)%n)*n+x] = slot{}
@@ -360,6 +379,9 @@ func (nw *Network) latch() {
 			if ex.ok {
 				ex.p.ExpressHops++
 				nw.counters.ExpressTraversals++
+				if nw.obs != nil {
+					nw.obs.OnExpressHop(nw.now, i, noc.PortEEx, &ex.p)
+				}
 			}
 			if nw.xPipe != nil {
 				ex = shiftPipe(nw.xPipe[i], ex)
@@ -370,6 +392,9 @@ func (nw *Network) latch() {
 			if sy.ok {
 				sy.p.ExpressHops++
 				nw.counters.ExpressTraversals++
+				if nw.obs != nil {
+					nw.obs.OnExpressHop(nw.now, i, noc.PortSEx, &sy.p)
+				}
 			}
 			if nw.yPipe != nil {
 				sy = shiftPipe(nw.yPipe[i], sy)

@@ -89,8 +89,14 @@ func (nw *Network) place(a *arb, i int, port noc.Port, p noc.Packet, x, y int) {
 		if c.misroute {
 			nw.counters.MisroutesByInput[port]++
 			p.Deflections++
+			if nw.obs != nil {
+				nw.obs.OnDeflect(nw.now, i, port, &p)
+			}
 		} else if k > 0 {
 			nw.counters.ExpressDeniedByInput[port]++
+			if nw.obs != nil {
+				nw.obs.OnExpressDenied(nw.now, i, port, &p)
+			}
 		}
 		if c.deliver {
 			nw.deliver(p)
@@ -339,6 +345,9 @@ func (nw *Network) injectAt(a *arb, i, x, y int, now int64) {
 		a.taken[c.out] = true
 		if k > 0 {
 			nw.counters.ExpressDeniedByInput[noc.PortPE]++
+			if nw.obs != nil {
+				nw.obs.OnExpressDenied(now, i, noc.PortPE, &p)
+			}
 		}
 		p.Inject = now
 		nw.inFlight++
@@ -401,8 +410,14 @@ func (nw *Network) placeR(a *arb, i int, port noc.Port, r int32, x, y int) {
 		if c.misroute {
 			nw.counters.MisroutesByInput[port]++
 			p.Deflections++
+			if nw.obs != nil {
+				nw.obs.OnDeflect(nw.now, i, port, p)
+			}
 		} else if k > 0 {
 			nw.counters.ExpressDeniedByInput[port]++
+			if nw.obs != nil {
+				nw.obs.OnExpressDenied(nw.now, i, port, p)
+			}
 		}
 		if c.deliver {
 			nw.deliverIdx(r)
@@ -425,18 +440,27 @@ func (nw *Network) emitR(out uint8, r int32, i, x, y int) {
 	case oESh:
 		nw.pool[r].ShortHops++
 		nw.counters.ShortTraversals++
+		if nw.obs != nil {
+			nw.obs.OnHop(nw.now, i, noc.PortESh, &nw.pool[r])
+		}
 		j := y*n + (x+1)%n
 		nw.wShRN[j] = r
 		nw.markActive(j)
 	case oSSh:
 		nw.pool[r].ShortHops++
 		nw.counters.ShortTraversals++
+		if nw.obs != nil {
+			nw.obs.OnHop(nw.now, i, noc.PortSSh, &nw.pool[r])
+		}
 		j := ((y+1)%n)*n + x
 		nw.nShRN[j] = r
 		nw.markActive(j)
 	case oEEx:
 		nw.pool[r].ExpressHops++
 		nw.counters.ExpressTraversals++
+		if nw.obs != nil {
+			nw.obs.OnExpressHop(nw.now, i, noc.PortEEx, &nw.pool[r])
+		}
 		if nw.xPipeR != nil {
 			nw.exPend[i] = r
 		} else {
@@ -447,6 +471,9 @@ func (nw *Network) emitR(out uint8, r int32, i, x, y int) {
 	case oSEx:
 		nw.pool[r].ExpressHops++
 		nw.counters.ExpressTraversals++
+		if nw.obs != nil {
+			nw.obs.OnExpressHop(nw.now, i, noc.PortSEx, &nw.pool[r])
+		}
 		if nw.yPipeR != nil {
 			nw.syPend[i] = r
 		} else {
@@ -511,6 +538,9 @@ func (nw *Network) injectAtR(a *arb, i, x, y int, now int64) {
 		a.taken[c.out] = true
 		if k > 0 {
 			nw.counters.ExpressDeniedByInput[noc.PortPE]++
+			if nw.obs != nil {
+				nw.obs.OnExpressDenied(now, i, noc.PortPE, &off.p)
+			}
 		}
 		nw.inFlight++
 		nw.accepted[i] = true

@@ -25,6 +25,7 @@ import (
 
 	"fasttrack/internal/noc"
 	"fasttrack/internal/stats"
+	"fasttrack/internal/telemetry"
 	"fasttrack/internal/xrand"
 )
 
@@ -158,6 +159,10 @@ type Network struct {
 	counts stats.FaultCounts
 	lost   []int64
 	events []Event
+
+	// obs, when non-nil, receives OnDrop for packets the fault layer
+	// destroys (link drops and wrong-node discards after a misroute).
+	obs telemetry.Observer
 }
 
 type slot struct {
@@ -184,6 +189,24 @@ func Wrap(inner noc.Network, cfg Config) (*Network, error) {
 		accepted:  make([]bool, n),
 		misrouted: make(map[int64]noc.Coord),
 	}, nil
+}
+
+// SetDense forwards the engine-path selection to the inner network when it
+// carries both stepping paths.
+func (nw *Network) SetDense(d bool) {
+	if sd, ok := nw.inner.(interface{ SetDense(bool) }); ok {
+		sd.SetDense(d)
+	}
+}
+
+// SetObserver attaches a telemetry observer to this wrapper and forwards it
+// to the inner network, so router-level events and fault-layer drops reach
+// the same observer.
+func (nw *Network) SetObserver(o telemetry.Observer) {
+	nw.obs = o
+	if ob, ok := nw.inner.(telemetry.Observable); ok {
+		ob.SetObserver(o)
+	}
 }
 
 // Width returns the torus width in routers.
@@ -288,6 +311,9 @@ func (nw *Network) Step(now int64) {
 			nw.counts.Dropped++
 			nw.lost = append(nw.lost, o.p.ID)
 			nw.log(now, KindDrop, pe, o.p.ID)
+			if nw.obs != nil {
+				nw.obs.OnDrop(now, &o.p)
+			}
 		case fateMisroute:
 			bad := o.p
 			bad.Dst = nw.corruptDst(o.p.Dst, r)
@@ -340,6 +366,9 @@ func (nw *Network) Step(now int64) {
 			nw.counts.Misdelivered++
 			nw.lost = append(nw.lost, p.ID)
 			nw.log(now, KindMisdeliver, noc.PEIndex(p.Dst, nw.w), p.ID)
+			if nw.obs != nil {
+				nw.obs.OnDrop(now, &p)
+			}
 			continue
 		}
 		if pe := noc.PEIndex(p.Dst, nw.w); activeAt(nw.cfg.Freeze, pe, now) {

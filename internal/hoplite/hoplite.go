@@ -21,6 +21,7 @@ import (
 	"math/bits"
 
 	"fasttrack/internal/noc"
+	"fasttrack/internal/telemetry"
 )
 
 // slot is a link register: a packet plus a valid bit.
@@ -76,6 +77,12 @@ type Network struct {
 	// every router every cycle; see SetDense.
 	dense bool
 
+	// obs, when non-nil, receives telemetry events; now mirrors the current
+	// Step's cycle so forwarding helpers without a now parameter can stamp
+	// events. Every emission site is guarded by a single nil check.
+	obs telemetry.Observer
+	now int64
+
 	// exitGate, when non-nil, is consulted before delivering at PE pe; a
 	// false return blocks the exit for this cycle and the packet deflects.
 	// Multi-channel wrappers use it to share one client port across
@@ -85,6 +92,10 @@ type Network struct {
 
 // SetExitGate installs an exit arbiter; see the exitGate field.
 func (nw *Network) SetExitGate(gate func(pe int) bool) { nw.exitGate = gate }
+
+// SetObserver attaches a telemetry observer (nil detaches); see the obs
+// field. sim.Run attaches Options.Observer through this.
+func (nw *Network) SetObserver(o telemetry.Observer) { nw.obs = o }
 
 func (nw *Network) canExit(pe int) bool { return nw.exitGate == nil || nw.exitGate(pe) }
 
@@ -175,6 +186,7 @@ func (nw *Network) Step(now int64) {
 		nw.stepDense(now)
 		return
 	}
+	nw.now = now
 	nw.delivered = nw.delivered[:0]
 	for _, pe := range nw.acceptedPEs {
 		nw.accepted[pe] = false
@@ -223,6 +235,14 @@ func (nw *Network) fwdS(r int32, x, y int) {
 	nw.markActive(j)
 }
 
+// obsHop reports the short-hop grant for pool slot r at router i. It is a
+// separate method, invoked behind the caller's nil check, so fwdE/fwdS stay
+// small enough to inline — the forwarders are the hottest functions in the
+// sparse path and must not pay for telemetry when it is off.
+func (nw *Network) obsHop(i int, out noc.Port, r int32) {
+	nw.obs.OnHop(nw.now, i, out, &nw.pool[r])
+}
+
 // routeSparse is the fast-path arbiter: identical decisions to route, but
 // over pool indices — staying on the ring costs an int32 move instead of an
 // 80-byte slot copy — and with the latch fused in: granting an output
@@ -243,14 +263,26 @@ func (nw *Network) routeSparse(i, x, y int, now int64) {
 			} else {
 				p.Deflections++
 				nw.counters.MisroutesByInput[noc.PortWSh]++
+				if nw.obs != nil {
+					nw.obs.OnDeflect(nw.now, i, noc.PortWSh, p)
+				}
 				nw.fwdE(r, x, y)
+				if nw.obs != nil {
+					nw.obsHop(i, noc.PortESh, r)
+				}
 				eTaken = true
 			}
 		case p.Dst.X != x:
 			nw.fwdE(r, x, y)
+			if nw.obs != nil {
+				nw.obsHop(i, noc.PortESh, r)
+			}
 			eTaken = true
 		default:
 			nw.fwdS(r, x, y)
+			if nw.obs != nil {
+				nw.obsHop(i, noc.PortSSh, r)
+			}
 			sTaken = true
 		}
 	}
@@ -262,11 +294,20 @@ func (nw *Network) routeSparse(i, x, y int, now int64) {
 		if atDst && !nw.canExit(i) {
 			p.Deflections++
 			nw.counters.MisroutesByInput[noc.PortNSh]++
+			if nw.obs != nil {
+				nw.obs.OnDeflect(nw.now, i, noc.PortNSh, p)
+			}
 			if !eTaken {
 				nw.fwdE(r, x, y)
+				if nw.obs != nil {
+					nw.obsHop(i, noc.PortESh, r)
+				}
 				eTaken = true
 			} else {
 				nw.fwdS(r, x, y)
+				if nw.obs != nil {
+					nw.obsHop(i, noc.PortSSh, r)
+				}
 				sTaken = true
 			}
 		} else if !sTaken {
@@ -275,11 +316,20 @@ func (nw *Network) routeSparse(i, x, y int, now int64) {
 				nw.deliverIdx(r)
 			} else {
 				nw.fwdS(r, x, y)
+				if nw.obs != nil {
+					nw.obsHop(i, noc.PortSSh, r)
+				}
 			}
 		} else {
 			p.Deflections++
 			nw.counters.MisroutesByInput[noc.PortNSh]++
+			if nw.obs != nil {
+				nw.obs.OnDeflect(nw.now, i, noc.PortNSh, p)
+			}
 			nw.fwdE(r, x, y)
+			if nw.obs != nil {
+				nw.obsHop(i, noc.PortESh, r)
+			}
 			eTaken = true
 		}
 	}
@@ -292,6 +342,9 @@ func (nw *Network) routeSparse(i, x, y int, now int64) {
 			r := nw.alloc(off.p)
 			nw.pool[r].Inject = now
 			nw.fwdE(r, x, y)
+			if nw.obs != nil {
+				nw.obsHop(i, noc.PortESh, r)
+			}
 			nw.inFlight++
 			nw.accepted[i] = true
 		case off.p.Dst.X == x && off.p.Dst.Y == y:
@@ -308,6 +361,9 @@ func (nw *Network) routeSparse(i, x, y int, now int64) {
 			r := nw.alloc(off.p)
 			nw.pool[r].Inject = now
 			nw.fwdS(r, x, y)
+			if nw.obs != nil {
+				nw.obsHop(i, noc.PortSSh, r)
+			}
 			nw.inFlight++
 			nw.accepted[i] = true
 		default:
@@ -329,6 +385,7 @@ func (nw *Network) deliverIdx(r int32) {
 // stepDense is the reference path: clear all staging, route all routers,
 // latch all links.
 func (nw *Network) stepDense(now int64) {
+	nw.now = now
 	nw.delivered = nw.delivered[:0]
 	nw.acceptedPEs = nw.acceptedPEs[:0]
 	for w := range nw.activeBits {
@@ -353,12 +410,18 @@ func (nw *Network) stepDense(now int64) {
 			if e.ok {
 				e.p.ShortHops++
 				nw.counters.ShortTraversals++
+				if nw.obs != nil {
+					nw.obs.OnHop(now, i, noc.PortESh, &e.p)
+				}
 			}
 			nw.wIn[y*nw.w+(x+1)%nw.w] = e
 			s := nw.sOut[i]
 			if s.ok {
 				s.p.ShortHops++
 				nw.counters.ShortTraversals++
+				if nw.obs != nil {
+					nw.obs.OnHop(now, i, noc.PortSSh, &s.p)
+				}
 			}
 			nw.nIn[((y+1)%nw.h)*nw.w+x] = s
 		}
@@ -385,6 +448,9 @@ func (nw *Network) route(x, y int, now int64) {
 				// Client port busy (multi-channel sharing): loop the ring.
 				p.Deflections++
 				nw.counters.MisroutesByInput[noc.PortWSh]++
+				if nw.obs != nil {
+					nw.obs.OnDeflect(now, i, noc.PortWSh, &p)
+				}
 				nw.eOut[i] = slot{p: p, ok: true}
 				eTaken = true
 			}
@@ -406,6 +472,9 @@ func (nw *Network) route(x, y int, now int64) {
 			// ring and come back around.
 			p.Deflections++
 			nw.counters.MisroutesByInput[noc.PortNSh]++
+			if nw.obs != nil {
+				nw.obs.OnDeflect(now, i, noc.PortNSh, &p)
+			}
 			if !eTaken {
 				nw.eOut[i] = slot{p: p, ok: true}
 				eTaken = true
@@ -426,6 +495,9 @@ func (nw *Network) route(x, y int, now int64) {
 			// input, which always wins.
 			p.Deflections++
 			nw.counters.MisroutesByInput[noc.PortNSh]++
+			if nw.obs != nil {
+				nw.obs.OnDeflect(now, i, noc.PortNSh, &p)
+			}
 			nw.eOut[i] = slot{p: p, ok: true}
 			eTaken = true
 		}

@@ -15,6 +15,7 @@ import (
 
 	"fasttrack/internal/hoplite"
 	"fasttrack/internal/noc"
+	"fasttrack/internal/telemetry"
 )
 
 // Network is K parallel Hoplite planes behind single-ported clients.
@@ -83,6 +84,16 @@ func (nw *Network) Channels() int { return nw.k }
 func (nw *Network) SetDense(d bool) {
 	for _, ch := range nw.channels {
 		ch.SetDense(d)
+	}
+}
+
+// SetObserver attaches a telemetry observer to every channel. All K channels
+// share one w×h geometry, so per-link counts aggregate per geometric link
+// across channels; the engine (not the channels) emits OnCycleEnd, so a
+// K-channel step still counts as one cycle.
+func (nw *Network) SetObserver(o telemetry.Observer) {
+	for _, ch := range nw.channels {
+		ch.SetObserver(o)
 	}
 }
 

@@ -23,6 +23,7 @@ import (
 	"fasttrack/internal/noc"
 	"fasttrack/internal/sim"
 	"fasttrack/internal/stats"
+	"fasttrack/internal/telemetry"
 )
 
 // Config tunes the retransmission policy.
@@ -120,6 +121,10 @@ type Workload struct {
 	live     int64
 	nextWire int64 // negative wire IDs for retransmits
 	nextSeq  int64
+
+	// obs, when non-nil, receives OnDrop when a packet exhausts its retry
+	// budget and OnRetransmit when a retransmit copy is queued.
+	obs telemetry.Observer
 }
 
 // Wrap decorates inner for a torus of the given width (used to map a source
@@ -138,6 +143,10 @@ func (w *Workload) RecoveryCounts() stats.RecoveryCounts { return w.counts }
 
 // Unwrap exposes the inner workload to the engine's interface discovery.
 func (w *Workload) Unwrap() sim.Workload { return w.inner }
+
+// SetObserver implements telemetry.Observable; sim.Run attaches
+// Options.Observer to every layer of the workload chain through this.
+func (w *Workload) SetObserver(o telemetry.Observer) { w.obs = o }
 
 // timeoutFor returns the (backed-off) deadline distance for a given attempt.
 func (w *Workload) timeoutFor(attempts int) int64 {
@@ -173,6 +182,9 @@ func (w *Workload) Tick(now int64) {
 			e.state = stateAbandoned
 			w.counts.Abandoned++
 			w.live--
+			if w.obs != nil {
+				w.obs.OnDrop(now, &e.orig)
+			}
 			continue
 		}
 		e.attempts++
@@ -185,6 +197,9 @@ func (w *Workload) Tick(now int64) {
 		w.wires[e.resend.ID] = e
 		pe := noc.PEIndex(e.orig.Src, w.width)
 		w.retryQ[pe] = append(w.retryQ[pe], e)
+		if w.obs != nil {
+			w.obs.OnRetransmit(now, &e.resend)
+		}
 	}
 }
 

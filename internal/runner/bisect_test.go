@@ -1,6 +1,7 @@
 package runner
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -109,7 +110,7 @@ func TestSaturationSearchPropagatesErrors(t *testing.T) {
 func TestSaturationSearchMatchesDenseSweepOnRealNoC(t *testing.T) {
 	cfg := core.Hoplite(4)
 	runAt := func(rate float64) (sim.Result, error) {
-		return core.RunSynthetic(cfg, core.SyntheticOptions{
+		return core.RunSynthetic(context.Background(), cfg, core.SyntheticOptions{
 			Pattern: "RANDOM", Rate: rate, PacketsPerPE: 150, Seed: 1,
 		})
 	}

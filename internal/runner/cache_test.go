@@ -30,7 +30,7 @@ func quickOpts() core.SyntheticOptions {
 func TestCacheRoundTripBitIdentical(t *testing.T) {
 	cfg := core.FastTrack(4, 2, 1)
 	opts := quickOpts()
-	fresh, err := core.RunSynthetic(cfg, opts)
+	fresh, err := core.RunSynthetic(context.Background(), cfg, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +48,7 @@ func TestCacheRoundTripBitIdentical(t *testing.T) {
 	}
 	// And the simulation itself is deterministic, so the cache never masks
 	// a rerun.
-	again, err := core.RunSynthetic(cfg, opts)
+	again, err := core.RunSynthetic(context.Background(), cfg, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,10 +74,10 @@ func TestCacheMissAndInvalidation(t *testing.T) {
 		t.Fatal("stored entry must hit")
 	}
 	for _, k := range []string{
-		SyntheticKey(core.Hoplite(8), opts),          // different network
-		SyntheticKey(core.FastTrack(4, 2, 1), opts),  // different family
-		SyntheticKey(cfg, withRate(opts, 0.31)),      // different rate
-		SyntheticKey(cfg, withSeed(opts, 6)),         // different seed
+		SyntheticKey(core.Hoplite(8), opts),         // different network
+		SyntheticKey(core.FastTrack(4, 2, 1), opts), // different family
+		SyntheticKey(cfg, withRate(opts, 0.31)),     // different rate
+		SyntheticKey(cfg, withSeed(opts, 6)),        // different seed
 	} {
 		if c.Get(k, &out) {
 			t.Fatalf("key %q must not alias the stored entry", k)
@@ -175,7 +175,7 @@ func TestCachedSweepThroughForEach(t *testing.T) {
 		err := o.ForEach(context.Background(), len(cfgs), func(ctx context.Context, i int) error {
 			opts := quickOpts()
 			res, err := Do(o, SyntheticKey(cfgs[i], opts), func() (sim.Result, error) {
-				return core.RunSyntheticCtx(ctx, cfgs[i], opts)
+				return core.RunSynthetic(ctx, cfgs[i], opts)
 			})
 			out[i] = res
 			return err

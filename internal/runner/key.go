@@ -6,6 +6,7 @@ import (
 
 	"fasttrack/internal/core"
 	"fasttrack/internal/sim"
+	"fasttrack/internal/telemetry"
 	"fasttrack/internal/trace"
 )
 
@@ -23,7 +24,13 @@ func ConfigKey(cfg core.Config) string {
 		cfg.Kind, cfg.N, cfg.D, cfg.R, cfg.Variant, cfg.Channels, cfg.ExpressPipeline)
 }
 
-// SyntheticKey is the cache key for core.RunSynthetic(cfg, o).
+// SyntheticKey is the cache key for core.RunSynthetic(ctx, cfg, o).
+//
+// Engine is deliberately excluded: the sparse and dense paths are bit-exact
+// (golden-tested), so either may be answered from the same entry. Observer
+// presence IS keyed (append-only, so pre-telemetry entries stay valid): a
+// cached Result would silently skip the observer's side effects, so observed
+// runs never share entries with unobserved ones.
 func SyntheticKey(cfg core.Config, o core.SyntheticOptions) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s|synthetic|%s|", sim.Version, ConfigKey(cfg))
@@ -37,14 +44,28 @@ func SyntheticKey(cfg core.Config, o core.SyntheticOptions) string {
 	if o.Retry != nil {
 		fmt.Fprintf(&b, " retry=%+v", *o.Retry)
 	}
+	if o.Observer != nil {
+		fmt.Fprintf(&b, " telem=%s", telemetry.Key(o.Observer))
+	}
 	return b.String()
 }
 
-// TraceKey is the cache key for core.RunTrace(cfg, tr): the trace enters by
-// content fingerprint, so regenerating an identical trace reuses the entry.
-func TraceKey(cfg core.Config, tr *trace.Trace) string {
-	return fmt.Sprintf("%s|trace|%s|name=%s pes=%d events=%d fp=%016x",
+// TraceKey is the cache key for core.RunTrace(ctx, cfg, tr, o): the trace
+// enters by content fingerprint, so regenerating an identical trace reuses
+// the entry. Engine and Observer follow the SyntheticKey rules (Engine
+// excluded, Observer keyed append-only), and MaxCycles enters only when set
+// so pre-TraceOptions entries stay valid.
+func TraceKey(cfg core.Config, tr *trace.Trace, o core.TraceOptions) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s|trace|%s|name=%s pes=%d events=%d fp=%016x",
 		sim.Version, ConfigKey(cfg), tr.Name, tr.PEs, len(tr.Events), tr.Fingerprint())
+	if o.MaxCycles != 0 {
+		fmt.Fprintf(&b, " maxcyc=%d", o.MaxCycles)
+	}
+	if o.Observer != nil {
+		fmt.Fprintf(&b, " telem=%s", telemetry.Key(o.Observer))
+	}
+	return b.String()
 }
 
 // RawKey builds a key for bespoke simulations (buffered mesh, message

@@ -11,14 +11,9 @@ import (
 	"fasttrack/internal/hoplite"
 	"fasttrack/internal/noc"
 	"fasttrack/internal/sim"
+	"fasttrack/internal/telemetry"
 	"fasttrack/internal/traffic"
 )
-
-// denseSteppable is implemented by every network family that carries both
-// the sparse fast path and the dense reference path.
-type denseSteppable interface {
-	SetDense(dense bool)
-}
 
 // goldenNet names one network construction in the equivalence matrix.
 type goldenNet struct {
@@ -45,22 +40,55 @@ func goldenNets() []goldenNet {
 }
 
 // runGolden executes one (network, pattern, rate) cell. reference selects
-// the dense network path plus the engine's full PE scan.
+// the dense network path plus the engine's full PE scan via
+// Options.Engine = EngineDense.
 func runGolden(t *testing.T, gn goldenNet, pat traffic.Pattern, rate float64, reference bool) sim.Result {
+	t.Helper()
+	return runGoldenObserved(t, gn, pat, rate, reference, nil)
+}
+
+// runGoldenObserved is runGolden with a telemetry observer attached.
+func runGoldenObserved(t *testing.T, gn goldenNet, pat traffic.Pattern, rate float64, reference bool, obs telemetry.Observer) sim.Result {
 	t.Helper()
 	net, err := gn.build()
 	if err != nil {
 		t.Fatal(err)
 	}
+	engine := sim.EngineSparse
 	if reference {
-		net.(denseSteppable).SetDense(true)
+		engine = sim.EngineDense
 	}
 	wl := traffic.NewSynthetic(gn.w, gn.h, pat, rate, 120, 17)
-	res, err := sim.Run(net, wl, sim.Options{FullScan: reference})
+	res, err := sim.Run(net, wl, sim.Options{Engine: engine, Observer: obs})
 	if err != nil {
 		t.Fatal(err)
 	}
 	return res
+}
+
+// TestGoldenObserverNeutral holds both engine paths to bit-identical
+// sim.Results with a no-op telemetry observer attached: the hooks may watch
+// the simulation but never steer it. Covers hoplite and FastTrack on RANDOM
+// and TRANSPOSE at both sweep extremes.
+func TestGoldenObserverNeutral(t *testing.T) {
+	nets := []goldenNet{goldenNets()[0], goldenNets()[1]} // hoplite-8x8, ft-full
+	pats := []traffic.Pattern{traffic.Random{}, traffic.Transpose{}}
+	for _, gn := range nets {
+		for _, pat := range pats {
+			for _, rate := range []float64{0.05, 1.0} {
+				for _, reference := range []bool{false, true} {
+					name := fmt.Sprintf("%s/%s/%.2f/ref=%v", gn.name, pat.Name(), rate, reference)
+					t.Run(name, func(t *testing.T) {
+						bare := runGolden(t, gn, pat, rate, reference)
+						obs := runGoldenObserved(t, gn, pat, rate, reference, telemetry.Base{})
+						if !reflect.DeepEqual(bare, obs) {
+							t.Errorf("no-op observer changed the result:\nbare:     %+v\nobserved: %+v", bare, obs)
+						}
+					})
+				}
+			}
+		}
+	}
 }
 
 // TestGoldenEquivalence holds the optimized hot path (sparse router

@@ -16,6 +16,7 @@ import (
 
 	"fasttrack/internal/noc"
 	"fasttrack/internal/stats"
+	"fasttrack/internal/telemetry"
 )
 
 // Version tags the cycle-level semantics of the engine. The content-addressed
@@ -54,12 +55,12 @@ type Workload interface {
 // the enumeration must be a deterministic function of the workload's
 // history so repeated runs replay identically. The fast path is bit-exact
 // with the full scan because per-PE offer operations are independent;
-// Options.FullScan forces the reference scan for equivalence testing.
+// Options.Engine = EngineDense selects the reference scan for equivalence
+// testing.
 type ActiveSet interface {
 	// ActivePEs appends the live PE indices to buf and returns it.
 	ActivePEs(buf []int) []int
 }
-
 
 // Result summarizes one simulation run.
 type Result struct {
@@ -99,6 +100,36 @@ type Result struct {
 	Recovery stats.RecoveryCounts
 }
 
+// Engine selects which of the two bit-exact simulation paths a run uses.
+type Engine uint8
+
+const (
+	// EngineSparse is the optimized production path: occupancy-bitset router
+	// stepping inside the networks plus the ActiveSet offer fast path in the
+	// engine. It is the zero value and the default.
+	EngineSparse Engine = iota
+	// EngineDense is the straight-line reference path: dense array stepping
+	// inside the networks (every router input examined every cycle) and a
+	// full Pending scan over all PEs. The golden equivalence tests hold the
+	// two engines to byte-identical Results.
+	EngineDense
+)
+
+// String returns the engine name used in logs and cache keys.
+func (e Engine) String() string {
+	if e == EngineDense {
+		return "dense"
+	}
+	return "sparse"
+}
+
+// denseSelectable is implemented by networks that carry both stepping paths.
+// Run switches the network to match Options.Engine; networks without the
+// knob (external implementations) always run their only path.
+type denseSelectable interface {
+	SetDense(bool)
+}
+
 // Options configures a run.
 type Options struct {
 	// MaxCycles bounds the run; 0 means a generous default.
@@ -119,11 +150,17 @@ type Options struct {
 	// fast with ErrStarvation and a diagnostic snapshot if any packet stays
 	// in flight longer than this many cycles. 0 disables the watchdog.
 	MaxPacketAge int64
-	// FullScan disables the ActiveSet fast path: the engine polls Pending
-	// on every PE each cycle even when the workload can enumerate live PEs.
-	// It is the reference engine path the golden equivalence tests compare
-	// the fast path against.
-	FullScan bool
+	// Engine selects the simulation path: EngineSparse (default, optimized)
+	// or EngineDense (the straight-line reference both networks and engine
+	// fall back to). The two are bit-exact; EngineDense exists for the golden
+	// equivalence tests and for ftbench's speedup measurements.
+	Engine Engine
+	// Observer, when non-nil, receives cycle-level telemetry events
+	// (injections, hops, deflections, deliveries — see internal/telemetry).
+	// Run attaches it to the network and to every layer of the workload
+	// decorator chain that implements telemetry.Observable. nil keeps every
+	// emission site on its single-nil-check disabled path.
+	Observer telemetry.Observer
 	// Context, when non-nil, is polled every few thousand cycles so a sweep
 	// scheduler (internal/runner) can cancel in-flight sibling simulations
 	// once one job fails; Run returns the context's error. nil never cancels.
@@ -175,6 +212,61 @@ func relDelta(a, b float64) float64 {
 	return math.Abs(a-b) / den
 }
 
+// convergence is the windowed stationarity detector. It consumes the window
+// points produced by telemetry.WindowTracker (the shared window bookkeeping,
+// so the detector and the Metrics observer always agree on boundaries and
+// statistics) and reports when the run has reached steady state.
+//
+// The delivery rate must be stable, and the windowed mean latency must be
+// *trend* stationary: either flat (below saturation) or growing by a stable
+// amount per window (at saturation the measured latency includes source
+// queueing, which grows linearly for as long as the quota lasts — a
+// flat-latency criterion would never pass there).
+type convergence struct {
+	tol      float64
+	patience int
+
+	started int
+	streak  int
+
+	prevRate, prevLat, prevLatDelta float64
+}
+
+// observe folds in one completed window and reports whether the run has been
+// stationary for the configured patience.
+func (c *convergence) observe(wp telemetry.WindowPoint) bool {
+	latDelta := wp.MeanLatency - c.prevLat
+	if c.started >= 2 && wp.TotalDelivered > 0 {
+		slopeStable := math.Abs(latDelta-c.prevLatDelta) <= c.tol*math.Max(wp.MeanLatency, 1)
+		if relDelta(wp.Rate, c.prevRate) < c.tol && slopeStable {
+			c.streak++
+		} else {
+			c.streak = 0
+		}
+	}
+	c.started++
+	c.prevRate, c.prevLat, c.prevLatDelta = wp.Rate, wp.MeanLatency, latDelta
+	return c.streak >= c.patience
+}
+
+// attachObserver hands obs to the network and to every layer of the workload
+// decorator chain that can hold one.
+func attachObserver(net noc.Network, wl Workload, obs telemetry.Observer) {
+	if o, ok := net.(telemetry.Observable); ok {
+		o.SetObserver(obs)
+	}
+	for wl != nil {
+		if o, ok := wl.(telemetry.Observable); ok {
+			o.SetObserver(obs)
+		}
+		u, ok := wl.(WorkloadUnwrapper)
+		if !ok {
+			break
+		}
+		wl = u.Unwrap()
+	}
+}
+
 // Run drives net against wl until the workload drains or a limit is hit.
 func Run(net noc.Network, wl Workload, opts Options) (Result, error) {
 	opts = opts.withDefaults()
@@ -184,19 +276,27 @@ func Run(net noc.Network, wl Workload, opts Options) (Result, error) {
 	offered := make([]bool, numPE)
 	offeredPkt := make([]noc.Packet, numPE)
 	aud := newAuditor(net, opts)
+	obs := opts.Observer
+	if obs != nil {
+		attachObserver(net, wl, obs)
+	}
+	if sd, ok := net.(denseSelectable); ok {
+		sd.SetDense(opts.Engine == EngineDense)
+	}
 	activeWL, fast := wl.(ActiveSet)
-	if opts.FullScan {
+	if opts.Engine == EngineDense {
 		fast = false
 	}
+	// track mirrors accepted offers for the auditor and the observer; without
+	// either consumer the copy is skipped in the hot loop.
+	track := aud != nil || obs != nil
 	var live []int
 	var latSum float64
 	var now, lastProgress int64
 
-	// Convergence-window state (only touched when ConvergeWindow > 0).
-	var convStreak, winStarted int
-	var winPrevRate, winPrevLat, winPrevLatDelta float64
-	var winDelivered int64
-	var winLatSum float64
+	// Convergence-window state (inert when ConvergeWindow is 0).
+	convWin := telemetry.WindowTracker{W: opts.ConvergeWindow}
+	conv := convergence{tol: opts.ConvergeTol, patience: opts.ConvergePatience}
 
 	for now = 0; now < opts.MaxCycles; now++ {
 		if opts.Context != nil && now&4095 == 0 {
@@ -217,7 +317,7 @@ func Run(net noc.Network, wl Workload, opts Options) (Result, error) {
 				p, ok := wl.Pending(pe, now)
 				offered[pe] = ok
 				if ok {
-					if aud != nil {
+					if track {
 						offeredPkt[pe] = p
 					}
 					net.Offer(pe, p)
@@ -229,7 +329,7 @@ func Run(net noc.Network, wl Workload, opts Options) (Result, error) {
 				p, ok := wl.Pending(pe, now)
 				offered[pe] = ok
 				if ok {
-					if aud != nil {
+					if track {
 						offeredPkt[pe] = p
 					}
 					net.Offer(pe, p)
@@ -252,6 +352,9 @@ func Run(net noc.Network, wl Workload, opts Options) (Result, error) {
 					if aud != nil {
 						aud.onInject(offeredPkt[pe], now)
 					}
+					if obs != nil {
+						obs.OnInject(now, &offeredPkt[pe])
+					}
 					progress = true
 				}
 			}
@@ -262,6 +365,9 @@ func Run(net noc.Network, wl Workload, opts Options) (Result, error) {
 					res.Injected++
 					if aud != nil {
 						aud.onInject(offeredPkt[pe], now)
+					}
+					if obs != nil {
+						obs.OnInject(now, &offeredPkt[pe])
 					}
 					progress = true
 				}
@@ -288,6 +394,9 @@ func Run(net noc.Network, wl Workload, opts Options) (Result, error) {
 				res.WorstLatency = lat
 			}
 			res.Delivered++
+			if obs != nil {
+				obs.OnDeliver(now, &p)
+			}
 			wl.Delivered(p, now)
 			progress = true
 		}
@@ -295,6 +404,9 @@ func Run(net noc.Network, wl Workload, opts Options) (Result, error) {
 			if err := aud.endOfCycle(net, now, res.Injected, res.Delivered); err != nil {
 				return res, err
 			}
+		}
+		if obs != nil {
+			obs.OnCycleEnd(now, net.InFlight())
 		}
 
 		// Stall watchdog. A cycle counts toward the stall limit only when the
@@ -314,32 +426,11 @@ func Run(net noc.Network, wl Workload, opts Options) (Result, error) {
 			}
 		}
 
-		// Windowed stationarity test (opt-in early exit). The delivery rate
-		// must be stable, and the windowed mean latency must be *trend*
-		// stationary: either flat (below saturation) or growing by a stable
-		// amount per window (at saturation the measured latency includes
-		// source queueing, which grows linearly for as long as the quota
-		// lasts — a flat-latency criterion would never pass there).
-		if opts.ConvergeWindow > 0 && (now+1)%opts.ConvergeWindow == 0 {
-			d := res.Delivered - winDelivered
-			rate := float64(d) / float64(opts.ConvergeWindow)
-			lat := 0.0
-			if d > 0 {
-				lat = (latSum - winLatSum) / float64(d)
-			}
-			latDelta := lat - winPrevLat
-			if winStarted >= 2 && res.Delivered > 0 {
-				slopeStable := math.Abs(latDelta-winPrevLatDelta) <= opts.ConvergeTol*math.Max(lat, 1)
-				if relDelta(rate, winPrevRate) < opts.ConvergeTol && slopeStable {
-					convStreak++
-				} else {
-					convStreak = 0
-				}
-			}
-			winStarted++
-			winPrevRate, winPrevLat, winPrevLatDelta = rate, lat, latDelta
-			winDelivered, winLatSum = res.Delivered, latSum
-			if convStreak >= opts.ConvergePatience {
+		// Windowed stationarity test (opt-in early exit); see convergence for
+		// the criteria.
+		if convWin.Boundary(now) {
+			wp := convWin.Roll(now, res.Delivered, res.Injected, latSum, 0)
+			if conv.observe(wp) {
 				res.Converged = true
 				now++ // this cycle completed in full
 				break

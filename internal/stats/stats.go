@@ -161,6 +161,17 @@ func (h *Histogram) Quantile(q float64) int64 {
 	return max
 }
 
+// Reset clears all samples while keeping the bucket geometry, so windowed
+// consumers (telemetry.Metrics) can reuse one histogram per window instead
+// of reallocating the bucket arrays.
+func (h *Histogram) Reset() {
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+	h.over = 0
+	h.acc = Accumulator{}
+}
+
 // Buckets invokes fn for every non-empty bucket with the bucket's upper
 // bound and count, in ascending order, then once more with the overflow
 // count (bound = -1) if any samples exceeded the histogram range.

@@ -1,0 +1,150 @@
+package telemetry
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+
+	"fasttrack/internal/noc"
+)
+
+// link classes within a router's output set. Express entries stay zero on
+// networks without an express plane (Hoplite, the buffered mesh).
+const (
+	linkESh = iota // east local wire
+	linkEEx        // east express wire
+	linkSSh        // south local wire
+	linkSEx        // south express wire
+	numLinkClasses
+)
+
+var linkClassDir = [numLinkClasses]string{"E", "S", "E", "S"}
+var linkClassName = [numLinkClasses]string{"local", "express", "local", "express"}
+
+// LinkStats is an Observer that counts wire traversals per router output,
+// split by link class (local vs express — noc.Port.IsExpress), plus
+// per-router deflections and express denials. Its CSV output is the
+// heatmap-ready utilization table behind the paper's express-wire-usage
+// argument: one row per (router, direction, class) with hops and hops/cycle.
+//
+// On multi-channel Hoplite all K channels share one geometry, so counts
+// aggregate per geometric link across channels.
+type LinkStats struct {
+	Base
+	w, h   int
+	cycles int64
+
+	// hops[router][class] counts traversals of the wire leaving router.
+	hops [][numLinkClasses]int64
+	// deflects and denied count per-router misroutes and express denials.
+	deflects, denied []int64
+}
+
+// NewLinkStats returns a LinkStats observer for a w×h network.
+func NewLinkStats(w, h int) *LinkStats {
+	if w < 1 {
+		w = 1
+	}
+	if h < 1 {
+		h = 1
+	}
+	n := w * h
+	return &LinkStats{
+		w: w, h: h,
+		hops:     make([][numLinkClasses]int64, n),
+		deflects: make([]int64, n),
+		denied:   make([]int64, n),
+	}
+}
+
+func linkClass(out noc.Port) int {
+	switch out {
+	case noc.PortESh:
+		return linkESh
+	case noc.PortEEx:
+		return linkEEx
+	case noc.PortSSh:
+		return linkSSh
+	case noc.PortSEx:
+		return linkSEx
+	}
+	return -1
+}
+
+// OnHop implements Observer.
+func (l *LinkStats) OnHop(now int64, router int, out noc.Port, p *noc.Packet) {
+	if c := linkClass(out); c >= 0 && router < len(l.hops) {
+		l.hops[router][c]++
+	}
+}
+
+// OnExpressHop implements Observer.
+func (l *LinkStats) OnExpressHop(now int64, router int, out noc.Port, p *noc.Packet) {
+	if c := linkClass(out); c >= 0 && router < len(l.hops) {
+		l.hops[router][c]++
+	}
+}
+
+// OnDeflect implements Observer.
+func (l *LinkStats) OnDeflect(now int64, router int, in noc.Port, p *noc.Packet) {
+	if router < len(l.deflects) {
+		l.deflects[router]++
+	}
+}
+
+// OnExpressDenied implements Observer.
+func (l *LinkStats) OnExpressDenied(now int64, router int, in noc.Port, p *noc.Packet) {
+	if router < len(l.denied) {
+		l.denied[router]++
+	}
+}
+
+// OnCycleEnd implements Observer.
+func (l *LinkStats) OnCycleEnd(now int64, inFlight int) { l.cycles++ }
+
+// Cycles returns the observed cycle count.
+func (l *LinkStats) Cycles() int64 { return l.cycles }
+
+// Totals returns network-wide hop counts by wire class.
+func (l *LinkStats) Totals() (local, express int64) {
+	for _, h := range l.hops {
+		local += h[linkESh] + h[linkSSh]
+		express += h[linkEEx] + h[linkSEx]
+	}
+	return local, express
+}
+
+// WriteCSV emits one row per (router, direction, wire class): coordinates,
+// the class, the absolute hop count, utilization (hops per observed cycle),
+// and the router's deflection/express-denial counts (repeated on each of
+// the router's rows for self-contained plotting).
+func (l *LinkStats) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"x", "y", "dir", "class", "hops", "utilization", "deflections", "express_denied",
+	}); err != nil {
+		return err
+	}
+	for i, hops := range l.hops {
+		x, y := i%l.w, i/l.w
+		for c := 0; c < numLinkClasses; c++ {
+			util := 0.0
+			if l.cycles > 0 {
+				util = float64(hops[c]) / float64(l.cycles)
+			}
+			if err := cw.Write([]string{
+				fmt.Sprint(x), fmt.Sprint(y),
+				linkClassDir[c], linkClassName[c],
+				fmt.Sprint(hops[c]), fmt.Sprintf("%.6f", util),
+				fmt.Sprint(l.deflects[i]), fmt.Sprint(l.denied[i]),
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// TelemetryKey implements Keyer.
+func (l *LinkStats) TelemetryKey() string { return "linkstats" }

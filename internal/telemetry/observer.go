@@ -1,0 +1,192 @@
+// Package telemetry is the cycle-level observability layer for the NoC
+// simulator: a small Observer interface invoked from the engine and router
+// hot loops, plus concrete observers — a packet-lifecycle tracer (JSONL and
+// Chrome trace-event output), per-link utilization counters split by wire
+// class (local vs express), and windowed time-series metrics whose window
+// bookkeeping also drives the engine's convergence detector.
+//
+// The disabled path is a single nil check at every emission site, so a run
+// without an observer pays nothing measurable (the ftbench baseline records
+// the comparison). Observer callbacks receive packet pointers to avoid
+// copying the 80-byte packet per event; implementations must not retain
+// them beyond the call — the pointee is engine- or router-owned memory that
+// is mutated or recycled on later cycles.
+//
+// Event ordering within a cycle depends on the engine path (the sparse
+// router stepping fuses hops into the routing pass while the dense
+// reference emits them in its latch pass), but event *totals* are
+// engine-independent and match the network's noc.Counters; the golden tests
+// in internal/sim hold an attached no-op observer to bit-exact Results.
+package telemetry
+
+import (
+	"strings"
+
+	"fasttrack/internal/noc"
+)
+
+// Observer receives cycle-level simulation events. All methods are invoked
+// synchronously from the simulation hot loop; implementations should be
+// cheap and must not retain the packet pointers they are handed.
+//
+// Router-level events carry the index of the router that made the decision
+// (y*width + x) and the port that classifies the event:
+//
+//   - OnHop / OnExpressHop: out is the granted output port (noc.PortESh,
+//     PortSSh for local wires; PortEEx, PortSEx for express wires). The
+//     buffered mesh, which has no express plane and bidirectional links,
+//     maps horizontal moves to PortESh and vertical moves to PortSSh.
+//   - OnDeflect: in is the input port whose packet was misrouted away from
+//     its dimension-ordered path (a true deflection).
+//   - OnExpressDenied: in is the input port whose packet was denied an
+//     express resource and fell back to a short link (the paper's Fig 18b
+//     "input deflection"); noc.PortPE marks a denied express injection.
+//
+// Packet-level events come from the engine and the workload/network
+// wrappers: OnInject after an offer is accepted, OnDeliver per delivery,
+// OnDrop when a packet is destroyed (fault injection) or abandoned
+// (retransmission budget exhausted, internal/reliability), OnRetransmit
+// when a retransmit copy is queued. OnCycleEnd fires once per completed
+// engine cycle with the current in-flight population.
+type Observer interface {
+	OnInject(now int64, p *noc.Packet)
+	OnDeliver(now int64, p *noc.Packet)
+	OnHop(now int64, router int, out noc.Port, p *noc.Packet)
+	OnExpressHop(now int64, router int, out noc.Port, p *noc.Packet)
+	OnDeflect(now int64, router int, in noc.Port, p *noc.Packet)
+	OnExpressDenied(now int64, router int, in noc.Port, p *noc.Packet)
+	OnDrop(now int64, p *noc.Packet)
+	OnRetransmit(now int64, p *noc.Packet)
+	OnCycleEnd(now int64, inFlight int)
+}
+
+// Observable is implemented by networks and workload wrappers that can
+// attach an observer. sim.Run discovers it on the network and on every
+// layer of the workload decorator chain.
+type Observable interface {
+	SetObserver(Observer)
+}
+
+// Keyer is implemented by observers whose presence must be reflected in
+// content-addressed result-cache keys (internal/runner): a cached Result
+// would silently skip the observer's side effects, so runs with an observer
+// attached must never be answered from entries written without one. The
+// string must determine the observer's emission-relevant settings.
+type Keyer interface {
+	TelemetryKey() string
+}
+
+// Key canonicalizes an observer for cache keys: empty for nil (the key stays
+// byte-identical to pre-telemetry keys, preserving existing cache entries),
+// the Keyer string when implemented, and a generic marker otherwise.
+func Key(o Observer) string {
+	if o == nil {
+		return ""
+	}
+	if k, ok := o.(Keyer); ok {
+		return k.TelemetryKey()
+	}
+	return "observer"
+}
+
+// Base is a no-op Observer. Embed it to implement only the events an
+// observer cares about; it is also the canonical no-op observer the golden
+// bit-exactness tests attach.
+type Base struct{}
+
+func (Base) OnInject(int64, *noc.Packet)                       {}
+func (Base) OnDeliver(int64, *noc.Packet)                      {}
+func (Base) OnHop(int64, int, noc.Port, *noc.Packet)           {}
+func (Base) OnExpressHop(int64, int, noc.Port, *noc.Packet)    {}
+func (Base) OnDeflect(int64, int, noc.Port, *noc.Packet)       {}
+func (Base) OnExpressDenied(int64, int, noc.Port, *noc.Packet) {}
+func (Base) OnDrop(int64, *noc.Packet)                         {}
+func (Base) OnRetransmit(int64, *noc.Packet)                   {}
+func (Base) OnCycleEnd(int64, int)                             {}
+
+// multi fans events out to several observers in order.
+type multi struct {
+	obs []Observer
+}
+
+// Multi combines observers into one; nil entries are dropped. It returns
+// nil for an empty set and the sole observer for a singleton, so callers
+// can compose unconditionally without paying fan-out indirection.
+func Multi(obs ...Observer) Observer {
+	kept := make([]Observer, 0, len(obs))
+	for _, o := range obs {
+		if o != nil {
+			kept = append(kept, o)
+		}
+	}
+	switch len(kept) {
+	case 0:
+		return nil
+	case 1:
+		return kept[0]
+	}
+	return &multi{obs: kept}
+}
+
+func (m *multi) OnInject(now int64, p *noc.Packet) {
+	for _, o := range m.obs {
+		o.OnInject(now, p)
+	}
+}
+
+func (m *multi) OnDeliver(now int64, p *noc.Packet) {
+	for _, o := range m.obs {
+		o.OnDeliver(now, p)
+	}
+}
+
+func (m *multi) OnHop(now int64, router int, out noc.Port, p *noc.Packet) {
+	for _, o := range m.obs {
+		o.OnHop(now, router, out, p)
+	}
+}
+
+func (m *multi) OnExpressHop(now int64, router int, out noc.Port, p *noc.Packet) {
+	for _, o := range m.obs {
+		o.OnExpressHop(now, router, out, p)
+	}
+}
+
+func (m *multi) OnDeflect(now int64, router int, in noc.Port, p *noc.Packet) {
+	for _, o := range m.obs {
+		o.OnDeflect(now, router, in, p)
+	}
+}
+
+func (m *multi) OnExpressDenied(now int64, router int, in noc.Port, p *noc.Packet) {
+	for _, o := range m.obs {
+		o.OnExpressDenied(now, router, in, p)
+	}
+}
+
+func (m *multi) OnDrop(now int64, p *noc.Packet) {
+	for _, o := range m.obs {
+		o.OnDrop(now, p)
+	}
+}
+
+func (m *multi) OnRetransmit(now int64, p *noc.Packet) {
+	for _, o := range m.obs {
+		o.OnRetransmit(now, p)
+	}
+}
+
+func (m *multi) OnCycleEnd(now int64, inFlight int) {
+	for _, o := range m.obs {
+		o.OnCycleEnd(now, inFlight)
+	}
+}
+
+// TelemetryKey implements Keyer by joining the member keys.
+func (m *multi) TelemetryKey() string {
+	parts := make([]string, len(m.obs))
+	for i, o := range m.obs {
+		parts[i] = Key(o)
+	}
+	return "multi(" + strings.Join(parts, ",") + ")"
+}

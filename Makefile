@@ -9,7 +9,7 @@ GO ?= go
 # pass so the assertion is meaningful).
 SWEEP_CACHE ?= .ftcache-quick
 
-.PHONY: build test vet race fuzz verify bench bench-sweep sweep-quick
+.PHONY: build test vet race fuzz verify bench bench-sweep bench-check sweep-quick monitor-smoke
 
 build:
 	$(GO) build ./...
@@ -29,6 +29,13 @@ race:
 # PRs can diff against the baseline).
 bench:
 	$(GO) run ./cmd/ftbench -out BENCH_sim.json
+
+# Regression gate against the committed baseline: re-measures saturation
+# throughput (deterministic) and observer overhead (a same-machine ratio,
+# so it transfers across hardware) and fails on >10% regression. Raw
+# nanosecond columns are not compared — they describe the baseline machine.
+bench-check:
+	$(GO) run ./cmd/ftbench -check BENCH_sim.json
 
 # Orchestration benchmark: times the quick-scale Fig 11 rate sweep dense
 # vs adaptive (bisection + convergence early exit) and cold vs warm cache,
@@ -52,4 +59,12 @@ fuzz:
 	$(GO) test -fuzz FuzzRingDelta -fuzztime 10s ./internal/noc/
 	$(GO) test -fuzz FuzzTopology -fuzztime 10s ./internal/fasttrack/
 
-verify: build vet test race
+# Live-monitoring smoke: a short run with the ops server, flight recorder
+# and span tracing all armed must still exit cleanly (the e2e HTTP
+# assertions live in internal/monitor's tests; this catches CLI wiring rot).
+monitor-smoke:
+	$(GO) run ./cmd/ftsim -n 4 -packets 100 -http 127.0.0.1:0 -flight-recorder 64 > /dev/null
+	$(GO) run ./cmd/ftexp -quick -run fig11 -no-cache -span-trace .smoke.spans.trace.json > /dev/null
+	rm -f .smoke.spans.trace.json
+
+verify: build vet test race monitor-smoke

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+)
+
+// The -check mode is the CI regression gate: it re-measures the quantities
+// of the committed BENCH_sim.json that are meaningful across machines and
+// fails on >10% regression.
+//
+//   - Saturation throughput (delivered/cycles) is deterministic for the
+//     fixed seed, so any shrink is a semantic change in the engine, not
+//     noise; it is checked against checkTolerance anyway to leave room for
+//     intentional model adjustments that re-baseline.
+//   - Observer overhead (observer_ns/optimized_ns) is a ratio of two runs
+//     on the same machine, so it transfers across hardware in a way raw
+//     nanoseconds do not. It guards the "attached no-op telemetry is
+//     near-free" claim. Both sides use the interleaved-median measurement
+//     (measureOverhead), and the gate additionally allows an absolute
+//     1+2*tol ceiling so a noise-lucky baseline draw (a recorded ratio
+//     below 1.0 is physically impossible and purely timing noise) cannot
+//     fail a healthy run.
+//
+// Raw wall-clock fields (reference_ns, optimized_ns, speedup) are NOT
+// compared: they measure the baseline author's machine.
+const checkTolerance = 0.10
+
+func runCheck(baselinePath string, reps int) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var baseline []row
+	if err := json.Unmarshal(raw, &baseline); err != nil {
+		return fmt.Errorf("%s: %w", baselinePath, err)
+	}
+	byName := make(map[string]row, len(baseline))
+	for _, r := range baseline {
+		byName[r.Name] = r
+	}
+
+	failures := 0
+	for _, sc := range scenarios() {
+		base, ok := byName[sc.name]
+		if !ok {
+			fmt.Printf("%-36s not in baseline, skipped\n", sc.name)
+			continue
+		}
+		opt, _, overhead, err := measureOverhead(sc, reps)
+		if err != nil {
+			return fmt.Errorf("%s: %w", sc.name, err)
+		}
+
+		tput := float64(opt.Delivered) / float64(opt.Cycles)
+		baseTput := float64(base.Delivered) / float64(base.Cycles)
+
+		ok = true
+		if tput < baseTput*(1-checkTolerance) {
+			fmt.Printf("%-36s FAIL throughput %.4f < baseline %.4f (-%.1f%%)\n",
+				sc.name, tput, baseTput, 100*(1-tput/baseTput))
+			ok = false
+		}
+		limit := math.Max(base.ObserverOverhead*(1+checkTolerance), 1+2*checkTolerance)
+		if base.ObserverOverhead > 0 && overhead > limit {
+			fmt.Printf("%-36s FAIL observer overhead %.3fx > limit %.3fx (baseline %.3fx)\n",
+				sc.name, overhead, limit, base.ObserverOverhead)
+			ok = false
+		}
+		if ok {
+			fmt.Printf("%-36s ok  throughput %.4f (baseline %.4f)  observer %.3fx (baseline %.3fx)\n",
+				sc.name, tput, baseTput, overhead, base.ObserverOverhead)
+		} else {
+			failures++
+		}
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d scenario(s) regressed >%d%% vs %s", failures, int(checkTolerance*100), baselinePath)
+	}
+	return nil
+}

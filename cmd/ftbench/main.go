@@ -27,9 +27,11 @@ import (
 	"fmt"
 	"os"
 	"reflect"
+	"sort"
 	"time"
 
 	"fasttrack/internal/buffered"
+	"fasttrack/internal/cliflags"
 	"fasttrack/internal/core"
 	"fasttrack/internal/noc"
 	"fasttrack/internal/sim"
@@ -108,17 +110,51 @@ func best(sc scenario, opts sim.Options, reps int) (sim.Result, time.Duration, e
 	return bestRes, bestDur, nil
 }
 
+// measureOverhead times the no-op-observer cost as the median of reps
+// back-to-back (plain, observer) run pairs. Interleaving keeps machine
+// drift (frequency scaling, co-tenants) on both sides of each ratio, and
+// the median resists the one-outlier pair that a mean would be hostage to
+// — timing the two variants in separate best() batches makes the ratio
+// swing ±30% on short low-rate runs. Returns the plain and observer
+// results (identical across reps) and the overhead ratio.
+func measureOverhead(sc scenario, reps int) (plain, obs sim.Result, overhead float64, err error) {
+	ratios := make([]float64, 0, reps)
+	for r := 0; r < reps; r++ {
+		var pd, od time.Duration
+		plain, pd, err = runOnce(sc, sim.Options{})
+		if err != nil {
+			return sim.Result{}, sim.Result{}, 0, err
+		}
+		obs, od, err = runOnce(sc, sim.Options{Observer: telemetry.Base{}})
+		if err != nil {
+			return sim.Result{}, sim.Result{}, 0, err
+		}
+		ratios = append(ratios, float64(od)/float64(pd))
+	}
+	sort.Float64s(ratios)
+	return plain, obs, ratios[len(ratios)/2], nil
+}
+
 func main() {
 	out := flag.String("out", "", "output JSON path (default BENCH_sim.json, or BENCH_sweep.json with -sweep)")
 	reps := flag.Int("reps", 3, "repetitions per scenario (best kept)")
 	sweep := flag.Bool("sweep", false, "benchmark the sweep orchestrator instead of the engine hot path")
+	check := flag.String("check", "", "regression gate: compare a fresh measurement against this baseline JSON and exit 1 on >10% regression")
+	mon := cliflags.RegisterMonitor(flag.CommandLine)
 	flag.Parse()
 
+	if *check != "" {
+		if err := runCheck(*check, *reps); err != nil {
+			fmt.Fprintf(os.Stderr, "ftbench: check: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *sweep {
 		if *out == "" {
 			*out = "BENCH_sweep.json"
 		}
-		if err := runSweep(*out); err != nil {
+		if err := runSweep(*out, mon); err != nil {
 			fmt.Fprintf(os.Stderr, "ftbench: sweep: %v\n", err)
 			os.Exit(1)
 		}
@@ -140,7 +176,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "ftbench: %s (optimized): %v\n", sc.name, err)
 			os.Exit(1)
 		}
-		obs, obsDur, err := best(sc, sim.Options{Observer: telemetry.Base{}}, *reps)
+		_, obs, overhead, err := measureOverhead(sc, *reps)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ftbench: %s (observer): %v\n", sc.name, err)
 			os.Exit(1)
@@ -160,8 +196,8 @@ func main() {
 			ReferenceNS:      refDur.Nanoseconds(),
 			OptimizedNS:      optDur.Nanoseconds(),
 			Speedup:          float64(refDur) / float64(optDur),
-			ObserverNS:       obsDur.Nanoseconds(),
-			ObserverOverhead: float64(obsDur) / float64(optDur),
+			ObserverNS:       int64(overhead * float64(optDur.Nanoseconds())),
+			ObserverOverhead: overhead,
 		}
 		rows = append(rows, r)
 		fmt.Printf("%-36s %10d cycles  ref %8.2fms  opt %8.2fms  %.2fx  obs %.3fx\n",

@@ -7,6 +7,7 @@ import (
 	"os"
 	"time"
 
+	"fasttrack/internal/cliflags"
 	"fasttrack/internal/core"
 	"fasttrack/internal/runner"
 	"fasttrack/internal/sim"
@@ -132,7 +133,7 @@ func adaptiveSweep(orch *runner.Orchestrator) (time.Duration, int64, error) {
 			opts := denseOptions(c.pat, rate)
 			opts.ConvergeWindow = sweepWindow
 			opts.ConvergeTol = sweepTol
-			return runner.Do(orch, runner.SyntheticKey(c.cfg, opts), func() (sim.Result, error) {
+			return runner.Do(ctx, orch, runner.SyntheticKey(c.cfg, opts), func() (sim.Result, error) {
 				return core.RunSynthetic(ctx, c.cfg, opts)
 			})
 		}, runner.SaturationOptions{Tol: sweepSatTol, Probes: []float64{sweepLowProbe}})
@@ -143,8 +144,10 @@ func adaptiveSweep(orch *runner.Orchestrator) (time.Duration, int64, error) {
 	return dur, executed, err
 }
 
-// runSweep executes the four phases and writes the report.
-func runSweep(out string) error {
+// runSweep executes the four phases and writes the report. The monitor
+// flags apply to the adaptive cold phase: -span-trace records its per-job
+// spans and -http exposes its orchestrator on /metrics while it runs.
+func runSweep(out string, mon *cliflags.Monitor) error {
 	cacheDir, err := os.MkdirTemp(".", ".ftcache-bench-")
 	if err != nil {
 		return err
@@ -176,7 +179,15 @@ func runSweep(out string) error {
 	}
 	rep.DenseParallelNS = parDur.Nanoseconds()
 
-	coldDur, coldRuns, err := adaptiveSweep(&runner.Orchestrator{Cache: cache})
+	coldOrch := &runner.Orchestrator{Cache: cache}
+	ops, err := mon.Build(0, 0, coldOrch)
+	if err != nil {
+		return err
+	}
+	coldDur, coldRuns, err := adaptiveSweep(coldOrch)
+	if cerr := ops.Close(); err == nil {
+		err = cerr
+	}
 	if err != nil {
 		return fmt.Errorf("adaptive cold: %w", err)
 	}

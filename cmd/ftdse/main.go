@@ -29,9 +29,15 @@ func main() {
 	variants := flag.Bool("variants", false, "also evaluate FTlite(Inject) routers")
 	channels := flag.Int("channels", 3, "max multi-channel Hoplite replication")
 	sweep := cliflags.RegisterSweep(flag.CommandLine)
+	mon := cliflags.RegisterMonitor(flag.CommandLine)
 	flag.Parse()
 
-	cache, err := sweep.Cache()
+	orch, err := sweep.Orchestrator()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ftdse:", err)
+		os.Exit(1)
+	}
+	ops, err := mon.Build(0, 0, orch)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ftdse:", err)
 		os.Exit(1)
@@ -41,10 +47,14 @@ func main() {
 		N: *n, WidthBits: *width,
 		Pattern: work.Pattern, Rate: work.Rate, PacketsPerPE: work.PacketsPerPE,
 		MaxChannels: *channels, Variants: *variants, Seed: work.Seed,
-		Workers: sweep.Workers, Cache: cache,
+		Orch: orch,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ftdse:", err)
+		os.Exit(1)
+	}
+	if err := ops.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "ftdse: monitor:", err)
 		os.Exit(1)
 	}
 

@@ -34,6 +34,7 @@ func main() {
 	quick := flag.Bool("quick", false, "use the reduced-scale sweep")
 	seed := flag.Uint64("seed", 1, "random seed for all workloads")
 	sweep := cliflags.RegisterSweep(flag.CommandLine)
+	mon := cliflags.RegisterMonitor(flag.CommandLine)
 	adaptive := flag.Bool("adaptive", false, "adaptive saturation search instead of dense rate grids (figs 11-13)")
 	progress := flag.Bool("progress", false, "live job progress/ETA on stderr")
 	assertCached := flag.Bool("assert-cached", false, "exit 1 if any simulation executed (warm-cache check)")
@@ -61,6 +62,11 @@ func main() {
 	if *progress {
 		orch.Progress = os.Stderr
 	}
+	ops, err := mon.Build(0, 0, orch)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ftexp:", err)
+		os.Exit(1)
+	}
 	sc.Orch = orch
 
 	var todo []experiments.Experiment
@@ -87,6 +93,10 @@ func main() {
 		fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}
 
+	if err := ops.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "ftexp: monitor:", err)
+		os.Exit(1)
+	}
 	executed, hits := orch.Stats()
 	fmt.Printf("%d simulated, %d from cache\n", executed, hits)
 	if *assertCached && executed > 0 {

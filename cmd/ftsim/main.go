@@ -11,6 +11,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -18,7 +19,9 @@ import (
 	"fasttrack/internal/cliflags"
 	"fasttrack/internal/core"
 	"fasttrack/internal/noc"
+	"fasttrack/internal/sim"
 	"fasttrack/internal/stats"
+	"fasttrack/internal/telemetry"
 	"fasttrack/internal/viz"
 )
 
@@ -27,6 +30,7 @@ func main() {
 	work := cliflags.RegisterWorkload(flag.CommandLine, cliflags.WorkloadDefaults())
 	flt := cliflags.RegisterFaults(flag.CommandLine)
 	telem := cliflags.RegisterTelemetry(flag.CommandLine)
+	mon := cliflags.RegisterMonitor(flag.CommandLine)
 	regulateRate := flag.Float64("regulate", 0, "token-bucket injection regulation rate (0 = off)")
 	heatmap := flag.Bool("heatmap", false, "render a per-source mean-latency heatmap")
 	watchdog := flag.Int64("watchdog", 0, "starvation watchdog: max in-flight packet age in cycles (0 = off)")
@@ -51,15 +55,30 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ftsim: %v\n", err)
 		os.Exit(1)
 	}
-	opts.Observer = sinks.Observer
+	ops, err := mon.Build(topo.N, topo.N, nil)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ftsim: %v\n", err)
+		os.Exit(1)
+	}
+	opts.Observer = telemetry.Multi(sinks.Observer, ops.Observer)
 
 	res, err := core.RunSynthetic(context.Background(), cfg, opts)
 	if err != nil {
+		// A tripped watchdog or invariant check is exactly what the flight
+		// recorder exists for: dump the forensic report before exiting.
+		var inv *sim.InvariantError
+		if errors.As(err, &inv) {
+			ops.DumpFlight(os.Stderr, 10)
+		}
 		fmt.Fprintf(os.Stderr, "ftsim: %v\n", err)
 		os.Exit(1)
 	}
 	if err := sinks.Close(); err != nil {
 		fmt.Fprintf(os.Stderr, "ftsim: telemetry: %v\n", err)
+		os.Exit(1)
+	}
+	if err := ops.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "ftsim: monitor: %v\n", err)
 		os.Exit(1)
 	}
 

@@ -11,12 +11,15 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 
 	"fasttrack/internal/cliflags"
 	"fasttrack/internal/core"
+	"fasttrack/internal/sim"
+	"fasttrack/internal/telemetry"
 	"fasttrack/internal/trace"
 	"fasttrack/internal/workloads/dataflow"
 	"fasttrack/internal/workloads/graphwl"
@@ -36,6 +39,7 @@ func main() {
 	r := flag.Int("r", 1, "FastTrack R for replay")
 	seed := flag.Uint64("seed", 1, "seed for synthetic trace generation")
 	telem := cliflags.RegisterTelemetry(flag.CommandLine)
+	mon := cliflags.RegisterMonitor(flag.CommandLine)
 	flag.Parse()
 
 	if *list {
@@ -76,11 +80,23 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		res, err := core.RunTrace(context.Background(), cfg, tr, core.TraceOptions{Observer: sinks.Observer})
+		ops, err := mon.Build(*n, *n, nil)
 		if err != nil {
 			fatal(err)
 		}
+		obs := telemetry.Multi(sinks.Observer, ops.Observer)
+		res, err := core.RunTrace(context.Background(), cfg, tr, core.TraceOptions{Observer: obs})
+		if err != nil {
+			var inv *sim.InvariantError
+			if errors.As(err, &inv) {
+				ops.DumpFlight(os.Stderr, 10)
+			}
+			fatal(err)
+		}
 		if err := sinks.Close(); err != nil {
+			fatal(err)
+		}
+		if err := ops.Close(); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("%s on %s: %d cycles, %d messages, avg latency %.1f, worst %d\n",

@@ -1,0 +1,123 @@
+package cliflags
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fasttrack/internal/monitor"
+	"fasttrack/internal/runner"
+	"fasttrack/internal/telemetry"
+)
+
+// Monitor is the live-observability flag group (-http, -flight-recorder,
+// -span-trace). All off by default: a run without these flags attaches no
+// observer and starts no server, preserving the engine's nil-check-only
+// disabled path.
+type Monitor struct {
+	HTTP           string
+	FlightRecorder int
+	SpanTrace      string
+}
+
+// RegisterMonitor registers the monitoring flags on fs (all off by default).
+func RegisterMonitor(fs *flag.FlagSet) *Monitor {
+	m := &Monitor{}
+	fs.StringVar(&m.HTTP, "http", "", "serve live metrics on this address (/metrics, /live, /debug/pprof); \":0\" picks a free port")
+	fs.IntVar(&m.FlightRecorder, "flight-recorder", 0, "record per-packet lifecycles, keeping the N worst for forensics (0 = off)")
+	fs.StringVar(&m.SpanTrace, "span-trace", "", "write per-job sweep spans as Chrome trace-event JSON to this file (Perfetto-loadable)")
+	return m
+}
+
+// Enabled reports whether any monitoring was requested.
+func (m *Monitor) Enabled() bool {
+	return m.HTTP != "" || m.FlightRecorder > 0 || m.SpanTrace != ""
+}
+
+// Ops is the live-monitoring stack built from the Monitor flags: attach
+// Observer to the run (nil when neither -http nor -flight-recorder was set),
+// then Close once the run finishes to write the span trace and stop the
+// server. Sweep tools that never see a network pass w, h = 0 and get the
+// runner/span side only.
+type Ops struct {
+	// Observer fans out to the collector and flight recorder; nil when
+	// neither is enabled, costing the run nothing.
+	Observer telemetry.Observer
+	// Collector and Flight are the enabled instruments (nil when off).
+	Collector *monitor.Collector
+	Flight    *monitor.FlightRecorder
+	// Server is the running ops server, nil without -http.
+	Server *monitor.Server
+
+	spans    *runner.SpanLog
+	spanPath string
+}
+
+// Build starts the monitoring stack for a w×h run. orch, when non-nil, is
+// exported on /metrics and receives the span log when -span-trace is set.
+// Sweep tools pass w, h = 0 (no per-network collector).
+func (m *Monitor) Build(w, h int, orch *runner.Orchestrator) (*Ops, error) {
+	ops := &Ops{}
+	if m.HTTP != "" && w > 0 && h > 0 {
+		ops.Collector = monitor.NewCollector(w, h)
+	}
+	if m.FlightRecorder > 0 {
+		ops.Flight = monitor.NewFlightRecorder(m.FlightRecorder, w)
+	}
+	if m.SpanTrace != "" && orch != nil {
+		ops.spans = runner.NewSpanLog()
+		orch.Spans = ops.spans
+		ops.spanPath = m.SpanTrace
+	}
+	ops.Observer = telemetry.Multi(asObserver(ops.Collector), asObserver(ops.Flight))
+	if m.HTTP != "" {
+		srv, err := monitor.StartServer(m.HTTP, monitor.ServerOptions{
+			Collector: ops.Collector, Flight: ops.Flight, Runner: orch,
+		})
+		if err != nil {
+			return nil, err
+		}
+		ops.Server = srv
+		fmt.Fprintf(os.Stderr, "monitor: live on http://%s (/metrics, /live, /debug/pprof)\n", srv.Addr())
+	}
+	return ops, nil
+}
+
+// DumpFlight writes the flight recorder's forensic report (the k worst
+// packet lifecycles plus deflection blame) to w; no-op without
+// -flight-recorder. CLIs call it when a run trips the watchdog or an
+// invariant check.
+func (o *Ops) DumpFlight(w *os.File, k int) {
+	if o.Flight == nil {
+		return
+	}
+	o.Flight.WriteReport(w, k)
+}
+
+// Close finalizes the stack: the collector is marked done (the /live page
+// shows "run finished"), the span trace is written, and the server stops.
+// It returns the first error encountered.
+func (o *Ops) Close() error {
+	if o.Collector != nil {
+		o.Collector.MarkDone()
+	}
+	var first error
+	keep := func(err error) {
+		if first == nil && err != nil {
+			first = err
+		}
+	}
+	if o.spans != nil && o.spanPath != "" {
+		f, err := os.Create(o.spanPath)
+		if err != nil {
+			keep(err)
+		} else {
+			keep(o.spans.WriteChrome(f))
+			keep(f.Close())
+		}
+	}
+	if o.Server != nil {
+		keep(o.Server.Close())
+	}
+	return first
+}

@@ -301,14 +301,6 @@ func RunSynthetic(ctx context.Context, cfg Config, opts SyntheticOptions) (Resul
 	})
 }
 
-// RunSyntheticCtx is the old name of RunSynthetic, kept for source
-// compatibility.
-//
-// Deprecated: call RunSynthetic, which is context-first.
-func RunSyntheticCtx(ctx context.Context, cfg Config, opts SyntheticOptions) (Result, error) {
-	return RunSynthetic(ctx, cfg, opts)
-}
-
 // RunTrace builds cfg's network and replays an application trace with
 // dependency-driven injection, returning completion time and latency
 // statistics. ctx cancels cooperatively (see RunSynthetic).
@@ -327,12 +319,4 @@ func RunTrace(ctx context.Context, cfg Config, tr *Trace, opts TraceOptions) (Re
 		Engine:    opts.Engine,
 		Observer:  opts.Observer,
 	})
-}
-
-// RunTraceCtx is the old signature of RunTrace, kept for source
-// compatibility.
-//
-// Deprecated: call RunTrace, which is context-first and takes TraceOptions.
-func RunTraceCtx(ctx context.Context, cfg Config, tr *Trace) (Result, error) {
-	return RunTrace(ctx, cfg, tr, TraceOptions{})
 }

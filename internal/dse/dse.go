@@ -39,6 +39,10 @@ type Options struct {
 	// before every candidate simulation (ftdse -cache): re-exploring a
 	// design space reruns only the points whose keys are not on disk.
 	Cache *runner.Cache
+	// Orch, when non-nil, schedules the simulations instead of a private
+	// orchestrator built from Workers and Cache — the caller keeps live
+	// visibility (span traces, /metrics) into the exploration.
+	Orch *runner.Orchestrator
 }
 
 func (o Options) withDefaults() Options {
@@ -140,14 +144,17 @@ func Explore(opts Options) ([]Point, Stats, error) {
 		pts[i] = p
 	}
 
-	orch := &runner.Orchestrator{Cache: o.Cache, Workers: o.Workers}
+	orch := o.Orch
+	if orch == nil {
+		orch = &runner.Orchestrator{Cache: o.Cache, Workers: o.Workers}
+	}
 	err := orch.ForEach(context.Background(), len(simIdx), func(ctx context.Context, j int) error {
 		i := simIdx[j]
 		cfg := cands[i]
 		sopts := core.SyntheticOptions{
 			Pattern: o.Pattern, Rate: o.Rate, PacketsPerPE: o.PacketsPerPE, Seed: o.Seed,
 		}
-		res, err := runner.Do(orch, runner.SyntheticKey(cfg, sopts), func() (core.Result, error) {
+		res, err := runner.Do(ctx, orch, runner.SyntheticKey(cfg, sopts), func() (core.Result, error) {
 			return core.RunSynthetic(ctx, cfg, sopts)
 		})
 		if err != nil {

@@ -160,7 +160,7 @@ func RunExtZeroLoad(w io.Writer, sc Scale) error {
 		core.FastTrack(n, 2, 1).WithVariant(core.VariantInject),
 	} {
 		cfg := cfg
-		zl, err := runner.Do(sc.orch(), runner.RawKey("zeroload", runner.ConfigKey(cfg)),
+		zl, err := runner.Do(context.Background(), sc.orch(), runner.RawKey("zeroload", runner.ConfigKey(cfg)),
 			func() (analysis.ZeroLoad, error) { return analysis.ZeroLoadProfile(cfg) })
 		if err != nil {
 			return err
@@ -292,7 +292,7 @@ type cachelineRun struct {
 
 func runCachelines(cfg core.Config, lineBits, width int, sc Scale) (cachelineRun, error) {
 	key := runner.RawKey("cacheline", runner.ConfigKey(cfg), lineBits, width, sc.Quota, sc.Seed)
-	return runner.Do(sc.orch(), key, func() (cachelineRun, error) {
+	return runner.Do(context.Background(), sc.orch(), key, func() (cachelineRun, error) {
 		net, err := cfg.Build()
 		if err != nil {
 			return cachelineRun{}, err
@@ -354,7 +354,7 @@ func ExtBufferedData(sc Scale) ([]BufferedPoint, error) {
 
 	run := func(name string, build func() (core.Network, error), luts int, mhz float64) error {
 		key := runner.RawKey("extbuffered", name, n, sc.Quota, sc.Seed)
-		res, err := runner.Do(sc.orch(), key, func() (sim.Result, error) {
+		res, err := runner.Do(context.Background(), sc.orch(), key, func() (sim.Result, error) {
 			net, err := build()
 			if err != nil {
 				return sim.Result{}, err

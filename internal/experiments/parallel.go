@@ -36,7 +36,7 @@ func (s Scale) forEachParallel(n int, f func(ctx context.Context, i int) error) 
 // orchestrator: content-addressed cache lookup first, fresh (cancellable)
 // run on a miss.
 func (s Scale) runSynthetic(ctx context.Context, cfg core.Config, o core.SyntheticOptions) (sim.Result, error) {
-	return runner.Do(s.orch(), runner.SyntheticKey(cfg, o), func() (sim.Result, error) {
+	return runner.Do(ctx, s.orch(), runner.SyntheticKey(cfg, o), func() (sim.Result, error) {
 		return core.RunSynthetic(ctx, cfg, o)
 	})
 }
@@ -44,7 +44,7 @@ func (s Scale) runSynthetic(ctx context.Context, cfg core.Config, o core.Synthet
 // runTrace funnels one trace replay through the orchestrator, keyed by the
 // trace's content fingerprint.
 func (s Scale) runTrace(ctx context.Context, cfg core.Config, tr *trace.Trace) (sim.Result, error) {
-	return runner.Do(s.orch(), runner.TraceKey(cfg, tr, core.TraceOptions{}), func() (sim.Result, error) {
+	return runner.Do(ctx, s.orch(), runner.TraceKey(cfg, tr, core.TraceOptions{}), func() (sim.Result, error) {
 		return core.RunTrace(ctx, cfg, tr, core.TraceOptions{})
 	})
 }

@@ -1,0 +1,117 @@
+package monitor
+
+// liveHTML is the self-contained /live dashboard: an EventSource client of
+// /live/stream rendering the per-router heat[] as an NxN canvas heatmap and
+// the windowed throughput/latency series as sparklines. No external assets,
+// so it works from a laptop pointed at a headless box.
+const liveHTML = `<!doctype html>
+<html>
+<head>
+<meta charset="utf-8">
+<title>fasttrack live</title>
+<style>
+  body { background:#111; color:#ddd; font:13px/1.5 monospace; margin:1.5em; }
+  h1 { font-size:16px; margin:0 0 .5em; color:#fff; }
+  .row { display:flex; gap:2em; flex-wrap:wrap; align-items:flex-start; }
+  .card { background:#1a1a1a; border:1px solid #333; padding:1em; border-radius:4px; }
+  .card h2 { font-size:12px; margin:0 0 .5em; color:#8ab; text-transform:uppercase; }
+  table { border-collapse:collapse; }
+  td { padding:.05em .8em .05em 0; }
+  td.v { text-align:right; color:#fff; }
+  canvas { display:block; image-rendering:pixelated; }
+  #status { color:#fb5; }
+  .done { color:#6d6 !important; }
+  .legend { color:#777; font-size:11px; margin-top:.4em; }
+</style>
+</head>
+<body>
+<h1>fasttrack live <span id="status">connecting…</span></h1>
+<div class="row">
+  <div class="card">
+    <h2>link utilization (hops/cycle per router)</h2>
+    <canvas id="heat" width="256" height="256"></canvas>
+    <div class="legend">dark → cold, bright → hot; windowed over the stream interval</div>
+  </div>
+  <div class="card">
+    <h2>throughput (delivered/PE/cycle)</h2>
+    <canvas id="spark-tp" width="320" height="64"></canvas>
+    <h2 style="margin-top:1em">mean latency (cycles, windowed)</h2>
+    <canvas id="spark-lat" width="320" height="64"></canvas>
+    <h2 style="margin-top:1em">sim speed (cycles/s, windowed)</h2>
+    <canvas id="spark-cps" width="320" height="64"></canvas>
+  </div>
+  <div class="card">
+    <h2>totals</h2>
+    <table id="totals"></table>
+  </div>
+</div>
+<script>
+"use strict";
+const tp = [], lat = [], cps = [];
+function spark(id, series, color) {
+  const c = document.getElementById(id), g = c.getContext("2d");
+  g.clearRect(0, 0, c.width, c.height);
+  if (!series.length) return;
+  const max = Math.max(...series, 1e-9);
+  g.strokeStyle = color; g.lineWidth = 1.5; g.beginPath();
+  const n = series.length, step = c.width / Math.max(n - 1, 1);
+  series.forEach((v, i) => {
+    const x = i * step, y = c.height - 2 - (v / max) * (c.height - 6);
+    i ? g.lineTo(x, y) : g.moveTo(x, y);
+  });
+  g.stroke();
+  g.fillStyle = "#888"; g.font = "10px monospace";
+  g.fillText(series[series.length - 1].toPrecision(3), 2, 10);
+}
+function heatmap(ev) {
+  const c = document.getElementById("heat"), g = c.getContext("2d");
+  const w = ev.w, h = ev.h, heat = ev.heat || [], xh = ev.heat_express || [];
+  if (!w || !h) return;
+  const cw = c.width / w, ch = c.height / h;
+  const max = Math.max(...heat, 1e-9);
+  for (let y = 0; y < h; y++) for (let x = 0; x < w; x++) {
+    const i = y * w + x, v = (heat[i] || 0) / max;
+    // blue→yellow ramp; express share tints toward magenta
+    const xs = heat[i] > 0 ? (xh[i] || 0) / heat[i] : 0;
+    const r = Math.round(40 + 215 * v);
+    const gg = Math.round(40 + 200 * v * (1 - 0.7 * xs));
+    const b = Math.round(70 + 120 * xs * v);
+    g.fillStyle = "rgb(" + r + "," + gg + "," + b + ")";
+    g.fillRect(x * cw, y * ch, cw - 1, ch - 1);
+  }
+}
+const fields = [
+  ["cycles", "cycles"], ["injected", "injected"], ["stalls", "inject stalls"],
+  ["delivered", "delivered"], ["in_flight", "in flight"],
+  ["deflect_local", "deflections (local)"], ["deflect_express", "deflections (express)"],
+  ["express_denied", "express denied"], ["drops", "drops"], ["retransmits", "retransmits"],
+  ["p50", "p50 latency"], ["p99", "p99 latency"],
+];
+function totals(ev) {
+  const t = document.getElementById("totals");
+  let html = "";
+  for (const [k, label] of fields)
+    html += "<tr><td>" + label + "</td><td class=v>" + (ev[k] ?? 0).toLocaleString() + "</td></tr>";
+  html += "<tr><td>mean latency</td><td class=v>" + (ev.mean_latency || 0).toFixed(1) + "</td></tr>";
+  t.innerHTML = html;
+}
+const es = new EventSource("/live/stream");
+es.onopen = () => { document.getElementById("status").textContent = "live"; };
+es.onerror = () => { document.getElementById("status").textContent = "disconnected"; };
+es.onmessage = (m) => {
+  const ev = JSON.parse(m.data);
+  tp.push(ev.throughput_per_pe || 0); if (tp.length > 120) tp.shift();
+  lat.push(ev.mean_latency_w || 0); if (lat.length > 120) lat.shift();
+  cps.push(ev.cycles_per_sec || 0); if (cps.length > 120) cps.shift();
+  spark("spark-tp", tp, "#6cf");
+  spark("spark-lat", lat, "#fc6");
+  spark("spark-cps", cps, "#9d9");
+  heatmap(ev);
+  totals(ev);
+  const st = document.getElementById("status");
+  if (ev.done) { st.textContent = "run finished"; st.classList.add("done"); }
+};
+</script>
+</body>
+</html>
+`

@@ -1,0 +1,286 @@
+package monitor
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+
+	"fasttrack/internal/runner"
+)
+
+// ServerOptions configures an ops server. Every source is optional; the
+// corresponding endpoints degrade gracefully (a /metrics scrape with no
+// collector still exposes runner and process sections).
+type ServerOptions struct {
+	// Collector feeds the sim sections of /metrics and the /live stream.
+	Collector *Collector
+	// Flight serves /debug/flight forensic dumps.
+	Flight *FlightRecorder
+	// Runner feeds the sweep-orchestration sections of /metrics.
+	Runner *runner.Orchestrator
+	// SSEInterval is the /live/stream snapshot period; 0 means 1s.
+	SSEInterval time.Duration
+}
+
+// Server is the embeddable HTTP ops server: /metrics (Prometheus text
+// exposition), /live (SSE-fed heatmap page), /debug/pprof, /debug/vars
+// (expvar) and /debug/flight. Create with StartServer, stop with Close.
+type Server struct {
+	opts ServerOptions
+	ln   net.Listener
+	srv  *http.Server
+}
+
+// StartServer listens on addr (host:port; ":0" picks a free port) and
+// serves in a background goroutine until Close.
+func StartServer(addr string, opts ServerOptions) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("monitor: listen %s: %w", addr, err)
+	}
+	s := &Server{opts: opts, ln: ln}
+	s.srv = &http.Server{Handler: s.Handler()}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// URL returns the server's base URL.
+func (s *Server) URL() string { return "http://" + s.Addr() }
+
+// Close shuts the server down immediately (in-flight SSE streams end).
+func (s *Server) Close() error { return s.srv.Close() }
+
+// Handler builds the ops mux; exposed for embedding into an existing
+// server and for httptest-based tests.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/live", s.handleLivePage)
+	mux.HandleFunc("/live/stream", s.handleLiveStream)
+	mux.HandleFunc("/debug/flight", s.handleFlight)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		http.Redirect(w, r, "/live", http.StatusFound)
+	})
+	return mux
+}
+
+// promWriter emits Prometheus text exposition format (version 0.0.4): a
+// HELP/TYPE header per family followed by samples.
+type promWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (p *promWriter) family(name, help, typ string) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+func (p *promWriter) sample(name, labels string, v float64) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, "%s%s %s\n", name, labels, strconv.FormatFloat(v, 'g', -1, 64))
+}
+
+func (p *promWriter) counter(name, help string, v int64) {
+	p.family(name, help, "counter")
+	p.sample(name, "", float64(v))
+}
+
+func (p *promWriter) gauge(name, help string, v float64) {
+	p.family(name, help, "gauge")
+	p.sample(name, "", v)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	p := &promWriter{w: w}
+	if c := s.opts.Collector; c != nil {
+		writeSimMetrics(p, c.Snapshot())
+	}
+	if o := s.opts.Runner; o != nil {
+		writeRunnerMetrics(p, o.Snapshot())
+	}
+	if f := s.opts.Flight; f != nil {
+		rep := f.Report(1)
+		p.counter("fasttrack_flight_finished_total", "Packet lifecycles finished in the flight recorder.", rep.Finished)
+		p.gauge("fasttrack_flight_live", "Packet lifecycles currently tracked in flight.", float64(rep.Live))
+		p.counter("fasttrack_flight_evicted_total", "Finished lifecycles evicted from the bounded worst buffer.", rep.Evicted)
+	}
+}
+
+func writeSimMetrics(p *promWriter, s Snapshot) {
+	p.counter("fasttrack_sim_cycles_total", "Simulated cycles.", s.Cycles)
+	p.gauge("fasttrack_sim_cycles_per_second", "Mean simulation speed since the first event.", s.CyclesPerSec())
+	p.counter("fasttrack_sim_packets_offered_total", "Injection offers presented (accepted + refused).", s.Injected+s.Stalls)
+	p.counter("fasttrack_sim_packets_injected_total", "Offers accepted into the network.", s.Injected)
+	p.counter("fasttrack_sim_injection_stalls_total", "Offers refused (per PE per cycle).", s.Stalls)
+	p.counter("fasttrack_sim_packets_delivered_total", "Packets delivered to clients.", s.Delivered)
+	p.counter("fasttrack_sim_packets_dropped_total", "Packets destroyed by faults or abandoned by retry budget.", s.Drops)
+	p.counter("fasttrack_sim_retransmits_total", "Retransmit copies queued by the resilience layer.", s.Retrans)
+	p.gauge("fasttrack_sim_packets_in_flight", "Packets inside the network now.", float64(s.InFlight))
+
+	p.family("fasttrack_sim_hops_total", "Wire traversals by link class.", "counter")
+	p.sample("fasttrack_sim_hops_total", `{wire="local"}`, float64(s.HopsLocal))
+	p.sample("fasttrack_sim_hops_total", `{wire="express"}`, float64(s.HopsExpress))
+	p.family("fasttrack_sim_deflections_total", "True deflections by the wire class of the deflected input.", "counter")
+	p.sample("fasttrack_sim_deflections_total", `{wire="local"}`, float64(s.DeflectLocal))
+	p.sample("fasttrack_sim_deflections_total", `{wire="express"}`, float64(s.DeflectExpress))
+	p.counter("fasttrack_sim_express_denied_total", "Packets denied an express resource (fell back to a short wire).", s.Denied)
+
+	p.family("fasttrack_sim_latency_cycles", "Cumulative delivery-latency quantiles in cycles.", "gauge")
+	p.sample("fasttrack_sim_latency_cycles", `{quantile="0.5"}`, float64(s.P50))
+	p.sample("fasttrack_sim_latency_cycles", `{quantile="0.99"}`, float64(s.P99))
+	p.gauge("fasttrack_sim_latency_mean_cycles", "Cumulative mean delivery latency in cycles.", s.MeanLatency())
+}
+
+func writeRunnerMetrics(p *promWriter, s runner.Snapshot) {
+	p.counter("fasttrack_runner_jobs_executed_total", "Sweep jobs computed fresh.", s.Executed)
+	p.counter("fasttrack_runner_jobs_cached_total", "Sweep jobs answered from the result cache.", s.CacheHits)
+	p.counter("fasttrack_runner_jobs_failed_total", "Sweep jobs that returned an error.", s.Failed)
+	ratio := 0.0
+	if total := s.Executed + s.CacheHits; total > 0 {
+		ratio = float64(s.CacheHits) / float64(total)
+	}
+	p.gauge("fasttrack_runner_cache_hit_ratio", "Cache hits over all completed jobs.", ratio)
+	p.gauge("fasttrack_runner_workers_active", "Jobs running right now.", float64(s.Active))
+	p.gauge("fasttrack_runner_workers", "Worker pool size.", float64(s.Workers))
+}
+
+func (s *Server) handleFlight(w http.ResponseWriter, r *http.Request) {
+	if s.opts.Flight == nil {
+		http.Error(w, "flight recorder not enabled (run with -flight-recorder N)", http.StatusNotFound)
+		return
+	}
+	k := 10
+	if q := r.URL.Query().Get("k"); q != "" {
+		if v, err := strconv.Atoi(q); err == nil && v > 0 {
+			k = v
+		}
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	s.opts.Flight.WriteReport(w, k)
+}
+
+// liveEvent is one SSE frame: cumulative totals plus rates computed over
+// the window since the previous frame.
+type liveEvent struct {
+	Snapshot
+	// CyclesPerSecW etc. are windowed (since the previous frame) rates;
+	// Heat/HeatExpress are per-router hops per cycle over the window.
+	CyclesPerSecW float64   `json:"cycles_per_sec"`
+	ThroughputW   float64   `json:"throughput_per_pe"`
+	MeanLatencyW  float64   `json:"mean_latency_w"`
+	MeanLatency   float64   `json:"mean_latency"`
+	Heat          []float64 `json:"heat"`
+	HeatExpress   []float64 `json:"heat_express"`
+}
+
+// makeLiveEvent computes the windowed view between two snapshots.
+func makeLiveEvent(prev, cur Snapshot) liveEvent {
+	ev := liveEvent{Snapshot: cur, MeanLatency: cur.MeanLatency()}
+	dCycles := cur.Cycles - prev.Cycles
+	dWall := cur.WallMS - prev.WallMS
+	if dWall > 0 {
+		ev.CyclesPerSecW = float64(dCycles) / (float64(dWall) / 1000)
+	}
+	ev.Heat = make([]float64, len(cur.LinkLocal))
+	ev.HeatExpress = make([]float64, len(cur.LinkExpress))
+	if dCycles > 0 {
+		numPE := cur.W * cur.H
+		ev.ThroughputW = float64(cur.Delivered-prev.Delivered) / float64(dCycles) / float64(numPE)
+		// prev may be the zero Snapshot on the first frame (no link slices).
+		at := func(s []int64, i int) int64 {
+			if i < len(s) {
+				return s[i]
+			}
+			return 0
+		}
+		for i := range ev.Heat {
+			local := cur.LinkLocal[i] - at(prev.LinkLocal, i)
+			express := cur.LinkExpress[i] - at(prev.LinkExpress, i)
+			ev.Heat[i] = float64(local+express) / float64(dCycles)
+			ev.HeatExpress[i] = float64(express) / float64(dCycles)
+		}
+	}
+	if d := cur.Delivered - prev.Delivered; d > 0 {
+		ev.MeanLatencyW = float64(cur.LatSum-prev.LatSum) / float64(d)
+	}
+	return ev
+}
+
+func (s *Server) handleLiveStream(w http.ResponseWriter, r *http.Request) {
+	if s.opts.Collector == nil {
+		http.Error(w, "no collector attached", http.StatusNotFound)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+
+	interval := s.opts.SSEInterval
+	if interval <= 0 {
+		interval = time.Second
+	}
+	var prev Snapshot
+	send := func() bool {
+		cur := s.opts.Collector.Snapshot()
+		b, err := json.Marshal(makeLiveEvent(prev, cur))
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "data: %s\n\n", b); err != nil {
+			return false
+		}
+		fl.Flush()
+		prev = cur
+		return true
+	}
+	if !send() {
+		return
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-t.C:
+			if !send() {
+				return
+			}
+		}
+	}
+}
+
+func (s *Server) handleLivePage(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	io.WriteString(w, liveHTML)
+}

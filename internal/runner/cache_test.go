@@ -133,7 +133,7 @@ func TestDoCountsHitsAndExecutions(t *testing.T) {
 		return sim.Result{Cycles: 11}, nil
 	}
 	for i := 0; i < 3; i++ {
-		res, err := Do(o, "the-key", run)
+		res, err := Do(context.Background(), o, "the-key", run)
 		if err != nil || res.Cycles != 11 {
 			t.Fatalf("iteration %d: %v %+v", i, err, res)
 		}
@@ -153,7 +153,7 @@ func TestDoWithoutCache(t *testing.T) {
 	o := &Orchestrator{}
 	runs := 0
 	for i := 0; i < 2; i++ {
-		if _, err := Do(o, "k", func() (int, error) { runs++; return runs, nil }); err != nil {
+		if _, err := Do(context.Background(), o, "k", func() (int, error) { runs++; return runs, nil }); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -174,7 +174,7 @@ func TestCachedSweepThroughForEach(t *testing.T) {
 		out := make([]sim.Result, len(cfgs))
 		err := o.ForEach(context.Background(), len(cfgs), func(ctx context.Context, i int) error {
 			opts := quickOpts()
-			res, err := Do(o, SyntheticKey(cfgs[i], opts), func() (sim.Result, error) {
+			res, err := Do(ctx, o, SyntheticKey(cfgs[i], opts), func() (sim.Result, error) {
 				return core.RunSynthetic(ctx, cfgs[i], opts)
 			})
 			out[i] = res

@@ -44,10 +44,15 @@ type Orchestrator struct {
 	// percentage, elapsed time and ETA (carriage-return updates; typically
 	// os.Stderr).
 	Progress io.Writer
+	// Spans, when non-nil, records one Span per ForEach job (queued/running/
+	// done, worker id, cache-hit flag) for the Chrome trace export.
+	Spans *SpanLog
 
 	mu       sync.Mutex
 	executed int64
 	hits     int64
+	failed   int64
+	active   int
 	busy     time.Duration
 	slowest  time.Duration
 	slowestI int
@@ -66,6 +71,26 @@ func (o *Orchestrator) Stats() (executed, cacheHits int64) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	return o.executed, o.hits
+}
+
+// Snapshot is a point-in-time view of the orchestrator for live monitoring
+// (the /metrics runner section).
+type Snapshot struct {
+	// Executed counts fresh simulations, CacheHits cache-answered jobs,
+	// Failed jobs that returned an error.
+	Executed, CacheHits, Failed int64
+	// Active is the number of jobs running right now; Workers the pool size.
+	Active, Workers int
+}
+
+// Snapshot captures the orchestrator's current counters and occupancy.
+func (o *Orchestrator) Snapshot() Snapshot {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return Snapshot{
+		Executed: o.executed, CacheHits: o.hits, Failed: o.failed,
+		Active: o.active, Workers: o.workers(),
+	}
 }
 
 // Timing reports aggregate per-job wall clock: total busy time across all
@@ -114,10 +139,32 @@ func (o *Orchestrator) ForEach(ctx context.Context, n int, f func(ctx context.Co
 		done     int
 		start    = time.Now()
 	)
-	runOne := func(i int) {
+	runOne := func(worker, i int) {
+		jctx := cctx
+		var span *Span
+		if o.Spans != nil {
+			span = &Span{Index: i, Worker: worker, Queued: start}
+			jctx = context.WithValue(cctx, spanKey, span)
+		}
+		o.mu.Lock()
+		o.active++
+		o.mu.Unlock()
 		t0 := time.Now()
-		err := f(cctx, i)
+		err := f(jctx, i)
 		d := time.Since(t0)
+		o.mu.Lock()
+		o.active--
+		if err != nil {
+			o.failed++
+		}
+		o.mu.Unlock()
+		if span != nil {
+			span.Start, span.End = t0, t0.Add(d)
+			if err != nil {
+				span.Err = err.Error()
+			}
+			o.Spans.add(*span)
+		}
 		mu.Lock()
 		done++
 		if err != nil && firstErr == nil {
@@ -140,7 +187,7 @@ func (o *Orchestrator) ForEach(ctx context.Context, n int, f func(ctx context.Co
 
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for {
 				mu.Lock()
@@ -151,9 +198,9 @@ func (o *Orchestrator) ForEach(ctx context.Context, n int, f func(ctx context.Co
 				i := next
 				next++
 				mu.Unlock()
-				runOne(i)
+				runOne(worker, i)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	if firstErr != nil {
@@ -166,13 +213,22 @@ func (o *Orchestrator) ForEach(ctx context.Context, n int, f func(ctx context.Co
 // persisted value (counted in Stats), a miss computes it with run and stores
 // the result. With no cache configured it just runs and counts. The key must
 // be a complete canonical description of the computation (see SyntheticKey);
-// run must be a deterministic function of that key.
-func Do[T any](o *Orchestrator, key string, run func() (T, error)) (T, error) {
+// run must be a deterministic function of that key. ctx should be the
+// context ForEach handed the job so span tracing can mark cache hits;
+// context.Background() is fine outside ForEach.
+func Do[T any](ctx context.Context, o *Orchestrator, key string, run func() (T, error)) (T, error) {
+	span := spanFrom(ctx)
+	if span != nil {
+		span.Key = key
+	}
 	var v T
 	if o.Cache != nil && o.Cache.Get(key, &v) {
 		o.mu.Lock()
 		o.hits++
 		o.mu.Unlock()
+		if span != nil {
+			span.CacheHit = true
+		}
 		return v, nil
 	}
 	v, err := run()

@@ -1,0 +1,165 @@
+// Sweep span tracing: every job an Orchestrator schedules can be recorded
+// as a span (queued → running → done, with worker id, cache-hit flag and
+// cache key) and exported in the same Chrome trace-event JSON dialect the
+// packet tracer writes, so one Perfetto timeline shows workers, cache hits
+// and bisection steps of a whole sweep.
+package runner
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Span is one scheduled job's timeline entry.
+type Span struct {
+	// Index is the job's ForEach index; Worker is the pool slot it ran on.
+	Index  int
+	Worker int
+	// Queued, Start and End are wall-clock instants: batch submission, job
+	// start, job completion.
+	Queued, Start, End time.Time
+	// CacheHit reports the job was answered from the result cache (set by
+	// Do when the job's computation never ran).
+	CacheHit bool
+	// Key is the cache key of the last Do call inside the job, when any.
+	Key string
+	// Err is the job's error message, empty on success.
+	Err string
+}
+
+// SpanLog collects spans from concurrent workers. The zero value is not
+// usable; create with NewSpanLog.
+type SpanLog struct {
+	mu    sync.Mutex
+	start time.Time
+	spans []Span
+}
+
+// NewSpanLog returns an empty span log; the Chrome export's timestamps are
+// relative to its creation.
+func NewSpanLog() *SpanLog {
+	return &SpanLog{start: time.Now()}
+}
+
+// add appends a finished span.
+func (l *SpanLog) add(s Span) {
+	l.mu.Lock()
+	l.spans = append(l.spans, s)
+	l.mu.Unlock()
+}
+
+// Spans returns a copy of the recorded spans in completion order.
+func (l *SpanLog) Spans() []Span {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Span(nil), l.spans...)
+}
+
+// spanKey carries the in-flight span through the context ForEach hands each
+// job, so Do can mark cache hits without a signature that names spans.
+type spanKeyType struct{}
+
+var spanKey spanKeyType
+
+// spanFrom extracts the current job's span, or nil.
+func spanFrom(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanKey).(*Span)
+	return s
+}
+
+// chromeSpanEvent mirrors telemetry's Chrome trace-event shape for complete
+// ("X") and metadata ("M") events.
+type chromeSpanEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	TS   int64          `json:"ts"`
+	Dur  int64          `json:"dur,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// spanPID separates sweep-job tracks from the packet tracer's pid 1, so a
+// merged Perfetto view keeps the two layers apart.
+const spanPID = 2
+
+// WriteChrome exports the log as Chrome trace-event JSON
+// ({"traceEvents":[...]}, ts/dur in microseconds since log creation), one
+// track per worker, loadable in Perfetto or chrome://tracing alongside the
+// packet tracer's output.
+func (l *SpanLog) WriteChrome(w io.Writer) error {
+	l.mu.Lock()
+	spans := append([]Span(nil), l.spans...)
+	start := l.start
+	l.mu.Unlock()
+
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(`{"traceEvents":[`); err != nil {
+		return err
+	}
+	first := true
+	emit := func(ev chromeSpanEvent) error {
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		if !first {
+			if err := bw.WriteByte(','); err != nil {
+				return err
+			}
+		}
+		first = false
+		_, err = bw.Write(b)
+		return err
+	}
+
+	workers := map[int]bool{}
+	for _, s := range spans {
+		workers[s.Worker] = true
+	}
+	for wid := range workers {
+		if err := emit(chromeSpanEvent{
+			Name: "thread_name", Ph: "M", PID: spanPID, TID: wid,
+			Args: map[string]any{"name": fmt.Sprintf("worker %d", wid)},
+		}); err != nil {
+			return err
+		}
+	}
+	for _, s := range spans {
+		args := map[string]any{
+			"index":     s.Index,
+			"cache_hit": s.CacheHit,
+			"queued_us": s.Start.Sub(s.Queued).Microseconds(),
+		}
+		if s.Key != "" {
+			args["key"] = s.Key
+		}
+		if s.Err != "" {
+			args["error"] = s.Err
+		}
+		name := fmt.Sprintf("job %d", s.Index)
+		if s.CacheHit {
+			name = fmt.Sprintf("job %d (cached)", s.Index)
+		}
+		dur := s.End.Sub(s.Start).Microseconds()
+		if dur < 1 {
+			dur = 1 // zero-width slices are invisible in Perfetto
+		}
+		if err := emit(chromeSpanEvent{
+			Name: name, Cat: "sweep", Ph: "X", PID: spanPID, TID: s.Worker,
+			TS: s.Start.Sub(start).Microseconds(), Dur: dur, Args: args,
+		}); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString("]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

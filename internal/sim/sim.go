@@ -356,6 +356,8 @@ func Run(net noc.Network, wl Workload, opts Options) (Result, error) {
 						obs.OnInject(now, &offeredPkt[pe])
 					}
 					progress = true
+				} else if obs != nil && offered[pe] {
+					obs.OnInjectStall(now, pe)
 				}
 			}
 		} else {
@@ -370,6 +372,8 @@ func Run(net noc.Network, wl Workload, opts Options) (Result, error) {
 						obs.OnInject(now, &offeredPkt[pe])
 					}
 					progress = true
+				} else if obs != nil && offered[pe] {
+					obs.OnInjectStall(now, pe)
 				}
 			}
 		}

@@ -43,13 +43,17 @@ import (
 //     "input deflection"); noc.PortPE marks a denied express injection.
 //
 // Packet-level events come from the engine and the workload/network
-// wrappers: OnInject after an offer is accepted, OnDeliver per delivery,
-// OnDrop when a packet is destroyed (fault injection) or abandoned
-// (retransmission budget exhausted, internal/reliability), OnRetransmit
-// when a retransmit copy is queued. OnCycleEnd fires once per completed
-// engine cycle with the current in-flight population.
+// wrappers: OnInject after an offer is accepted, OnInjectStall when a
+// presented offer was refused this cycle (the live offered-vs-accepted
+// backpressure signal; one event per refused offer per cycle, summing to
+// noc.Counters.InjectionStalls), OnDeliver per delivery, OnDrop when a
+// packet is destroyed (fault injection) or abandoned (retransmission budget
+// exhausted, internal/reliability), OnRetransmit when a retransmit copy is
+// queued. OnCycleEnd fires once per completed engine cycle with the current
+// in-flight population.
 type Observer interface {
 	OnInject(now int64, p *noc.Packet)
+	OnInjectStall(now int64, pe int)
 	OnDeliver(now int64, p *noc.Packet)
 	OnHop(now int64, router int, out noc.Port, p *noc.Packet)
 	OnExpressHop(now int64, router int, out noc.Port, p *noc.Packet)
@@ -95,6 +99,7 @@ func Key(o Observer) string {
 type Base struct{}
 
 func (Base) OnInject(int64, *noc.Packet)                       {}
+func (Base) OnInjectStall(int64, int)                          {}
 func (Base) OnDeliver(int64, *noc.Packet)                      {}
 func (Base) OnHop(int64, int, noc.Port, *noc.Packet)           {}
 func (Base) OnExpressHop(int64, int, noc.Port, *noc.Packet)    {}
@@ -131,6 +136,12 @@ func Multi(obs ...Observer) Observer {
 func (m *multi) OnInject(now int64, p *noc.Packet) {
 	for _, o := range m.obs {
 		o.OnInject(now, p)
+	}
+}
+
+func (m *multi) OnInjectStall(now int64, pe int) {
+	for _, o := range m.obs {
+		o.OnInjectStall(now, pe)
 	}
 }
 

@@ -80,6 +80,32 @@ func (t *WindowTracker) Roll(now, delivered, injected int64, latSum float64, inF
 	return wp
 }
 
+// Peek computes the point the in-progress window [start, endCycle) would
+// yield if it were closed now, without mutating the tracker: the next Roll
+// or Flush is bit-identical whether or not Peek was called. It is the
+// read-only snapshot API behind live monitoring (internal/monitor) — the
+// engine's convergence detector shares this tracker's bookkeeping, so a
+// mid-window observation must never advance window state. Peek reports
+// false when the window is empty (endCycle <= start).
+func (t *WindowTracker) Peek(endCycle, delivered, injected int64, latSum float64, inFlight int) (WindowPoint, bool) {
+	length := endCycle - t.start
+	if length <= 0 {
+		return WindowPoint{}, false
+	}
+	d := delivered - t.prevDelivered
+	rate := float64(d) / float64(length)
+	lat := 0.0
+	if d > 0 {
+		lat = (latSum - t.prevLatSum) / float64(d)
+	}
+	return WindowPoint{
+		Index: t.idx, Start: t.start, End: endCycle,
+		Delivered: d, Injected: injected - t.prevInjected,
+		TotalDelivered: delivered, TotalInjected: injected,
+		Rate: rate, MeanLatency: lat, InFlight: inFlight,
+	}, true
+}
+
 // Flush closes a partial window [start, endCycle) — the tail of a run that
 // stopped between boundaries. It reports false when the window is empty.
 func (t *WindowTracker) Flush(endCycle, delivered, injected int64, latSum float64, inFlight int) (WindowPoint, bool) {
@@ -187,6 +213,16 @@ func (m *Metrics) Finish() {
 // Points returns the recorded windows (call Finish first to include the
 // trailing partial window).
 func (m *Metrics) Points() []WindowPoint { return m.points }
+
+// Snapshot returns the in-progress partial window as it stands, without
+// closing it: subsequent window rolls — and any convergence detector sharing
+// the same WindowTracker arithmetic — are unaffected. ok is false when the
+// current window has no cycles yet. Snapshot must be called from the
+// simulation goroutine (Metrics is not concurrency-safe); the monitor's
+// Collector, not Metrics, is the cross-goroutine view.
+func (m *Metrics) Snapshot() (WindowPoint, bool) {
+	return m.tracker.Peek(m.lastCycle, m.delivered, m.injected, m.latSum, m.inFlight)
+}
 
 // WriteCSV emits the time series, one row per window. Throughput is
 // normalized per PE to match the paper's sustained-rate axis.

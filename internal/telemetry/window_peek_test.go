@@ -1,0 +1,111 @@
+package telemetry_test
+
+import (
+	"testing"
+
+	"fasttrack/internal/telemetry"
+)
+
+// TestWindowTrackerPeekDoesNotPerturb drives two trackers through an
+// identical Roll/Flush sequence, calling Peek between every operation on one
+// of them, and requires every emitted WindowPoint to be bit-identical: the
+// engine's convergence detector shares this arithmetic, so a live-monitoring
+// snapshot mid-window must never advance window state.
+func TestWindowTrackerPeekDoesNotPerturb(t *testing.T) {
+	const w = 8
+	plain := &telemetry.WindowTracker{W: w}
+	peeked := &telemetry.WindowTracker{W: w}
+
+	var delivered, injected int64
+	var latSum float64
+	for now := int64(0); now < 100; now++ {
+		injected += 2
+		delivered++
+		latSum += float64(10 + now%7)
+
+		// Hammer the peeked tracker mid-window, several times per cycle.
+		for k := 0; k < 3; k++ {
+			peeked.Peek(now+1, delivered, injected, latSum, int(injected-delivered))
+		}
+
+		if plain.Boundary(now) != peeked.Boundary(now) {
+			t.Fatalf("cycle %d: Boundary diverged after Peek", now)
+		}
+		if plain.Boundary(now) {
+			a := plain.Roll(now, delivered, injected, latSum, int(injected-delivered))
+			b := peeked.Roll(now, delivered, injected, latSum, int(injected-delivered))
+			if a != b {
+				t.Fatalf("cycle %d: Roll diverged after Peek:\n  plain  %+v\n  peeked %+v", now, a, b)
+			}
+		}
+	}
+	a, aok := plain.Flush(103, delivered, injected, latSum, 0)
+	b, bok := peeked.Flush(103, delivered, injected, latSum, 0)
+	if aok != bok || a != b {
+		t.Fatalf("Flush diverged after Peek:\n  plain  %+v %v\n  peeked %+v %v", a, aok, b, bok)
+	}
+}
+
+// TestWindowTrackerPeekValues checks the partial-window arithmetic itself:
+// Peek's rate divides by the elapsed fraction of the window, not W, and an
+// empty window reports ok=false.
+func TestWindowTrackerPeekValues(t *testing.T) {
+	tr := &telemetry.WindowTracker{W: 10}
+	if _, ok := tr.Peek(0, 0, 0, 0, 0); ok {
+		t.Error("Peek of an empty window reported ok")
+	}
+	wp, ok := tr.Peek(4, 8, 12, 40, 4)
+	if !ok {
+		t.Fatal("Peek of a 4-cycle partial window reported !ok")
+	}
+	if wp.Start != 0 || wp.End != 4 {
+		t.Errorf("bounds [%d, %d), want [0, 4)", wp.Start, wp.End)
+	}
+	if wp.Delivered != 8 || wp.Injected != 12 {
+		t.Errorf("delivered/injected = %d/%d, want 8/12", wp.Delivered, wp.Injected)
+	}
+	if want := 8.0 / 4.0; wp.Rate != want {
+		t.Errorf("Rate = %v, want %v", wp.Rate, want)
+	}
+	if want := 40.0 / 8.0; wp.MeanLatency != want {
+		t.Errorf("MeanLatency = %v, want %v", wp.MeanLatency, want)
+	}
+}
+
+// TestMetricsSnapshotNeutral interleaves Metrics.Snapshot with the normal
+// observer callbacks and requires the recorded points to match a snapshot-free
+// twin exactly.
+func TestMetricsSnapshotNeutral(t *testing.T) {
+	plain := telemetry.NewMetrics(4, 16)
+	snapped := telemetry.NewMetrics(4, 16)
+
+	feed := func(m *telemetry.Metrics, snapshot bool) {
+		for now := int64(0); now < 21; now++ {
+			p := pkt(1000+now, 0, 0, 5, 5, now-now%4)
+			m.OnInject(now, &p)
+			if now%2 == 0 {
+				m.OnDeliver(now, &p)
+			}
+			if snapshot {
+				m.Snapshot()
+			}
+			m.OnCycleEnd(now, int(now%3))
+			if snapshot {
+				m.Snapshot()
+			}
+		}
+		m.Finish()
+	}
+	feed(plain, false)
+	feed(snapped, true)
+
+	a, b := plain.Points(), snapped.Points()
+	if len(a) != len(b) {
+		t.Fatalf("point counts diverged: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("window %d diverged:\n  plain   %+v\n  snapped %+v", i, a[i], b[i])
+		}
+	}
+}

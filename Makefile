@@ -9,7 +9,7 @@ GO ?= go
 # pass so the assertion is meaningful).
 SWEEP_CACHE ?= .ftcache-quick
 
-.PHONY: build test vet race fuzz verify bench bench-sweep bench-check sweep-quick monitor-smoke
+.PHONY: build test vet race fuzz verify bench bench-sweep bench-check sweep-quick monitor-smoke serve-load serve-load-smoke
 
 build:
 	$(GO) build ./...
@@ -54,10 +54,23 @@ sweep-quick:
 	rm -rf $(SWEEP_CACHE)
 
 # Short fuzz pass over the property fuzzers (noc.RingDelta, FastTrack
-# topology construction); extend -fuzztime for deeper runs.
+# topology construction, the daemon's JSON job-spec decoder); extend
+# -fuzztime for deeper runs.
 fuzz:
 	$(GO) test -fuzz FuzzRingDelta -fuzztime 10s ./internal/noc/
 	$(GO) test -fuzz FuzzTopology -fuzztime 10s ./internal/fasttrack/
+	$(GO) test -fuzz FuzzDecodeJobSpec -fuzztime 10s ./internal/cliflags/
+
+# Daemon load test: ftload self-hosts an ftserve daemon and hammers it with
+# concurrent clients posting mixed valid/duplicate/malformed specs, then
+# asserts bounded p99 admission latency, zero dropped accepted jobs, exact
+# 429/400 accounting against /metrics, panic isolation, and a lossless
+# drain. serve-load-smoke is the short configuration `make verify` runs.
+serve-load:
+	$(GO) run ./cmd/ftload -clients 8 -requests 25
+
+serve-load-smoke:
+	$(GO) run ./cmd/ftload -clients 4 -requests 10 -max-p99 2s > /dev/null
 
 # Live-monitoring smoke: a short run with the ops server, flight recorder
 # and span tracing all armed must still exit cleanly (the e2e HTTP
@@ -67,4 +80,4 @@ monitor-smoke:
 	$(GO) run ./cmd/ftexp -quick -run fig11 -no-cache -span-trace .smoke.spans.trace.json > /dev/null
 	rm -f .smoke.spans.trace.json
 
-verify: build vet test race monitor-smoke
+verify: build vet test race monitor-smoke serve-load-smoke

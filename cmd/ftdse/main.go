@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -43,7 +44,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	pts, stats, err := dse.Explore(dse.Options{
+	pts, stats, err := dse.Explore(context.Background(), dse.Options{
 		N: *n, WidthBits: *width,
 		Pattern: work.Pattern, Rate: work.Rate, PacketsPerPE: work.PacketsPerPE,
 		MaxChannels: *channels, Variants: *variants, Seed: work.Seed,

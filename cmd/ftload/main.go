@@ -1,0 +1,352 @@
+// Command ftload is the daemon's robustness load test (`make serve-load`):
+// it starts an in-process ftserve daemon on a loopback listener, hammers it
+// with N concurrent clients posting a mix of valid, duplicate, and malformed
+// job specs, then asserts the hard properties the service guarantees:
+//
+//   - bounded p99 admission latency (rejections must be cheap);
+//   - zero dropped accepted jobs — every 2xx job ID reaches a terminal,
+//     fetchable state, including jobs cut down by their own deadline;
+//   - correct 429 accounting — the client-observed rejection count equals
+//     the daemon's /metrics counters exactly;
+//   - duplicate specs dedupe (in-flight join or cache hit, never a third
+//     full simulation);
+//   - a deliberately panicking job yields a structured error while the
+//     daemon keeps serving;
+//   - a drain mid-load finishes every accepted job and answers 503 to new
+//     POSTs.
+//
+// Exit status 0 and a final "SERVE LOAD OK" line mean all properties held.
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"fasttrack/internal/serve"
+)
+
+type status struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	Dedup bool   `json:"dedup"`
+	Error *struct {
+		Kind    string `json:"kind"`
+		Message string `json:"message"`
+		Stack   string `json:"stack"`
+	} `json:"error"`
+}
+
+type tally struct {
+	mu        sync.Mutex
+	latencies []time.Duration
+	accepted  []string // job IDs from 202s
+	deduped   int      // 200s (joined an in-flight job)
+	rejected  int      // 429s
+	badSpec   int      // 400s
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ftload: FAIL: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	clients := flag.Int("clients", 8, "concurrent clients")
+	requests := flag.Int("requests", 25, "requests per client")
+	queue := flag.Int("queue", 8, "daemon admission queue bound")
+	workers := flag.Int("workers", 2, "daemon job workers")
+	maxP99 := flag.Duration("max-p99", 500*time.Millisecond, "admission latency bound (p99 over all POSTs)")
+	flag.Parse()
+
+	cacheDir, err := os.MkdirTemp("", "ftload-cache-")
+	if err != nil {
+		fail("%v", err)
+	}
+	defer os.RemoveAll(cacheDir)
+
+	s, err := serve.New(serve.Options{
+		QueueDepth: *queue,
+		Workers:    *workers,
+		CacheDir:   cacheDir,
+		DebugHooks: true,
+	})
+	if err != nil {
+		fail("%v", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fail("%v", err)
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	go func() { _ = hs.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("ftload: daemon on %s (queue=%d workers=%d)\n", base, *queue, *workers)
+
+	var t tally
+
+	// Phase 1: saturate. Blockers occupy every worker (each dies on its own
+	// 1.5s deadline — accepted jobs that time out still count as delivered
+	// terminal states), then a sequential burst overflows the bounded queue
+	// so 429s are deterministic, not a race.
+	blocker := func(seed int) string {
+		return fmt.Sprintf(`{"kind":"sim","timeout_ms":1500,
+			"topology":{"noc":"hoplite","n":16},
+			"workload":{"pattern":"RANDOM","rate":1.0,"packets":1000000,"seed":%d}}`, seed)
+	}
+	for i := 0; i < *workers; i++ {
+		if st, code := post(&t, base, blocker(9000+i)); code != http.StatusAccepted {
+			fail("blocker %d: status %d (%+v)", i, code, st)
+		}
+	}
+	burst429 := 0
+	for i := 0; i < *queue+6; i++ {
+		_, code := post(&t, base, validSpec(9100+i))
+		if code == http.StatusTooManyRequests {
+			burst429++
+		}
+	}
+	if burst429 == 0 {
+		fail("burst past the queue bound produced no 429s")
+	}
+	fmt.Printf("ftload: phase 1: queue bound enforced (%d/%d burst POSTs answered 429)\n", burst429, *queue+6)
+
+	// Let the phase-1 backlog clear (the blockers die on their own 1.5s
+	// deadlines) so phase 2 measures the daemon under its own load, not
+	// behind phase 1's saturation.
+	settleDeadline := time.Now().Add(60 * time.Second)
+	for _, id := range append([]string(nil), t.accepted...) {
+		waitTerminal(base, id, settleDeadline)
+	}
+
+	// Phase 2: concurrent mixed load. Every client interleaves unique specs,
+	// duplicates of a shared spec, and malformed documents.
+	shared := validSpec(7777)
+	var wg sync.WaitGroup
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for r := 0; r < *requests; r++ {
+				switch {
+				case r%5 == 4: // malformed
+					_, code := post(&t, base, `{"kind":"sim","bogus":`)
+					if code != http.StatusBadRequest {
+						fail("malformed spec: want 400, got %d", code)
+					}
+				case r%3 == 2: // duplicate of the shared spec
+					st, code := post(&t, base, shared)
+					if code != http.StatusOK && code != http.StatusAccepted && code != http.StatusTooManyRequests {
+						fail("duplicate spec: unexpected status %d (%+v)", code, st)
+					}
+				default: // unique valid spec
+					st, code := post(&t, base, validSpec(c*1000+r))
+					if code != http.StatusAccepted && code != http.StatusTooManyRequests {
+						fail("valid spec: unexpected status %d (%+v)", code, st)
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	fmt.Printf("ftload: phase 2: %d clients × %d requests: %d accepted, %d deduped, %d rejected (429), %d bad (400)\n",
+		*clients, *requests, len(t.accepted), t.deduped, t.rejected, t.badSpec)
+
+	// Zero dropped accepted jobs: every 2xx ID reaches a terminal state.
+	deadline := time.Now().Add(60 * time.Second)
+	for _, id := range t.accepted {
+		st := waitTerminal(base, id, deadline)
+		switch st.State {
+		case "done":
+		case "failed":
+			if st.Error == nil || st.Error.Kind != "timeout" {
+				fail("job %s failed unexpectedly: %+v", id, st.Error)
+			}
+		default:
+			fail("job %s lost: state %q", id, st.State)
+		}
+	}
+	fmt.Printf("ftload: phase 2: zero accepted-job loss (%d jobs all terminal and fetchable)\n", len(t.accepted))
+
+	// p99 admission latency over every POST (accepts and rejections alike).
+	sort.Slice(t.latencies, func(i, j int) bool { return t.latencies[i] < t.latencies[j] })
+	p99 := t.latencies[len(t.latencies)*99/100]
+	if p99 > *maxP99 {
+		fail("p99 admission latency %s exceeds bound %s", p99, *maxP99)
+	}
+	fmt.Printf("ftload: phase 2: p99 admission latency %s (bound %s)\n", p99.Round(time.Microsecond), *maxP99)
+
+	// Correct 429/400/2xx accounting: client-side tallies must reconcile
+	// exactly with the daemon's /metrics counters.
+	m := scrapeMetrics(base)
+	checkCounter := func(name string, want int) {
+		if got := m[name]; got != float64(want) {
+			fail("%s: daemon says %v, clients observed %d", name, got, want)
+		}
+	}
+	checkCounter(`ftserve_jobs_admitted_total`, len(t.accepted))
+	checkCounter(`ftserve_jobs_deduped_total`, t.deduped)
+	checkCounter(`ftserve_rejected_total{reason="queue_full"}`, t.rejected)
+	checkCounter(`ftserve_rejected_total{reason="bad_spec"}`, t.badSpec)
+	checkCounter(`ftserve_rejected_total{reason="rate_limited"}`, 0)
+	if m[`ftserve_jobs_deduped_total`]+m[`ftserve_cache_hits_total`] == 0 {
+		fail("duplicate specs produced neither in-flight dedup nor cache hits")
+	}
+	fmt.Printf("ftload: accounting reconciled (dedup=%v cache_hits=%v)\n",
+		m[`ftserve_jobs_deduped_total`], m[`ftserve_cache_hits_total`])
+
+	// Phase 3: panic isolation. The job must fail with a structured panic
+	// error — and the daemon must keep serving afterwards.
+	st, code := post(&t, base, `{"kind":"sim","debug_panic":true}`)
+	if code != http.StatusAccepted {
+		fail("panic spec: status %d", code)
+	}
+	pst := waitTerminal(base, st.ID, time.Now().Add(15*time.Second))
+	if pst.State != "failed" || pst.Error == nil || pst.Error.Kind != "panic" || pst.Error.Stack == "" {
+		fail("panic job: want structured failed/panic with stack, got %+v", pst)
+	}
+	if st, code := post(&t, base, validSpec(8888)); code != http.StatusAccepted {
+		fail("daemon stopped serving after a panic: status %d (%+v)", code, st)
+	} else if after := waitTerminal(base, st.ID, time.Now().Add(30*time.Second)); after.State != "done" {
+		fail("post-panic job did not finish: %+v", after)
+	}
+	fmt.Println("ftload: phase 3: panic isolated as a structured error; daemon kept serving")
+
+	// Phase 4: drain. Accepted jobs in flight finish, POSTs answer 503,
+	// nothing is lost.
+	drainIDs := []string{}
+	for i := 0; i < 4; i++ {
+		if st, code := post(&t, base, validSpec(6000+i)); code == http.StatusAccepted {
+			drainIDs = append(drainIDs, st.ID)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		fail("drain did not complete: %v", err)
+	}
+	if _, code := post(&t, base, validSpec(6100)); code != http.StatusServiceUnavailable {
+		fail("POST after drain: want 503, got %d", code)
+	}
+	for _, id := range drainIDs {
+		if st := fetch(base, id); st.State != "done" && st.State != "failed" {
+			fail("job %s lost in drain: %q", id, st.State)
+		}
+	}
+	// The cache holds no partial entries after the drain.
+	entries, err := os.ReadDir(cacheDir)
+	if err != nil {
+		fail("%v", err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			fail("partial cache entry after drain: %s", e.Name())
+		}
+	}
+	fmt.Printf("ftload: phase 4: drained with zero accepted-job loss (%d in-flight jobs terminal)\n", len(drainIDs))
+
+	_ = hs.Close()
+	fmt.Println("SERVE LOAD OK")
+}
+
+// validSpec is a fast unique sim spec (seed varies identity).
+func validSpec(seed int) string {
+	return fmt.Sprintf(`{"kind":"sim","topology":{"noc":"hoplite","n":4},
+		"workload":{"pattern":"RANDOM","rate":0.1,"packets":20,"seed":%d}}`, seed)
+}
+
+// post submits one spec, recording latency and the outcome tally.
+func post(t *tally, base, spec string) (status, int) {
+	t0 := time.Now()
+	resp, err := http.Post(base+"/jobs", "application/json", strings.NewReader(spec))
+	lat := time.Since(t0)
+	if err != nil {
+		fail("POST /jobs: %v", err)
+	}
+	defer resp.Body.Close()
+	var st status
+	_ = json.NewDecoder(resp.Body).Decode(&st)
+	t.mu.Lock()
+	t.latencies = append(t.latencies, lat)
+	switch resp.StatusCode {
+	case http.StatusAccepted:
+		t.accepted = append(t.accepted, st.ID)
+	case http.StatusOK:
+		t.deduped++
+	case http.StatusTooManyRequests:
+		t.rejected++
+	case http.StatusBadRequest:
+		t.badSpec++
+	}
+	t.mu.Unlock()
+	return st, resp.StatusCode
+}
+
+func fetch(base, id string) status {
+	resp, err := http.Get(base + "/jobs/" + id)
+	if err != nil {
+		fail("GET /jobs/%s: %v", id, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fail("GET /jobs/%s: status %d", id, resp.StatusCode)
+	}
+	var st status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		fail("GET /jobs/%s: %v", id, err)
+	}
+	return st
+}
+
+func waitTerminal(base, id string, deadline time.Time) status {
+	for {
+		st := fetch(base, id)
+		switch st.State {
+		case "done", "failed", "canceled":
+			return st
+		}
+		if time.Now().After(deadline) {
+			fail("job %s stuck in state %q", id, st.State)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// scrapeMetrics parses the Prometheus text exposition into name{labels} →
+// value.
+func scrapeMetrics(base string) map[string]float64 {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		fail("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	out := map[string]float64{}
+	sc := bufio.NewScanner(io.LimitReader(resp.Body, 1<<20))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			continue
+		}
+		out[line[:i]] = v
+	}
+	return out
+}

@@ -8,20 +8,23 @@ package cliflags
 import (
 	"flag"
 	"fmt"
+	"time"
 
 	"fasttrack/internal/core"
 	"fasttrack/internal/runner"
 )
 
 // Topology is the NoC-selection flag group (-noc, -n, -d, -r, -variant,
-// -channels, -width).
+// -channels, -width). The JSON tags mirror the flag spellings so a daemon
+// job spec (see JobSpec) and a command line describe a network identically.
 type Topology struct {
-	Kind     string
-	N        int
-	D, R     int
-	Variant  string
-	Channels int
-	Width    int
+	Kind     string `json:"noc"`
+	N        int    `json:"n"`
+	D        int    `json:"d,omitempty"`
+	R        int    `json:"r,omitempty"`
+	Variant  string `json:"variant,omitempty"`
+	Channels int    `json:"channels,omitempty"`
+	Width    int    `json:"width,omitempty"`
 }
 
 // TopologyDefaults returns the default topology (-noc ft -n 8 -d 2 -r 1).
@@ -67,12 +70,12 @@ func (t *Topology) Config() (core.Config, error) {
 }
 
 // Workload is the synthetic-workload flag group (-pattern, -rate, -packets,
-// -seed).
+// -seed); JSON tags mirror the flag spellings (see JobSpec).
 type Workload struct {
-	Pattern      string
-	Rate         float64
-	PacketsPerPE int
-	Seed         uint64
+	Pattern      string  `json:"pattern"`
+	Rate         float64 `json:"rate"`
+	PacketsPerPE int     `json:"packets"`
+	Seed         uint64  `json:"seed,omitempty"`
 }
 
 // WorkloadDefaults returns the default workload (RANDOM @ 0.5, 1000 pkts/PE).
@@ -99,12 +102,12 @@ func (w *Workload) Apply(o *core.SyntheticOptions) {
 }
 
 // Faults is the fault-injection flag group (-faults, -misroute, -faultseed,
-// -retry).
+// -retry); JSON tags mirror the flag spellings (see JobSpec).
 type Faults struct {
-	DropRate     float64
-	MisrouteRate float64
-	Seed         uint64
-	RetryTimeout int64
+	DropRate     float64 `json:"faults,omitempty"`
+	MisrouteRate float64 `json:"misroute,omitempty"`
+	Seed         uint64  `json:"faultseed,omitempty"`
+	RetryTimeout int64   `json:"retry,omitempty"`
 }
 
 // RegisterFaults registers the fault flags on fs (all off by default).
@@ -129,11 +132,13 @@ func (f *Faults) Apply(o *core.SyntheticOptions) {
 	}
 }
 
-// Sweep is the orchestration flag group (-workers, -cache-dir, -no-cache).
+// Sweep is the orchestration flag group (-workers, -cache-dir, -no-cache,
+// -job-timeout).
 type Sweep struct {
-	Workers  int
-	CacheDir string
-	NoCache  bool
+	Workers    int
+	CacheDir   string
+	NoCache    bool
+	JobTimeout time.Duration
 }
 
 // RegisterSweep registers the sweep flags on fs.
@@ -142,6 +147,7 @@ func RegisterSweep(fs *flag.FlagSet) *Sweep {
 	fs.IntVar(&s.Workers, "workers", 0, "simulation worker pool size (0 = one per CPU)")
 	fs.StringVar(&s.CacheDir, "cache-dir", runner.DefaultCacheDir, "content-addressed result cache directory")
 	fs.BoolVar(&s.NoCache, "no-cache", false, "disable the result cache (every run simulates fresh)")
+	fs.DurationVar(&s.JobTimeout, "job-timeout", 0, "per-job wall-clock deadline; a job past it fails with a timeout error (0 = none)")
 	return s
 }
 
@@ -159,5 +165,5 @@ func (s *Sweep) Orchestrator() (*runner.Orchestrator, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &runner.Orchestrator{Workers: s.Workers, Cache: cache}, nil
+	return &runner.Orchestrator{Workers: s.Workers, Cache: cache, JobTimeout: s.JobTimeout}, nil
 }

@@ -115,14 +115,16 @@ func candidates(o Options) []core.Config {
 }
 
 // Explore evaluates every candidate and marks the Pareto frontier
-// (maximize throughput, minimize LUTs) among routable designs.
+// (maximize throughput, minimize LUTs) among routable designs. ctx cancels
+// the exploration cooperatively (the engine polls it between cycle blocks);
+// pass context.Background() when cancellation is not needed.
 //
 // Specs (cost/clock/routability) are evaluated serially — they are closed-
 // form and cheap. The simulations behind routable points then fan out across
 // Options.Workers, each consulting Options.Cache first, so re-exploring a
 // design space reruns only cache-missing points. Returns Stats alongside the
 // points: how many simulations executed fresh vs were served from cache.
-func Explore(opts Options) ([]Point, Stats, error) {
+func Explore(ctx context.Context, opts Options) ([]Point, Stats, error) {
 	o := opts.withDefaults()
 	dev := core.Virtex7()
 	cands := candidates(o)
@@ -148,7 +150,7 @@ func Explore(opts Options) ([]Point, Stats, error) {
 	if orch == nil {
 		orch = &runner.Orchestrator{Cache: o.Cache, Workers: o.Workers}
 	}
-	err := orch.ForEach(context.Background(), len(simIdx), func(ctx context.Context, j int) error {
+	err := orch.ForEach(ctx, len(simIdx), func(ctx context.Context, j int) error {
 		i := simIdx[j]
 		cfg := cands[i]
 		sopts := core.SyntheticOptions{

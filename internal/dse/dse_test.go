@@ -1,13 +1,14 @@
 package dse
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
 
 func explore(t *testing.T) []Point {
 	t.Helper()
-	pts, _, err := Explore(Options{N: 8, PacketsPerPE: 150, Variants: true})
+	pts, _, err := Explore(context.Background(), Options{N: 8, PacketsPerPE: 150, Variants: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +78,7 @@ func TestParetoFrontierIsNonDominated(t *testing.T) {
 }
 
 func TestUnroutableCandidatesAreKept(t *testing.T) {
-	pts, _, err := Explore(Options{N: 8, WidthBits: 512, PacketsPerPE: 100})
+	pts, _, err := Explore(context.Background(), Options{N: 8, WidthBits: 512, PacketsPerPE: 100})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"fasttrack/internal/runner"
@@ -26,6 +27,12 @@ type ServerOptions struct {
 	Runner *runner.Orchestrator
 	// SSEInterval is the /live/stream snapshot period; 0 means 1s.
 	SSEInterval time.Duration
+	// SSEWriteTimeout bounds each SSE frame write so a stalled client can
+	// never wedge its stream goroutine; 0 means 10s.
+	SSEWriteTimeout time.Duration
+	// Extra, when non-nil, appends caller-owned metric families to /metrics
+	// (the hook an embedding daemon uses for its fleet-level sections).
+	Extra func(*PromWriter)
 }
 
 // Server is the embeddable HTTP ops server: /metrics (Prometheus text
@@ -35,6 +42,10 @@ type Server struct {
 	opts ServerOptions
 	ln   net.Listener
 	srv  *http.Server
+
+	// sseDropped counts frames discarded because a /live/stream client fell
+	// behind its bounded buffer (drop-oldest backpressure).
+	sseDropped atomic.Int64
 }
 
 // StartServer listens on addr (host:port; ":0" picks a free port) and
@@ -83,90 +94,112 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-// promWriter emits Prometheus text exposition format (version 0.0.4): a
-// HELP/TYPE header per family followed by samples.
-type promWriter struct {
+// PromWriter emits Prometheus text exposition format (version 0.0.4): a
+// HELP/TYPE header per family followed by samples. It is exported so other
+// HTTP surfaces (the ftserve fleet daemon) can emit the same format without
+// depending on a metrics library; the first write error is sticky and
+// silences the rest, mirroring the one-shot nature of a scrape response.
+type PromWriter struct {
 	w   io.Writer
 	err error
 }
 
-func (p *promWriter) family(name, help, typ string) {
+// NewPromWriter returns a PromWriter emitting to w.
+func NewPromWriter(w io.Writer) *PromWriter { return &PromWriter{w: w} }
+
+// Err returns the first write error, if any.
+func (p *PromWriter) Err() error { return p.err }
+
+// Family writes a HELP/TYPE header for a metric family.
+func (p *PromWriter) Family(name, help, typ string) {
 	if p.err != nil {
 		return
 	}
 	_, p.err = fmt.Fprintf(p.w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
 }
 
-func (p *promWriter) sample(name, labels string, v float64) {
+// Sample writes one sample; labels is the literal label block ("" or
+// `{k="v"}` including braces).
+func (p *PromWriter) Sample(name, labels string, v float64) {
 	if p.err != nil {
 		return
 	}
 	_, p.err = fmt.Fprintf(p.w, "%s%s %s\n", name, labels, strconv.FormatFloat(v, 'g', -1, 64))
 }
 
-func (p *promWriter) counter(name, help string, v int64) {
-	p.family(name, help, "counter")
-	p.sample(name, "", float64(v))
+// Counter writes a single-sample counter family.
+func (p *PromWriter) Counter(name, help string, v int64) {
+	p.Family(name, help, "counter")
+	p.Sample(name, "", float64(v))
 }
 
-func (p *promWriter) gauge(name, help string, v float64) {
-	p.family(name, help, "gauge")
-	p.sample(name, "", v)
+// Gauge writes a single-sample gauge family.
+func (p *PromWriter) Gauge(name, help string, v float64) {
+	p.Family(name, help, "gauge")
+	p.Sample(name, "", v)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	p := &promWriter{w: w}
+	p := NewPromWriter(w)
 	if c := s.opts.Collector; c != nil {
 		writeSimMetrics(p, c.Snapshot())
 	}
 	if o := s.opts.Runner; o != nil {
-		writeRunnerMetrics(p, o.Snapshot())
+		WriteRunnerMetrics(p, o.Snapshot())
 	}
 	if f := s.opts.Flight; f != nil {
 		rep := f.Report(1)
-		p.counter("fasttrack_flight_finished_total", "Packet lifecycles finished in the flight recorder.", rep.Finished)
-		p.gauge("fasttrack_flight_live", "Packet lifecycles currently tracked in flight.", float64(rep.Live))
-		p.counter("fasttrack_flight_evicted_total", "Finished lifecycles evicted from the bounded worst buffer.", rep.Evicted)
+		p.Counter("fasttrack_flight_finished_total", "Packet lifecycles finished in the flight recorder.", rep.Finished)
+		p.Gauge("fasttrack_flight_live", "Packet lifecycles currently tracked in flight.", float64(rep.Live))
+		p.Counter("fasttrack_flight_evicted_total", "Finished lifecycles evicted from the bounded worst buffer.", rep.Evicted)
+	}
+	p.Counter("fasttrack_sse_dropped_frames_total", "SSE frames dropped for clients slower than their bounded buffer.", s.sseDropped.Load())
+	if s.opts.Extra != nil {
+		s.opts.Extra(p)
 	}
 }
 
-func writeSimMetrics(p *promWriter, s Snapshot) {
-	p.counter("fasttrack_sim_cycles_total", "Simulated cycles.", s.Cycles)
-	p.gauge("fasttrack_sim_cycles_per_second", "Mean simulation speed since the first event.", s.CyclesPerSec())
-	p.counter("fasttrack_sim_packets_offered_total", "Injection offers presented (accepted + refused).", s.Injected+s.Stalls)
-	p.counter("fasttrack_sim_packets_injected_total", "Offers accepted into the network.", s.Injected)
-	p.counter("fasttrack_sim_injection_stalls_total", "Offers refused (per PE per cycle).", s.Stalls)
-	p.counter("fasttrack_sim_packets_delivered_total", "Packets delivered to clients.", s.Delivered)
-	p.counter("fasttrack_sim_packets_dropped_total", "Packets destroyed by faults or abandoned by retry budget.", s.Drops)
-	p.counter("fasttrack_sim_retransmits_total", "Retransmit copies queued by the resilience layer.", s.Retrans)
-	p.gauge("fasttrack_sim_packets_in_flight", "Packets inside the network now.", float64(s.InFlight))
+func writeSimMetrics(p *PromWriter, s Snapshot) {
+	p.Counter("fasttrack_sim_cycles_total", "Simulated cycles.", s.Cycles)
+	p.Gauge("fasttrack_sim_cycles_per_second", "Mean simulation speed since the first event.", s.CyclesPerSec())
+	p.Counter("fasttrack_sim_packets_offered_total", "Injection offers presented (accepted + refused).", s.Injected+s.Stalls)
+	p.Counter("fasttrack_sim_packets_injected_total", "Offers accepted into the network.", s.Injected)
+	p.Counter("fasttrack_sim_injection_stalls_total", "Offers refused (per PE per cycle).", s.Stalls)
+	p.Counter("fasttrack_sim_packets_delivered_total", "Packets delivered to clients.", s.Delivered)
+	p.Counter("fasttrack_sim_packets_dropped_total", "Packets destroyed by faults or abandoned by retry budget.", s.Drops)
+	p.Counter("fasttrack_sim_retransmits_total", "Retransmit copies queued by the resilience layer.", s.Retrans)
+	p.Gauge("fasttrack_sim_packets_in_flight", "Packets inside the network now.", float64(s.InFlight))
 
-	p.family("fasttrack_sim_hops_total", "Wire traversals by link class.", "counter")
-	p.sample("fasttrack_sim_hops_total", `{wire="local"}`, float64(s.HopsLocal))
-	p.sample("fasttrack_sim_hops_total", `{wire="express"}`, float64(s.HopsExpress))
-	p.family("fasttrack_sim_deflections_total", "True deflections by the wire class of the deflected input.", "counter")
-	p.sample("fasttrack_sim_deflections_total", `{wire="local"}`, float64(s.DeflectLocal))
-	p.sample("fasttrack_sim_deflections_total", `{wire="express"}`, float64(s.DeflectExpress))
-	p.counter("fasttrack_sim_express_denied_total", "Packets denied an express resource (fell back to a short wire).", s.Denied)
+	p.Family("fasttrack_sim_hops_total", "Wire traversals by link class.", "counter")
+	p.Sample("fasttrack_sim_hops_total", `{wire="local"}`, float64(s.HopsLocal))
+	p.Sample("fasttrack_sim_hops_total", `{wire="express"}`, float64(s.HopsExpress))
+	p.Family("fasttrack_sim_deflections_total", "True deflections by the wire class of the deflected input.", "counter")
+	p.Sample("fasttrack_sim_deflections_total", `{wire="local"}`, float64(s.DeflectLocal))
+	p.Sample("fasttrack_sim_deflections_total", `{wire="express"}`, float64(s.DeflectExpress))
+	p.Counter("fasttrack_sim_express_denied_total", "Packets denied an express resource (fell back to a short wire).", s.Denied)
 
-	p.family("fasttrack_sim_latency_cycles", "Cumulative delivery-latency quantiles in cycles.", "gauge")
-	p.sample("fasttrack_sim_latency_cycles", `{quantile="0.5"}`, float64(s.P50))
-	p.sample("fasttrack_sim_latency_cycles", `{quantile="0.99"}`, float64(s.P99))
-	p.gauge("fasttrack_sim_latency_mean_cycles", "Cumulative mean delivery latency in cycles.", s.MeanLatency())
+	p.Family("fasttrack_sim_latency_cycles", "Cumulative delivery-latency quantiles in cycles.", "gauge")
+	p.Sample("fasttrack_sim_latency_cycles", `{quantile="0.5"}`, float64(s.P50))
+	p.Sample("fasttrack_sim_latency_cycles", `{quantile="0.99"}`, float64(s.P99))
+	p.Gauge("fasttrack_sim_latency_mean_cycles", "Cumulative mean delivery latency in cycles.", s.MeanLatency())
 }
 
-func writeRunnerMetrics(p *promWriter, s runner.Snapshot) {
-	p.counter("fasttrack_runner_jobs_executed_total", "Sweep jobs computed fresh.", s.Executed)
-	p.counter("fasttrack_runner_jobs_cached_total", "Sweep jobs answered from the result cache.", s.CacheHits)
-	p.counter("fasttrack_runner_jobs_failed_total", "Sweep jobs that returned an error.", s.Failed)
+// WriteRunnerMetrics emits the sweep-orchestration metric families for an
+// orchestrator snapshot; exported so the ftserve daemon's fleet /metrics can
+// include the same section.
+func WriteRunnerMetrics(p *PromWriter, s runner.Snapshot) {
+	p.Counter("fasttrack_runner_jobs_executed_total", "Sweep jobs computed fresh.", s.Executed)
+	p.Counter("fasttrack_runner_jobs_cached_total", "Sweep jobs answered from the result cache.", s.CacheHits)
+	p.Counter("fasttrack_runner_jobs_failed_total", "Sweep jobs that returned an error.", s.Failed)
 	ratio := 0.0
 	if total := s.Executed + s.CacheHits; total > 0 {
 		ratio = float64(s.CacheHits) / float64(total)
 	}
-	p.gauge("fasttrack_runner_cache_hit_ratio", "Cache hits over all completed jobs.", ratio)
-	p.gauge("fasttrack_runner_workers_active", "Jobs running right now.", float64(s.Active))
-	p.gauge("fasttrack_runner_workers", "Worker pool size.", float64(s.Workers))
+	p.Gauge("fasttrack_runner_cache_hit_ratio", "Cache hits over all completed jobs.", ratio)
+	p.Gauge("fasttrack_runner_workers_active", "Jobs running right now.", float64(s.Active))
+	p.Gauge("fasttrack_runner_jobs_pending", "Jobs admitted to a batch but not yet started.", float64(s.Pending))
+	p.Gauge("fasttrack_runner_workers", "Worker pool size.", float64(s.Workers))
 }
 
 func (s *Server) handleFlight(w http.ResponseWriter, r *http.Request) {
@@ -231,14 +264,42 @@ func makeLiveEvent(prev, cur Snapshot) liveEvent {
 	return ev
 }
 
+// sseBufFrames bounds each /live/stream client's frame buffer: a consumer
+// slower than the snapshot producer loses the oldest frames, never the
+// producer's liveness (each frame is a self-contained cumulative snapshot,
+// so dropping intermediates only lowers that client's refresh rate).
+const sseBufFrames = 8
+
+// offerFrame enqueues b without ever blocking: when the buffer is full the
+// oldest frame is discarded (counted in dropped) to make room. The channel
+// must have a single producer (this function's caller).
+func offerFrame(frames chan []byte, b []byte, dropped *atomic.Int64) {
+	select {
+	case frames <- b:
+		return
+	default:
+	}
+	select {
+	case <-frames:
+		dropped.Add(1)
+	default:
+	}
+	select {
+	case frames <- b:
+	default:
+		// A racing consumer refilled the buffer; losing the new frame is as
+		// acceptable as losing the oldest.
+		dropped.Add(1)
+	}
+}
+
+// SSEDropped reports how many /live/stream frames were discarded because a
+// client fell behind (drop-oldest backpressure).
+func (s *Server) SSEDropped() int64 { return s.sseDropped.Load() }
+
 func (s *Server) handleLiveStream(w http.ResponseWriter, r *http.Request) {
 	if s.opts.Collector == nil {
 		http.Error(w, "no collector attached", http.StatusNotFound)
-		return
-	}
-	fl, ok := w.(http.Flusher)
-	if !ok {
-		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
 		return
 	}
 	w.Header().Set("Content-Type", "text/event-stream")
@@ -249,33 +310,53 @@ func (s *Server) handleLiveStream(w http.ResponseWriter, r *http.Request) {
 	if interval <= 0 {
 		interval = time.Second
 	}
-	var prev Snapshot
-	send := func() bool {
-		cur := s.opts.Collector.Snapshot()
-		b, err := json.Marshal(makeLiveEvent(prev, cur))
-		if err != nil {
-			return false
-		}
-		if _, err := fmt.Fprintf(w, "data: %s\n\n", b); err != nil {
-			return false
-		}
-		fl.Flush()
-		prev = cur
-		return true
+	writeTimeout := s.opts.SSEWriteTimeout
+	if writeTimeout <= 0 {
+		writeTimeout = 10 * time.Second
 	}
-	if !send() {
-		return
-	}
-	t := time.NewTicker(interval)
-	defer t.Stop()
-	for {
-		select {
-		case <-r.Context().Done():
-			return
-		case <-t.C:
-			if !send() {
+
+	// Producer: snapshots the collector on its own clock and never blocks on
+	// the client — a stalled dashboard cannot wedge anything upstream of its
+	// bounded buffer. It exits when the request context ends (client gone or
+	// handler returned).
+	frames := make(chan []byte, sseBufFrames)
+	ctx := r.Context()
+	go func() {
+		defer close(frames)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		var prev Snapshot
+		emit := func() {
+			cur := s.opts.Collector.Snapshot()
+			b, err := json.Marshal(makeLiveEvent(prev, cur))
+			prev = cur
+			if err != nil {
 				return
 			}
+			offerFrame(frames, b, &s.sseDropped)
+		}
+		emit()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				emit()
+			}
+		}
+	}()
+
+	// Consumer: each write carries a deadline, so the slowest failure mode a
+	// dead client can cause is one writeTimeout of latency before its stream
+	// goroutine is reclaimed.
+	rc := http.NewResponseController(w)
+	for b := range frames {
+		_ = rc.SetWriteDeadline(time.Now().Add(writeTimeout))
+		if _, err := fmt.Fprintf(w, "data: %s\n\n", b); err != nil {
+			return
+		}
+		if err := rc.Flush(); err != nil {
+			return
 		}
 	}
 }

@@ -1,0 +1,84 @@
+package monitor
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestOfferFrameDropsOldest: the bounded frame buffer never blocks the
+// producer; overflowing it discards the oldest frames and counts them.
+func TestOfferFrameDropsOldest(t *testing.T) {
+	frames := make(chan []byte, 3)
+	var dropped atomic.Int64
+	for i := 0; i < 10; i++ {
+		offerFrame(frames, []byte{byte(i)}, &dropped)
+	}
+	if got := dropped.Load(); got != 7 {
+		t.Fatalf("want 7 dropped frames, got %d", got)
+	}
+	// The survivors must be the newest three, in order.
+	want := []byte{7, 8, 9}
+	for _, w := range want {
+		select {
+		case b := <-frames:
+			if !bytes.Equal(b, []byte{w}) {
+				t.Fatalf("want frame %d, got %v", w, b)
+			}
+		default:
+			t.Fatalf("buffer missing frame %d", w)
+		}
+	}
+}
+
+// TestSlowSSEClientNeverWedgesServer: a /live/stream client that stops
+// reading must not block the snapshot producer — frames are dropped oldest-
+// first — and the server keeps answering other endpoints meanwhile.
+func TestSlowSSEClientNeverWedgesServer(t *testing.T) {
+	// A 64x64 collector makes each SSE frame tens of KB, so a non-reading
+	// client's socket buffer fills within a few hundred frames.
+	col := NewCollector(64, 64)
+	srv, err := StartServer("127.0.0.1:0", ServerOptions{
+		Collector:       col,
+		SSEInterval:     time.Millisecond,
+		SSEWriteTimeout: 200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fmt.Fprintf(conn, "GET /live/stream HTTP/1.1\r\nHost: %s\r\n\r\n", srv.Addr())
+	// Deliberately never read from conn: the kernel buffers fill and the
+	// server-side write stalls against its deadline.
+
+	deadline := time.Now().Add(15 * time.Second)
+	for srv.SSEDropped() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("no frames dropped after 15s; producer appears blocked")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The rest of the server must still be responsive while the slow client
+	// is wedged.
+	resp, err := http.Get(srv.URL() + "/metrics")
+	if err != nil {
+		t.Fatalf("/metrics unreachable with a stalled SSE client: %v", err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !bytes.Contains(b, []byte("fasttrack_sse_dropped_frames_total")) {
+		t.Fatalf("/metrics missing SSE drop counter:\n%s", b)
+	}
+}

@@ -12,6 +12,7 @@ package runner
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
@@ -47,12 +48,19 @@ type Orchestrator struct {
 	// Spans, when non-nil, records one Span per ForEach job (queued/running/
 	// done, worker id, cache-hit flag) for the Chrome trace export.
 	Spans *SpanLog
+	// JobTimeout, when positive, bounds each ForEach job's wall clock: the
+	// per-job context expires after this duration, the engine aborts at its
+	// next cancellation poll, and the batch fails with a *JobError satisfying
+	// errors.Is(err, context.DeadlineExceeded) — distinguishable from a
+	// simulation failure. 0 means no per-job deadline.
+	JobTimeout time.Duration
 
 	mu       sync.Mutex
 	executed int64
 	hits     int64
 	failed   int64
 	active   int
+	pending  int
 	busy     time.Duration
 	slowest  time.Duration
 	slowestI int
@@ -79,8 +87,10 @@ type Snapshot struct {
 	// Executed counts fresh simulations, CacheHits cache-answered jobs,
 	// Failed jobs that returned an error.
 	Executed, CacheHits, Failed int64
-	// Active is the number of jobs running right now; Workers the pool size.
-	Active, Workers int
+	// Active is the number of jobs running right now; Pending the jobs
+	// admitted to a ForEach batch but not yet started (the orchestrator's
+	// internal queue depth); Workers the pool size.
+	Active, Pending, Workers int
 }
 
 // Snapshot captures the orchestrator's current counters and occupancy.
@@ -89,7 +99,7 @@ func (o *Orchestrator) Snapshot() Snapshot {
 	defer o.mu.Unlock()
 	return Snapshot{
 		Executed: o.executed, CacheHits: o.hits, Failed: o.failed,
-		Active: o.active, Workers: o.workers(),
+		Active: o.active, Pending: o.pending, Workers: o.workers(),
 	}
 }
 
@@ -139,6 +149,19 @@ func (o *Orchestrator) ForEach(ctx context.Context, n int, f func(ctx context.Co
 		done     int
 		start    = time.Now()
 	)
+	o.mu.Lock()
+	o.pending += n
+	o.mu.Unlock()
+	defer func() {
+		// Jobs skipped after a sibling failure never transit runOne; settle
+		// the pending gauge when the batch returns.
+		mu.Lock()
+		skipped := n - next
+		mu.Unlock()
+		o.mu.Lock()
+		o.pending -= skipped
+		o.mu.Unlock()
+	}()
 	runOne := func(worker, i int) {
 		jctx := cctx
 		var span *Span
@@ -146,12 +169,27 @@ func (o *Orchestrator) ForEach(ctx context.Context, n int, f func(ctx context.Co
 			span = &Span{Index: i, Worker: worker, Queued: start}
 			jctx = context.WithValue(cctx, spanKey, span)
 		}
+		var jcancel context.CancelFunc
+		if o.JobTimeout > 0 {
+			jctx, jcancel = context.WithTimeout(jctx, o.JobTimeout)
+		}
 		o.mu.Lock()
 		o.active++
+		o.pending--
 		o.mu.Unlock()
 		t0 := time.Now()
 		err := f(jctx, i)
 		d := time.Since(t0)
+		if jcancel != nil {
+			// A job that died because its own deadline expired must be
+			// distinguishable from a simulation failure even when f wrapped
+			// or replaced the context error.
+			if err != nil && jctx.Err() == context.DeadlineExceeded &&
+				cctx.Err() == nil && !errors.Is(err, context.DeadlineExceeded) {
+				err = errors.Join(err, context.DeadlineExceeded)
+			}
+			jcancel()
+		}
 		o.mu.Lock()
 		o.active--
 		if err != nil {

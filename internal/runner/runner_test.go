@@ -143,3 +143,82 @@ func TestTiming(t *testing.T) {
 		t.Fatalf("timing not recorded: busy=%v slowest=%v", busy, slowest)
 	}
 }
+
+// TestJobTimeoutSurfacesDeadline: a job that outlives Orchestrator.JobTimeout
+// fails with a *JobError satisfying errors.Is(err, context.DeadlineExceeded),
+// so callers can tell a timeout from a simulation failure.
+func TestJobTimeoutSurfacesDeadline(t *testing.T) {
+	o := &Orchestrator{Workers: 2, JobTimeout: 20 * time.Millisecond}
+	err := o.ForEach(context.Background(), 1, func(ctx context.Context, i int) error {
+		<-ctx.Done()
+		return ctx.Err()
+	})
+	var je *JobError
+	if !errors.As(err, &je) {
+		t.Fatalf("want *JobError, got %T: %v", err, err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded in the chain, got %v", err)
+	}
+}
+
+// TestJobTimeoutWrapsForeignError: even when the job swallows the context
+// error and returns its own, an expired per-job deadline stays visible in
+// the error chain (errors.Join semantics).
+func TestJobTimeoutWrapsForeignError(t *testing.T) {
+	o := &Orchestrator{Workers: 1, JobTimeout: 10 * time.Millisecond}
+	boom := errors.New("engine exploded")
+	err := o.ForEach(context.Background(), 1, func(ctx context.Context, i int) error {
+		<-ctx.Done()
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("want cause preserved, got %v", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded joined, got %v", err)
+	}
+}
+
+// TestJobTimeoutLeavesFastJobsAlone: jobs that finish inside the deadline
+// are unaffected by the per-job timeout machinery.
+func TestJobTimeoutLeavesFastJobsAlone(t *testing.T) {
+	o := &Orchestrator{Workers: 4, JobTimeout: time.Second}
+	if err := o.ForEach(context.Background(), 32, func(ctx context.Context, i int) error {
+		return ctx.Err()
+	}); err != nil {
+		t.Fatalf("fast jobs must succeed under a generous timeout: %v", err)
+	}
+}
+
+// TestSnapshotPendingSettles: the pending gauge counts admitted-but-unstarted
+// jobs during a batch and returns to zero when the batch ends, including the
+// early-abort path where trailing indices are skipped.
+func TestSnapshotPendingSettles(t *testing.T) {
+	o := &Orchestrator{Workers: 2}
+	release := make(chan struct{})
+	var sawPending atomic.Bool
+	go func() {
+		for i := 0; i < 1000; i++ {
+			if o.Snapshot().Pending > 0 {
+				sawPending.Store(true)
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+		close(release)
+	}()
+	_ = o.ForEach(context.Background(), 64, func(ctx context.Context, i int) error {
+		<-release
+		if i == 3 {
+			return errors.New("abort the rest")
+		}
+		return nil
+	})
+	if !sawPending.Load() {
+		t.Fatal("never observed a positive pending gauge mid-batch")
+	}
+	if p := o.Snapshot().Pending; p != 0 {
+		t.Fatalf("pending must settle to 0 after the batch, got %d", p)
+	}
+}

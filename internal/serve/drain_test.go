@@ -1,0 +1,187 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// waitGoroutines polls until the goroutine count settles back near base —
+// the drain/close leak check the issue demands. A hard equality would be
+// flaky (the runtime keeps a few transient goroutines), so a small slack
+// is allowed.
+func waitGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		// The test's own HTTP client keeps idle keep-alive goroutines; they
+		// are not the daemon's.
+		http.DefaultClient.CloseIdleConnections()
+		if runtime.NumGoroutine() <= base+3 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	t.Fatalf("goroutine leak: %d still running (baseline %d)\n%s",
+		runtime.NumGoroutine(), base, buf[:runtime.Stack(buf, true)])
+}
+
+// assertNoPartialCacheEntries fails if the cache dir holds leftover
+// temp files — a canceled job must never leave a half-written entry.
+func assertNoPartialCacheEntries(t *testing.T, dir string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			t.Fatalf("partial cache entry left behind: %s", filepath.Join(dir, e.Name()))
+		}
+	}
+}
+
+// TestGracefulDrain: SIGTERM semantics — admission stops immediately,
+// every accepted job still reaches a terminal (here: done) state, and the
+// daemon's goroutines wind down.
+func TestGracefulDrain(t *testing.T) {
+	base := runtime.NumGoroutine()
+	cacheDir := t.TempDir()
+	s := newTestServer(t, Options{Workers: 2, QueueDepth: 16, CacheDir: cacheDir})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var jobs []*Job
+	for seed := uint64(100); seed < 106; seed++ {
+		j, _, rej := s.Admit(fastSpec(t, seed), "c1")
+		if rej != nil {
+			t.Fatal(rej)
+		}
+		jobs = append(jobs, j)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("graceful drain must finish inside the deadline: %v", err)
+	}
+
+	// Zero accepted-job loss: each admitted job is terminal and fetchable.
+	for _, j := range jobs {
+		st := j.Status()
+		if !st.State.Terminal() {
+			t.Fatalf("job %s not terminal after drain: %s", j.ID, st.State)
+		}
+		if st.State != StateDone {
+			t.Fatalf("graceful drain had time to finish %s, got %s (%+v)", j.ID, st.State, st.Error)
+		}
+		if s.Job(j.ID) == nil {
+			t.Fatalf("job %s not fetchable after drain", j.ID)
+		}
+	}
+
+	// Admission during/after drain answers 503.
+	resp, err := http.Post(ts.URL+"/jobs", "application/json", strings.NewReader(`{"kind":"sim"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("POST while draining: want 503, got %d", resp.StatusCode)
+	}
+	if s.c.rejectedDraining.Load() == 0 {
+		t.Fatal("draining rejection not counted")
+	}
+
+	// /healthz flips to 503 so load balancers stop routing here.
+	hr, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Body.Close()
+	if hr.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz while draining: want 503, got %d", hr.StatusCode)
+	}
+
+	assertNoPartialCacheEntries(t, cacheDir)
+	ts.Close()
+	waitGoroutines(t, base)
+}
+
+// TestDrainDeadlineCancelsMidSweep: when the drain deadline fires first,
+// in-flight sweep jobs are cancelled cooperatively — they finish as
+// canceled (not lost), the cache holds no partial entries, and no
+// goroutines leak.
+func TestDrainDeadlineCancelsMidSweep(t *testing.T) {
+	base := runtime.NumGoroutine()
+	cacheDir := t.TempDir()
+	s := newTestServer(t, Options{Workers: 1, SweepWorkers: 2, CacheDir: cacheDir})
+
+	sweep := decodeSpec(t, `{"kind":"sweep",
+		"topology":{"noc":"hoplite","n":16},
+		"workload":{"pattern":"RANDOM","rate":1.0,"packets":100000,"seed":200},
+		"rates":[0.2,0.4,0.6,0.8,1.0]}`)
+	j, _, rej := s.Admit(sweep, "c1")
+	if rej != nil {
+		t.Fatal(rej)
+	}
+
+	// Let the sweep actually start before pulling the plug.
+	deadline := time.Now().Add(5 * time.Second)
+	for j.State() != StateRunning && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if j.State() != StateRunning {
+		t.Fatalf("sweep never started: %s", j.State())
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	err := s.Drain(ctx)
+	if err == nil {
+		t.Fatal("a heavy sweep cannot drain in 50ms; want the deadline error")
+	}
+
+	st := j.Status()
+	if st.State != StateCanceled || st.Error == nil || st.Error.Kind != "canceled" {
+		t.Fatalf("want canceled with structured error, got %s %+v", st.State, st.Error)
+	}
+	if s.c.finishedCanceled.Load() != 1 {
+		t.Fatalf("canceled counter: want 1, got %d", s.c.finishedCanceled.Load())
+	}
+
+	assertNoPartialCacheEntries(t, cacheDir)
+	waitGoroutines(t, base)
+}
+
+// TestCloseCancelsQueuedJobs: jobs still waiting in the queue at Close are
+// finished as canceled rather than silently dropped.
+func TestCloseCancelsQueuedJobs(t *testing.T) {
+	s := newTestServer(t, Options{Workers: 1, QueueDepth: 8})
+	blocker, _, rej := s.Admit(slowSpec(t, 300), "c1")
+	if rej != nil {
+		t.Fatal(rej)
+	}
+	queued, _, rej := s.Admit(fastSpec(t, 301), "c1")
+	if rej != nil {
+		t.Fatal(rej)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range []*Job{blocker, queued} {
+		if st := j.Status(); !st.State.Terminal() {
+			t.Fatalf("job %s not terminal after Close: %s", j.ID, st.State)
+		}
+	}
+	if st := queued.Status(); st.State != StateCanceled {
+		t.Fatalf("queued job: want canceled, got %s", st.State)
+	}
+}

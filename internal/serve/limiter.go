@@ -1,0 +1,73 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// maxClients bounds the limiter's bucket map; past it, idle (refilled)
+// buckets are pruned so an address-spraying client cannot grow server
+// memory without bound.
+const maxClients = 4096
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// limiter is a per-client token bucket: each client key accrues rate
+// tokens/second up to burst, and one admission costs one token. A nil or
+// zero-rate limiter admits everything.
+type limiter struct {
+	mu      sync.Mutex
+	rate    float64
+	burst   float64
+	buckets map[string]*bucket
+}
+
+func newLimiter(rate, burst float64) *limiter {
+	if rate <= 0 {
+		return &limiter{}
+	}
+	return &limiter{rate: rate, burst: burst, buckets: make(map[string]*bucket)}
+}
+
+// allow charges one token for key at time now. When the bucket is empty it
+// refuses and reports how long until the next token accrues — the
+// Retry-After the HTTP layer sends back.
+func (l *limiter) allow(key string, now time.Time) (bool, time.Duration) {
+	if l == nil || l.rate <= 0 {
+		return true, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b := l.buckets[key]
+	if b == nil {
+		if len(l.buckets) >= maxClients {
+			l.prune()
+		}
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[key] = b
+	}
+	b.tokens += now.Sub(b.last).Seconds() * l.rate
+	if b.tokens > l.burst {
+		b.tokens = l.burst
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - b.tokens) / l.rate * float64(time.Second))
+	return false, wait
+}
+
+// prune drops fully-refilled buckets: a client at full burst is
+// indistinguishable from one never seen. Called with mu held.
+func (l *limiter) prune() {
+	for k, b := range l.buckets {
+		if b.tokens >= l.burst {
+			delete(l.buckets, k)
+		}
+	}
+}

@@ -1,0 +1,306 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"fasttrack/internal/core"
+	"fasttrack/internal/dse"
+	"fasttrack/internal/monitor"
+	"fasttrack/internal/runner"
+)
+
+// metricsFrame is the windowed-metrics SSE payload: cumulative totals plus
+// the delta over the last sampling window, derived from the job's telemetry
+// collector while the simulation is running.
+type metricsFrame struct {
+	Cycles    int64 `json:"cycles"`
+	Injected  int64 `json:"injected"`
+	Delivered int64 `json:"delivered"`
+	InFlight  int64 `json:"in_flight"`
+
+	WindowCycles    int64   `json:"window_cycles"`
+	WindowDelivered int64   `json:"window_delivered"`
+	WindowRate      float64 `json:"window_rate"` // delivered/cycle/PE over the window
+
+	CyclesPerSec float64 `json:"cycles_per_sec"`
+	MeanLatency  float64 `json:"mean_latency"`
+	P50          int64   `json:"p50"`
+	P99          int64   `json:"p99"`
+}
+
+// progressFrame announces one finished sweep point.
+type progressFrame struct {
+	Completed int           `json:"completed"`
+	Total     int           `json:"total"`
+	Point     ResultSummary `json:"point"`
+}
+
+// DSEResult is the client-facing design-space-exploration result: the
+// evaluated points plus the cache accounting.
+type DSEResult struct {
+	Points []DSEPoint `json:"points"`
+	// Simulated/Cached report how the exploration's runs were satisfied.
+	Simulated int64 `json:"simulated"`
+	Cached    int64 `json:"cached"`
+}
+
+// DSEPoint is one evaluated design.
+type DSEPoint struct {
+	Name           string  `json:"name"`
+	LUTs           int     `json:"luts"`
+	FFs            int     `json:"ffs"`
+	WireFactor     int     `json:"wire_factor"`
+	Routable       bool    `json:"routable"`
+	ClockMHz       float64 `json:"clock_mhz,omitempty"`
+	SustainedRate  float64 `json:"sustained_rate,omitempty"`
+	ThroughputMPPS float64 `json:"throughput_mpps,omitempty"`
+	Pareto         bool    `json:"pareto,omitempty"`
+}
+
+// panicFailure carries a recovered panic out of the execution closure.
+type panicFailure struct {
+	value any
+	stack []byte
+}
+
+func (p *panicFailure) Error() string { return fmt.Sprintf("job panicked: %v", p.value) }
+
+// runJob drives one admitted job to a terminal state. It never lets a
+// panic escape (that would kill the worker and, unrecovered, the daemon)
+// and always finishes the job — queued work is never silently dropped.
+func (s *Server) runJob(j *Job) {
+	s.c.running.Add(1)
+	defer s.c.running.Add(-1)
+
+	// A drain deadline may have fired while this job sat in the queue;
+	// finish it as canceled without starting the simulation.
+	if s.baseCtx.Err() != nil {
+		s.finishJob(j, nil, false, s.baseCtx.Err())
+		return
+	}
+	j.setRunning()
+
+	ctx := s.baseCtx
+	var cancel context.CancelFunc
+	if d := s.effectiveTimeout(j.Spec.Timeout()); d > 0 {
+		ctx, cancel = context.WithTimeout(ctx, d)
+	}
+
+	result, cached, err := func() (result any, cached bool, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = &panicFailure{value: r, stack: debug.Stack()}
+			}
+		}()
+		if j.Spec.DebugPanic {
+			panic("debug_panic requested by spec")
+		}
+		switch j.Spec.Kind {
+		case "sim":
+			return s.runSim(ctx, j)
+		case "sweep":
+			return s.runSweep(ctx, j)
+		case "dse":
+			return s.runDSE(ctx, j)
+		}
+		return nil, false, fmt.Errorf("unknown job kind %q", j.Spec.Kind)
+	}()
+	if cancel != nil {
+		cancel()
+	}
+	s.finishJob(j, result, cached, err)
+}
+
+// effectiveTimeout combines the spec's requested deadline with the daemon
+// cap: the spec may only shorten the server's bound, never extend it.
+func (s *Server) effectiveTimeout(want time.Duration) time.Duration {
+	capd := s.opts.JobTimeout
+	if want <= 0 {
+		return capd
+	}
+	if capd > 0 && capd < want {
+		return capd
+	}
+	return want
+}
+
+// finishJob classifies the outcome, records the terminal state, and
+// retires the job from the in-flight dedup index.
+func (s *Server) finishJob(j *Job, result any, cached bool, err error) {
+	switch {
+	case err == nil:
+		s.c.finishedDone.Add(1)
+		if cached {
+			s.c.cacheHits.Add(1)
+		}
+		j.finish(StateDone, cached, result, nil)
+	default:
+		var pf *panicFailure
+		switch {
+		case errors.As(err, &pf):
+			s.c.panics.Add(1)
+			s.c.finishedFailed.Add(1)
+			j.finish(StateFailed, false, nil, &Failure{
+				Kind: "panic", Message: pf.Error(), Stack: string(pf.stack),
+			})
+		case s.baseCtx.Err() != nil || errors.Is(err, context.Canceled):
+			s.c.finishedCanceled.Add(1)
+			j.finish(StateCanceled, false, nil, &Failure{
+				Kind: "canceled", Message: "job canceled: " + err.Error(),
+			})
+		case errors.Is(err, context.DeadlineExceeded):
+			s.c.timeouts.Add(1)
+			s.c.finishedFailed.Add(1)
+			j.finish(StateFailed, false, nil, &Failure{
+				Kind: "timeout", Message: "job deadline exceeded: " + err.Error(),
+			})
+		default:
+			s.c.finishedFailed.Add(1)
+			j.finish(StateFailed, false, nil, &Failure{
+				Kind: "error", Message: err.Error(),
+			})
+		}
+	}
+	s.finishRegistration(j)
+}
+
+// sampleMetrics streams windowed metrics frames from col to the job's SSE
+// subscribers until stop closes.
+func (s *Server) sampleMetrics(j *Job, col *monitor.Collector, stop <-chan struct{}) {
+	t := time.NewTicker(s.opts.metricsInterval())
+	defer t.Stop()
+	var prev monitor.Snapshot
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+		}
+		snap := col.Snapshot()
+		f := metricsFrame{
+			Cycles: snap.Cycles, Injected: snap.Injected,
+			Delivered: snap.Delivered, InFlight: snap.InFlight,
+			WindowCycles:    snap.Cycles - prev.Cycles,
+			WindowDelivered: snap.Delivered - prev.Delivered,
+			CyclesPerSec:    snap.CyclesPerSec(),
+			MeanLatency:     snap.MeanLatency(),
+			P50:             snap.P50, P99: snap.P99,
+		}
+		if pes := snap.W * snap.H; pes > 0 && f.WindowCycles > 0 {
+			f.WindowRate = float64(f.WindowDelivered) / float64(f.WindowCycles) / float64(pes)
+		}
+		prev = snap
+		j.publish("metrics", f)
+	}
+}
+
+// runOne satisfies a single (cfg, opts) simulation: peek the shared cache
+// first (counting a serve-level hit), otherwise run through the
+// orchestrator's cache-through path.
+func (s *Server) runOne(ctx context.Context, cfg core.Config, opts core.SyntheticOptions) (core.Result, bool, error) {
+	key := runner.SyntheticKey(cfg, opts)
+	if s.cache != nil {
+		var res core.Result
+		if s.cache.Get(key, &res) {
+			return res, true, nil
+		}
+	}
+	res, err := runner.Do(ctx, s.orch, key, func() (core.Result, error) {
+		return core.RunSynthetic(ctx, cfg, opts)
+	})
+	return res, false, err
+}
+
+func (s *Server) runSim(ctx context.Context, j *Job) (any, bool, error) {
+	cfg, opts, err := j.Spec.SimConfig(j.Spec.Workload.Rate)
+	if err != nil {
+		return nil, false, err
+	}
+	col := monitor.NewCollector(cfg.N, cfg.N)
+	opts.Observer = col
+	stop := make(chan struct{})
+	go s.sampleMetrics(j, col, stop)
+	res, cached, err := s.runOne(ctx, cfg, opts)
+	close(stop)
+	if err != nil {
+		return nil, false, err
+	}
+	return summarize(cfg.String(), opts.Rate, res, cached), cached, nil
+}
+
+func (s *Server) runSweep(ctx context.Context, j *Job) (any, bool, error) {
+	spec := j.Spec
+	cfg0, _, err := spec.SimConfig(spec.Rates[0])
+	if err != nil {
+		return nil, false, err
+	}
+	col := monitor.NewCollector(cfg0.N, cfg0.N)
+	stop := make(chan struct{})
+	go s.sampleMetrics(j, col, stop)
+	defer close(stop)
+
+	results := make([]ResultSummary, len(spec.Rates))
+	allCached := true
+	var mu sync.Mutex
+	completed := 0
+	err = s.orch.ForEach(ctx, len(spec.Rates), func(ctx context.Context, i int) error {
+		cfg, opts, err := spec.SimConfig(spec.Rates[i])
+		if err != nil {
+			return err
+		}
+		opts.Observer = col
+		res, cached, err := s.runOne(ctx, cfg, opts)
+		if err != nil {
+			return fmt.Errorf("rate %v: %w", spec.Rates[i], err)
+		}
+		sum := summarize(cfg.String(), spec.Rates[i], res, cached)
+		mu.Lock()
+		results[i] = sum
+		allCached = allCached && cached
+		completed++
+		done := completed
+		mu.Unlock()
+		j.publish("progress", progressFrame{Completed: done, Total: len(spec.Rates), Point: sum})
+		return nil
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	return results, allCached, nil
+}
+
+func (s *Server) runDSE(ctx context.Context, j *Job) (any, bool, error) {
+	spec := j.Spec
+	// A private orchestrator (sharing the content-addressed cache) keeps the
+	// returned simulated/cached accounting scoped to this exploration rather
+	// than the daemon's lifetime totals.
+	pts, stats, err := dse.Explore(ctx, dse.Options{
+		N:            spec.Topology.N,
+		WidthBits:    spec.Topology.Width,
+		Pattern:      spec.Workload.Pattern,
+		Rate:         spec.Workload.Rate,
+		PacketsPerPE: spec.Workload.PacketsPerPE,
+		MaxChannels:  spec.MaxChannels,
+		Variants:     spec.Variants,
+		Seed:         spec.Workload.Seed,
+		Orch:         &runner.Orchestrator{Cache: s.cache, Workers: s.opts.SweepWorkers},
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	out := DSEResult{Simulated: stats.Simulated, Cached: stats.Cached}
+	for _, p := range pts {
+		out.Points = append(out.Points, DSEPoint{
+			Name: p.Name, LUTs: p.LUTs, FFs: p.FFs, WireFactor: p.WireFactor,
+			Routable: p.Routable, ClockMHz: p.ClockMHz,
+			SustainedRate: p.SustainedRate, ThroughputMPPS: p.ThroughputMPPS,
+			Pareto: p.Pareto,
+		})
+	}
+	return out, false, nil
+}

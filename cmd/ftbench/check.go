@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"runtime"
 )
 
 // The -check mode is the CI regression gate: it re-measures the quantities
@@ -23,22 +24,35 @@ import (
 //     1+2*tol ceiling so a noise-lucky baseline draw (a recorded ratio
 //     below 1.0 is physically impossible and purely timing noise) cannot
 //     fail a healthy run.
+//   - The scaling curve re-runs on this machine: single-shard throughput is
+//     gated like the scenarios (deterministic), and the 8-shard speedup on
+//     the largest grid must clear scalingSpeedupFloor — but only on a
+//     machine with at least as many cores as shards, because a same-machine
+//     wall-clock ratio cannot show parallelism the hardware does not have.
+//     On smaller boxes the speedup gate prints a skip notice instead; the
+//     bit-exactness verification inside measureScaling still runs.
 //
-// Raw wall-clock fields (reference_ns, optimized_ns, speedup) are NOT
+// Raw wall-clock fields (reference_ns, optimized_ns, ns, speedup) are NOT
 // compared: they measure the baseline author's machine.
-const checkTolerance = 0.10
+const (
+	checkTolerance = 0.10
+	// scalingSpeedupFloor is the acceptance bar for the parallel engine:
+	// the 8-shard run of the largest scaling grid must be at least this
+	// many times faster than the single-shard run on a >=8-core machine.
+	scalingSpeedupFloor = 2.5
+)
 
 func runCheck(baselinePath string, reps int) error {
 	raw, err := os.ReadFile(baselinePath)
 	if err != nil {
 		return err
 	}
-	var baseline []row
+	var baseline benchFile
 	if err := json.Unmarshal(raw, &baseline); err != nil {
-		return fmt.Errorf("%s: %w", baselinePath, err)
+		return fmt.Errorf("%s: %w (pre-scaling array baselines must be regenerated with `make bench`)", baselinePath, err)
 	}
-	byName := make(map[string]row, len(baseline))
-	for _, r := range baseline {
+	byName := make(map[string]row, len(baseline.Scenarios))
+	for _, r := range baseline.Scenarios {
 		byName[r.Name] = r
 	}
 
@@ -76,8 +90,79 @@ func runCheck(baselinePath string, reps int) error {
 			failures++
 		}
 	}
+
+	failures += checkScaling(baseline, reps)
+
 	if failures > 0 {
-		return fmt.Errorf("%d scenario(s) regressed >%d%% vs %s", failures, int(checkTolerance*100), baselinePath)
+		return fmt.Errorf("%d check(s) regressed >%d%% vs %s", failures, int(checkTolerance*100), baselinePath)
 	}
 	return nil
+}
+
+// checkScaling re-measures the shards×grid curve and gates it, returning
+// the failure count. Single-shard throughput is gated per grid against the
+// baseline's shards=1 point; the 8-shard speedup floor applies only to the
+// largest grid and only when the machine has the cores to express it.
+func checkScaling(baseline benchFile, reps int) int {
+	type key struct {
+		name   string
+		shards int
+	}
+	basePts := make(map[key]scalePoint, len(baseline.Scaling))
+	for _, p := range baseline.Scaling {
+		basePts[key{p.Name, p.Shards}] = p
+	}
+
+	grids := scalingGrids()
+	maxShards := scalingShards[len(scalingShards)-1]
+	failures := 0
+	for i, sc := range grids {
+		pts, err := measureScaling(sc, reps)
+		if err != nil {
+			// Divergence between sharded and sequential results is the one
+			// scaling failure that is a correctness bug, not a regression.
+			fmt.Printf("%-36s FAIL %v\n", sc.name, err)
+			failures++
+			continue
+		}
+		p1 := pts[0]
+		if base, ok := basePts[key{sc.name, 1}]; !ok {
+			fmt.Printf("%-36s not in baseline scaling, skipped\n", sc.name)
+		} else {
+			tput := float64(p1.Delivered) / float64(p1.Cycles)
+			baseTput := float64(base.Delivered) / float64(base.Cycles)
+			if tput < baseTput*(1-checkTolerance) {
+				fmt.Printf("%-36s FAIL single-shard throughput %.4f < baseline %.4f (-%.1f%%)\n",
+					sc.name, tput, baseTput, 100*(1-tput/baseTput))
+				failures++
+			} else {
+				fmt.Printf("%-36s ok  single-shard throughput %.4f (baseline %.4f)\n",
+					sc.name, tput, baseTput)
+			}
+		}
+
+		if i != len(grids)-1 {
+			continue
+		}
+		pMax := pts[len(pts)-1]
+		label := fmt.Sprintf("%s shards=%d", sc.name, maxShards)
+		if runtime.NumCPU() < maxShards {
+			fmt.Printf("%-36s speedup gate skipped: %d core(s) < %d shards (bit-exactness still verified)\n",
+				label, runtime.NumCPU(), maxShards)
+			continue
+		}
+		floor := scalingSpeedupFloor
+		if base, ok := basePts[key{sc.name, maxShards}]; ok && baseline.Cores >= maxShards {
+			// A baseline recorded on a capable machine also gates drift:
+			// don't lose more than the tolerance of what it achieved.
+			floor = math.Max(floor, base.Speedup*(1-checkTolerance))
+		}
+		if pMax.Speedup < floor {
+			fmt.Printf("%-36s FAIL speedup %.2fx < floor %.2fx\n", label, pMax.Speedup, floor)
+			failures++
+		} else {
+			fmt.Printf("%-36s ok  speedup %.2fx (floor %.2fx)\n", label, pMax.Speedup, floor)
+		}
+	}
+	return failures
 }

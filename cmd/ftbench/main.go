@@ -15,6 +15,13 @@
 // hook nil-checks plus a virtual call per event, and guards the "disabled
 // telemetry is free" claim alongside BenchmarkSim* (<2%% budget).
 //
+// After the scenario table the tool records the parallel engine's scaling
+// curve: Hoplite at saturation on 64x64 and 128x128 tori, each run with
+// Options.Shards ∈ {1, 2, 4, 8} and every sharded result verified
+// byte-identical to the shards=1 run. The document notes the machine's core
+// count, because on a single-core box the curve can only show sharding
+// overhead, never speedup.
+//
 // With -sweep the tool instead benchmarks the sweep orchestration layer
 // (internal/runner): a quick-scale Fig 11 rate sweep timed dense-serial,
 // dense-parallel, adaptive with a cold result cache, and adaptive warm —
@@ -27,6 +34,7 @@ import (
 	"fmt"
 	"os"
 	"reflect"
+	"runtime"
 	"sort"
 	"time"
 
@@ -49,7 +57,17 @@ type scenario struct {
 	quota   int
 }
 
-// row is one line of BENCH_sim.json.
+// benchFile is the BENCH_sim.json document: the per-scenario engine
+// comparison plus the shards×grid scaling curve of the parallel engine.
+// Cores records the baseline machine's CPU count — the scaling speedups are
+// meaningless without it (a 1-core box can only show sharding overhead).
+type benchFile struct {
+	Cores     int          `json:"cores"`
+	Scenarios []row        `json:"scenarios"`
+	Scaling   []scalePoint `json:"scaling"`
+}
+
+// row is one line of the scenario table in BENCH_sim.json.
 type row struct {
 	Name        string  `json:"name"`
 	Cycles      int64   `json:"cycles"`
@@ -61,6 +79,20 @@ type row struct {
 	// ObserverOverhead = observer_ns / optimized_ns (1.0 = free).
 	ObserverNS       int64   `json:"observer_ns"`
 	ObserverOverhead float64 `json:"observer_overhead"`
+}
+
+// scalePoint is one point of the shards×grid scaling curve: the sparse
+// engine on one torus size with Options.Shards workers. Speedup is wall
+// clock versus the shards=1 run of the same grid on the same machine; the
+// result itself is verified byte-identical to shards=1 before the point is
+// recorded, so the curve can only ever show time, never semantics.
+type scalePoint struct {
+	Name      string  `json:"name"`
+	Shards    int     `json:"shards"`
+	Cycles    int64   `json:"cycles"`
+	Delivered int64   `json:"delivered"`
+	NS        int64   `json:"ns"`
+	Speedup   float64 `json:"speedup"`
 }
 
 const seed = 17
@@ -78,6 +110,51 @@ func scenarios() []scenario {
 		{"buffered-16x16/RANDOM/0.05", buf, 16, 16, traffic.Random{}, 0.05, 500},
 		{"multichannel-2x-16x16/RANDOM/0.05", cfg(core.MultiChannel(16, 2)), 16, 16, traffic.Random{}, 0.05, 1000},
 	}
+}
+
+// scalingShards is the worker-count axis of the scaling curve.
+var scalingShards = []int{1, 2, 4, 8}
+
+// scalingGrids is the grid axis: Hoplite at saturation, where router work
+// dominates and the row-band partition has the most to parallelize. The
+// quotas shrink with the grid so each point stays a few seconds.
+func scalingGrids() []scenario {
+	cfg := func(c core.Config) func() (noc.Network, error) {
+		return func() (noc.Network, error) { return c.Build() }
+	}
+	return []scenario{
+		{"hoplite-64x64/RANDOM/1.00", cfg(core.Hoplite(64)), 64, 64, traffic.Random{}, 1.0, 40},
+		{"hoplite-128x128/RANDOM/1.00", cfg(core.Hoplite(128)), 128, 128, traffic.Random{}, 1.0, 30},
+	}
+}
+
+// measureScaling runs one grid across scalingShards, best-of-reps each,
+// verifying every sharded result byte-identical to the shards=1 run before
+// recording its point. Points come back in scalingShards order.
+func measureScaling(sc scenario, reps int) ([]scalePoint, error) {
+	var pts []scalePoint
+	var baseRes sim.Result
+	var baseDur time.Duration
+	for _, s := range scalingShards {
+		res, dur, err := best(sc, sim.Options{Shards: s}, reps)
+		if err != nil {
+			return nil, fmt.Errorf("%s shards=%d: %w", sc.name, s, err)
+		}
+		if s == scalingShards[0] {
+			baseRes, baseDur = res, dur
+		} else if !reflect.DeepEqual(res, baseRes) {
+			return nil, fmt.Errorf("%s shards=%d: result diverges from shards=%d", sc.name, s, scalingShards[0])
+		}
+		pts = append(pts, scalePoint{
+			Name:      sc.name,
+			Shards:    s,
+			Cycles:    res.Cycles,
+			Delivered: res.Delivered,
+			NS:        dur.Nanoseconds(),
+			Speedup:   float64(baseDur) / float64(dur),
+		})
+	}
+	return pts, nil
 }
 
 // runOnce executes sc under opts and returns the result and the wall-clock
@@ -206,6 +283,22 @@ func main() {
 			r.ObserverOverhead)
 	}
 
+	fmt.Printf("\nscaling (parallel engine, %d cores)\n", runtime.NumCPU())
+	var scaling []scalePoint
+	for _, sc := range scalingGrids() {
+		pts, err := measureScaling(sc, *reps)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ftbench: scaling: %v\n", err)
+			os.Exit(1)
+		}
+		for _, p := range pts {
+			fmt.Printf("%-28s shards=%d %10d cycles  %8.2fms  %.2fx\n",
+				p.Name, p.Shards, p.Cycles, float64(p.NS)/1e6, p.Speedup)
+		}
+		scaling = append(scaling, pts...)
+	}
+
+	doc := benchFile{Cores: runtime.NumCPU(), Scenarios: rows, Scaling: scaling}
 	f, err := os.Create(*out)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ftbench: %v\n", err)
@@ -213,7 +306,7 @@ func main() {
 	}
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(rows); err != nil {
+	if err := enc.Encode(doc); err != nil {
 		fmt.Fprintf(os.Stderr, "ftbench: %v\n", err)
 		os.Exit(1)
 	}

@@ -28,6 +28,7 @@ import (
 func main() {
 	topo := cliflags.RegisterTopology(flag.CommandLine, cliflags.TopologyDefaults())
 	work := cliflags.RegisterWorkload(flag.CommandLine, cliflags.WorkloadDefaults())
+	eng := cliflags.RegisterEngine(flag.CommandLine)
 	flt := cliflags.RegisterFaults(flag.CommandLine)
 	telem := cliflags.RegisterTelemetry(flag.CommandLine)
 	mon := cliflags.RegisterMonitor(flag.CommandLine)
@@ -49,6 +50,7 @@ func main() {
 		MaxPacketAge:      *watchdog,
 	}
 	work.Apply(&opts)
+	eng.Apply(&opts)
 	flt.Apply(&opts)
 	sinks, err := telem.Build(topo.N, topo.N)
 	if err != nil {

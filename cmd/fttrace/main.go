@@ -38,6 +38,7 @@ func main() {
 	d := flag.Int("d", 2, "FastTrack D for replay")
 	r := flag.Int("r", 1, "FastTrack R for replay")
 	seed := flag.Uint64("seed", 1, "seed for synthetic trace generation")
+	eng := cliflags.RegisterEngine(flag.CommandLine)
 	telem := cliflags.RegisterTelemetry(flag.CommandLine)
 	mon := cliflags.RegisterMonitor(flag.CommandLine)
 	flag.Parse()
@@ -85,7 +86,9 @@ func main() {
 			fatal(err)
 		}
 		obs := telemetry.Multi(sinks.Observer, ops.Observer)
-		res, err := core.RunTrace(context.Background(), cfg, tr, core.TraceOptions{Observer: obs})
+		topts := core.TraceOptions{Observer: obs}
+		eng.ApplyTrace(&topts)
+		res, err := core.RunTrace(context.Background(), cfg, tr, topts)
 		if err != nil {
 			var inv *sim.InvariantError
 			if errors.As(err, &inv) {

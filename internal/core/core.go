@@ -239,6 +239,10 @@ type SyntheticOptions struct {
 	// Engine selects the simulation path: EngineSparse (default, optimized)
 	// or EngineDense (the bit-exact straight-line reference).
 	Engine Engine
+	// Shards, when >1, steps the network on that many parallel row-band
+	// workers (sim.Options.Shards). Bit-exact with the sequential engine,
+	// so cache keys ignore it; a wall-clock knob only.
+	Shards int
 	// Observer, when non-nil, receives cycle-level telemetry events; see
 	// internal/telemetry for the event vocabulary and ready-made observers
 	// (packet tracer, link-utilization counters, windowed metrics).
@@ -251,6 +255,9 @@ type TraceOptions struct {
 	MaxCycles int64
 	// Engine selects the simulation path (see SyntheticOptions.Engine).
 	Engine Engine
+	// Shards, when >1, steps the network on that many parallel row-band
+	// workers (see SyntheticOptions.Shards).
+	Shards int
 	// Observer, when non-nil, receives cycle-level telemetry events.
 	Observer Observer
 }
@@ -297,6 +304,7 @@ func RunSynthetic(ctx context.Context, cfg Config, opts SyntheticOptions) (Resul
 		ConvergeWindow:    opts.ConvergeWindow,
 		ConvergeTol:       opts.ConvergeTol,
 		Engine:            opts.Engine,
+		Shards:            opts.Shards,
 		Observer:          opts.Observer,
 	})
 }
@@ -317,6 +325,7 @@ func RunTrace(ctx context.Context, cfg Config, tr *Trace, opts TraceOptions) (Re
 		MaxCycles: opts.MaxCycles,
 		Context:   ctx,
 		Engine:    opts.Engine,
+		Shards:    opts.Shards,
 		Observer:  opts.Observer,
 	})
 }

@@ -97,9 +97,9 @@ func TestRouterArbitrationExhaustive(t *testing.T) {
 				if useNEx {
 					nw.nExIn[i] = mk(4, true, 'y')
 				}
-				nw.inFlight = want
+				nw.sh[0].inFlight = want
 
-				nw.delivered = nw.delivered[:0]
+				nw.sh[0].delivered = nw.sh[0].delivered[:0]
 				nw.route(c.x, c.y, 0) // panics on overcommit
 
 				// Collect placements.
@@ -123,7 +123,7 @@ func TestRouterArbitrationExhaustive(t *testing.T) {
 						}
 					}
 				}
-				for _, p := range nw.delivered {
+				for _, p := range nw.Delivered() {
 					got++
 					seen[p.ID]++
 					if p.Dst != (noc.Coord{X: c.x, Y: c.y}) {
@@ -158,7 +158,7 @@ func TestRouterArbitrationExhaustive(t *testing.T) {
 					}
 					if first.deliver {
 						found := false
-						for _, p := range nw.delivered {
+						for _, p := range nw.Delivered() {
 							if p.ID == 2 {
 								found = true
 							}

@@ -1,6 +1,7 @@
 package fasttrack
 
 import (
+	"fmt"
 	"math/bits"
 
 	"fasttrack/internal/noc"
@@ -21,6 +22,49 @@ const (
 	oSEx
 	numOuts
 )
+
+// shardCtx is the per-shard slice of the network's mutable aggregate state;
+// see the hoplite package for the full sharding rationale. sh[0] covers the
+// whole fabric until ConfigureShards splits it, so the sequential path is
+// the single-shard special case of the same routing code.
+type shardCtx struct {
+	k      int
+	lo, hi int // router index range [lo, hi)
+
+	// Masked word range of [lo, hi) for iterating the curBits occupancy set.
+	loWord, hiWord int
+	loMask, hiMask uint64
+
+	// next collects next-cycle activity marks, full fabric sized: routing
+	// and pipe shifts in this shard may wake routers across the boundary,
+	// and those marks land in the marker's own array. BeginCycle ORs every
+	// shard's next into curBits.
+	next []uint64
+
+	// pipeBits marks routers in this shard whose express pipelines hold
+	// in-flight stages — they must keep shifting even when nothing routes
+	// there. Per shard so boundary words are never shared between workers.
+	pipeBits []uint64
+
+	counters    noc.Counters
+	delivered   []noc.Packet
+	acceptedPEs []int
+	inFlight    int // per-shard delta; can go negative, the sum is real
+
+	// Sharded-pool allocation state (see alloc).
+	free   []int32
+	freed  []int32
+	cursor int32
+	limit  int32
+
+	// obs receives this shard's telemetry events during routing; now mirrors
+	// the current cycle for helpers without a now parameter (emitR).
+	obs telemetry.Observer
+	now int64
+}
+
+// mark queues router i for routing on the next Step.
+func (sh *shardCtx) mark(i int) { sh.next[i>>6] |= 1 << (uint(i) & 63) }
 
 // Network is an N×N FastTrack torus. Create with New.
 type Network struct {
@@ -47,15 +91,16 @@ type Network struct {
 	// Sparse-path link registers: each holds an index into pool (-1 when
 	// empty), so a hop moves 4 bytes instead of an 80-byte slot. Packets
 	// live in pool from injection to delivery and are mutated in place;
-	// free is the LIFO recycle list. Registers are double buffered — the R
-	// side is read (and consumed) by the current cycle while RN collects
-	// what latches for the next — so granting an output writes the
-	// downstream register directly, with no staging and no latch pass. Each
-	// link has one driver, so a register is written at most once per cycle.
+	// recycling goes through the per-shard free lists. Registers are double
+	// buffered — the R side is read (and consumed) by the current cycle
+	// while RN collects what latches for the next — so granting an output
+	// writes the downstream register directly, with no staging and no latch
+	// pass. Each link has one driver, so a register element is written at
+	// most once per cycle — which also makes the sharded step race-free at
+	// the boundary rows.
 	wShR, wExR, nShR, nExR     []int32
 	wShRN, wExRN, nShRN, nExRN []int32
 	pool                       []noc.Packet
-	free                       []int32
 
 	// Sparse express pipelines (index form of xPipe/yPipe). A pipelined
 	// express grant cannot latch downstream immediately, so it parks in
@@ -63,30 +108,29 @@ type Network struct {
 	xPipeR, yPipeR [][]int32
 	exPend, syPend []int32
 
-	offers    []slot
-	accepted  []bool
-	delivered []noc.Packet
-	inFlight  int
-	counters  noc.Counters
+	offers   []slot
+	accepted []bool
 
-	// Occupancy tracking for the sparse fast path. activeBits marks routers
-	// that must route next Step (an input was latched or an offer is
-	// pending); curBits is the double buffer the current Step iterates.
-	// pipeBits marks routers whose express pipelines hold in-flight stages —
-	// they must keep latching even when nothing routes there. acceptedPEs
-	// lists routers whose accepted flag is set, so clearing it does not
-	// touch all N² entries.
-	activeBits, curBits, pipeBits []uint64
-	acceptedPEs                   []int
+	// sh holds the per-shard state; len(sh) == 1 until ConfigureShards.
+	// shardOf maps a router index to its owning shard, nil when single.
+	sh      []shardCtx
+	shardOf []int32
+	arena   int32 // per-shard arena size when sharded
+
+	// curBits is the occupancy set the current Step iterates: routers that
+	// must route this cycle. The per-shard next arrays double-buffer it.
+	curBits []uint64
+
+	// Merged views for the sharded accessors; unused when single-shard.
+	mergedDelivered []noc.Packet
+	mergedCounters  noc.Counters
 
 	// dense selects the reference stepping path; see SetDense.
 	dense bool
 
-	// obs, when non-nil, receives telemetry events; now mirrors the current
-	// Step's cycle so helpers without a now parameter (emitR, latch) can
-	// stamp events. Every emission site is guarded by a single nil check.
+	// obs, when non-nil, receives telemetry events. Every emission site is
+	// guarded by a single nil check.
 	obs telemetry.Observer
-	now int64
 }
 
 // New builds an idle FastTrack network for the given configuration.
@@ -108,9 +152,8 @@ func New(cfg Config) (*Network, error) {
 		accepted: make([]bool, sz),
 	}
 	words := (sz + 63) / 64
-	nw.activeBits = make([]uint64, words)
 	nw.curBits = make([]uint64, words)
-	nw.pipeBits = make([]uint64, words)
+	nw.sh = nw.makeShards(1)
 	for i := range nw.outs {
 		nw.outs[i] = make([]slot, sz)
 	}
@@ -144,12 +187,106 @@ func New(cfg Config) (*Network, error) {
 	return nw, nil
 }
 
+// makeShards builds s row-band shard contexts: shard k owns rows
+// [k*n/s, (k+1)*n/s). Concatenating per-shard outputs in ascending k equals
+// a row-major scan of the whole fabric.
+func (nw *Network) makeShards(s int) []shardCtx {
+	sz := nw.n * nw.n
+	words := (sz + 63) / 64
+	sh := make([]shardCtx, s)
+	for k := 0; k < s; k++ {
+		lo := (k * nw.n / s) * nw.n
+		hi := ((k + 1) * nw.n / s) * nw.n
+		c := &sh[k]
+		c.k, c.lo, c.hi = k, lo, hi
+		c.loWord, c.hiWord = lo>>6, (hi+63)>>6
+		c.loMask = ^uint64(0) << (uint(lo) & 63)
+		c.hiMask = ^uint64(0)
+		if r := uint(hi) & 63; r != 0 {
+			c.hiMask = (uint64(1) << r) - 1
+		}
+		c.next = make([]uint64, words)
+		c.pipeBits = make([]uint64, words)
+	}
+	return sh
+}
+
+// ConfigureShards implements noc.ShardedNetwork: partition the fabric into
+// s row-band shards. s is clamped to the row count; 1 restores sequential
+// stepping. The network must be idle and on the sparse path.
+func (nw *Network) ConfigureShards(s int) (int, error) {
+	if s < 1 {
+		return 0, fmt.Errorf("fasttrack: shard count %d < 1", s)
+	}
+	if nw.dense {
+		return 0, fmt.Errorf("fasttrack: dense reference path cannot shard")
+	}
+	if nw.InFlight() != 0 {
+		return 0, fmt.Errorf("fasttrack: cannot reconfigure shards with %d packets in flight", nw.InFlight())
+	}
+	if s > nw.n {
+		s = nw.n
+	}
+	sz := nw.n * nw.n
+	nw.sh = nw.makeShards(s)
+	if s == 1 {
+		nw.shardOf = nil
+		nw.arena = 0
+		nw.pool = nil
+		return 1, nil
+	}
+	nw.shardOf = make([]int32, sz)
+	for k := range nw.sh {
+		for i := nw.sh[k].lo; i < nw.sh[k].hi; i++ {
+			nw.shardOf[i] = int32(k)
+		}
+	}
+	// Arena sizing: slots in use by one owner are bounded by the register
+	// population ((4 + 2*pipeline stages) per router) plus one cycle of
+	// fresh injections and not-yet-recycled frees, so (8+2*stages)*sz + 64
+	// per shard can never overflow. Arenas are virtual and touched lazily;
+	// the free-list-first allocator keeps the hot region compact.
+	nw.arena = int32((8+2*nw.cfg.ExpressPipeline)*sz + 64)
+	nw.pool = make([]noc.Packet, int(nw.arena)*s)
+	for k := range nw.sh {
+		nw.sh[k].cursor = int32(k) * nw.arena
+		nw.sh[k].limit = nw.sh[k].cursor + nw.arena
+	}
+	return s, nil
+}
+
+// ShardRange implements noc.ShardedNetwork.
+func (nw *Network) ShardRange(k int) (lo, hi int) { return nw.sh[k].lo, nw.sh[k].hi }
+
+// SetShardObservers implements telemetry.ShardObservable: obs[k] receives
+// the router events StepShard(k) emits. Ignored by sequential stepping.
+func (nw *Network) SetShardObservers(obs []telemetry.Observer) {
+	for k := range nw.sh {
+		if obs == nil || k >= len(obs) {
+			nw.sh[k].obs = nil
+		} else {
+			nw.sh[k].obs = obs[k]
+		}
+	}
+}
+
 // alloc places p in the packet pool and returns its index, recycling a
 // freed entry when one is available (LIFO, so the order is deterministic).
-func (nw *Network) alloc(p noc.Packet) int32 {
-	if n := len(nw.free); n > 0 {
-		r := nw.free[n-1]
-		nw.free = nw.free[:n-1]
+// Sharded instances fall back to the shard's private arena; the sequential
+// path grows the pool by append.
+func (nw *Network) alloc(sh *shardCtx, p noc.Packet) int32 {
+	if n := len(sh.free); n > 0 {
+		r := sh.free[n-1]
+		sh.free = sh.free[:n-1]
+		nw.pool[r] = p
+		return r
+	}
+	if nw.shardOf != nil {
+		if sh.cursor == sh.limit {
+			panic("fasttrack: shard arena overflow")
+		}
+		r := sh.cursor
+		sh.cursor++
 		nw.pool[r] = p
 		return r
 	}
@@ -157,10 +294,16 @@ func (nw *Network) alloc(p noc.Packet) int32 {
 	return int32(len(nw.pool) - 1)
 }
 
-// deliverIdx hands the pooled packet at r to the client and recycles r.
-func (nw *Network) deliverIdx(r int32) {
-	nw.deliver(nw.pool[r])
-	nw.free = append(nw.free, r)
+// deliverIdx hands the pooled packet at r to the client and recycles r:
+// directly onto the free list when sequential, via the freed staging list
+// (EndCycle routes it to the owning arena) when sharded.
+func (nw *Network) deliverIdx(sh *shardCtx, r int32) {
+	nw.deliver(sh, nw.pool[r])
+	if nw.shardOf != nil {
+		sh.freed = append(sh.freed, r)
+	} else {
+		sh.free = append(sh.free, r)
+	}
 }
 
 // shiftPipe advances one express-link pipeline: in enters the youngest
@@ -195,26 +338,52 @@ func (nw *Network) SetDense(d bool) { nw.dense = d }
 // attaches Options.Observer through this.
 func (nw *Network) SetObserver(o telemetry.Observer) { nw.obs = o }
 
-// markActive queues router i for routing on the next Step.
-func (nw *Network) markActive(i int) { nw.activeBits[i>>6] |= 1 << (uint(i) & 63) }
-
-// Offer presents p for injection at PE pe this cycle.
+// Offer presents p for injection at PE pe this cycle. Concurrent offers
+// are allowed for PEs owned by different shards.
 func (nw *Network) Offer(pe int, p noc.Packet) {
 	nw.offers[pe] = slot{p: p, ok: true}
-	nw.markActive(pe)
+	sh := &nw.sh[0]
+	if nw.shardOf != nil {
+		sh = &nw.sh[nw.shardOf[pe]]
+	}
+	sh.mark(pe)
 }
 
 // Accepted reports whether the offer at pe was injected in the last Step.
 func (nw *Network) Accepted(pe int) bool { return nw.accepted[pe] }
 
 // Delivered returns packets delivered in the last Step; the slice is reused.
-func (nw *Network) Delivered() []noc.Packet { return nw.delivered }
+func (nw *Network) Delivered() []noc.Packet {
+	if nw.shardOf == nil {
+		return nw.sh[0].delivered
+	}
+	return nw.mergedDelivered
+}
 
 // InFlight returns the number of packets inside the network.
-func (nw *Network) InFlight() int { return nw.inFlight }
+func (nw *Network) InFlight() int {
+	if nw.shardOf == nil {
+		return nw.sh[0].inFlight
+	}
+	t := 0
+	for k := range nw.sh {
+		t += nw.sh[k].inFlight
+	}
+	return t
+}
 
-// Counters returns the network-wide event counters.
-func (nw *Network) Counters() *noc.Counters { return &nw.counters }
+// Counters returns the network-wide event counters; sharded instances
+// merge the per-shard counters on each call.
+func (nw *Network) Counters() *noc.Counters {
+	if nw.shardOf == nil {
+		return &nw.sh[0].counters
+	}
+	nw.mergedCounters = noc.Counters{}
+	for k := range nw.sh {
+		nw.mergedCounters.Add(&nw.sh[k].counters)
+	}
+	return &nw.mergedCounters
+}
 
 // Step advances the network one clock cycle. Only routers holding an
 // in-flight input, a pending offer, or an occupied express-pipeline stage
@@ -227,25 +396,37 @@ func (nw *Network) Step(now int64) {
 		nw.stepDense(now)
 		return
 	}
-	nw.now = now
-	nw.delivered = nw.delivered[:0]
-	for _, pe := range nw.acceptedPEs {
+	if nw.shardOf != nil {
+		// A sharded instance driven through the sequential entry point runs
+		// the same three-phase protocol on one goroutine.
+		nw.BeginCycle(now)
+		for k := range nw.sh {
+			nw.StepShard(k, now)
+		}
+		nw.EndCycle(now)
+		return
+	}
+	s0 := &nw.sh[0]
+	s0.now = now
+	s0.obs = nw.obs
+	s0.delivered = s0.delivered[:0]
+	for _, pe := range s0.acceptedPEs {
 		nw.accepted[pe] = false
 	}
-	nw.acceptedPEs = nw.acceptedPEs[:0]
+	s0.acceptedPEs = s0.acceptedPEs[:0]
 
 	// Swap the active set: the fused latch below (and Offer calls before
-	// the next Step) accumulate the next cycle's set in activeBits.
-	nw.curBits, nw.activeBits = nw.activeBits, nw.curBits
-	for w := range nw.activeBits {
-		nw.activeBits[w] = 0
+	// the next Step) accumulate the next cycle's set in s0.next.
+	nw.curBits, s0.next = s0.next, nw.curBits
+	for w := range s0.next {
+		s0.next[w] = 0
 	}
 
 	for wd, b := range nw.curBits {
 		for b != 0 {
 			i := wd<<6 + bits.TrailingZeros64(b)
 			b &= b - 1
-			nw.routeSparse(i, i%nw.n, i/nw.n, now)
+			nw.routeSparse(s0, i, i%nw.n, i/nw.n, now)
 		}
 	}
 
@@ -254,11 +435,11 @@ func (nw *Network) Step(now int64) {
 	// stages must keep shifting even when nothing routed there.
 	if nw.xPipeR != nil {
 		for wd := range nw.curBits {
-			b := nw.curBits[wd] | nw.pipeBits[wd]
+			b := nw.curBits[wd] | s0.pipeBits[wd]
 			for b != 0 {
 				i := wd<<6 + bits.TrailingZeros64(b)
 				b &= b - 1
-				nw.pipeStep(i)
+				nw.pipeStep(s0, i)
 			}
 		}
 	}
@@ -266,6 +447,96 @@ func (nw *Network) Step(now int64) {
 	// Latch: the next-cycle registers become the current registers. The
 	// consumed buffers are all -1 again (inputs are cleared as they are
 	// read), so they can serve as next cycle's write side.
+	nw.swapRegs()
+}
+
+// BeginCycle implements noc.ShardedNetwork: publish every shard's pending
+// activity marks into the cycle's working set. Coordinator only.
+func (nw *Network) BeginCycle(now int64) {
+	for w := range nw.curBits {
+		nw.curBits[w] = 0
+	}
+	for k := range nw.sh {
+		next := nw.sh[k].next
+		for w, b := range next {
+			if b != 0 {
+				nw.curBits[w] |= b
+				next[w] = 0
+			}
+		}
+	}
+}
+
+// StepShard implements noc.ShardedNetwork: route the occupied routers in
+// shard k's range, then shift that range's express pipelines. Calls for
+// distinct k may run concurrently — all writes go to shard-private state or
+// to link-register elements this shard is the unique driver of.
+func (nw *Network) StepShard(k int, now int64) {
+	sh := &nw.sh[k]
+	sh.now = now
+	sh.delivered = sh.delivered[:0]
+	for _, pe := range sh.acceptedPEs {
+		nw.accepted[pe] = false
+	}
+	sh.acceptedPEs = sh.acceptedPEs[:0]
+
+	for wd := sh.loWord; wd < sh.hiWord; wd++ {
+		b := nw.curBits[wd]
+		if wd == sh.loWord {
+			b &= sh.loMask
+		}
+		if wd == sh.hiWord-1 {
+			b &= sh.hiMask
+		}
+		for b != 0 {
+			i := wd<<6 + bits.TrailingZeros64(b)
+			b &= b - 1
+			nw.routeSparse(sh, i, i%nw.n, i/nw.n, now)
+		}
+	}
+
+	if nw.xPipeR != nil {
+		for wd := sh.loWord; wd < sh.hiWord; wd++ {
+			b := nw.curBits[wd] | sh.pipeBits[wd]
+			if wd == sh.loWord {
+				b &= sh.loMask
+			}
+			if wd == sh.hiWord-1 {
+				b &= sh.hiMask
+			}
+			for b != 0 {
+				i := wd<<6 + bits.TrailingZeros64(b)
+				b &= b - 1
+				nw.pipeStep(sh, i)
+			}
+		}
+	}
+}
+
+// EndCycle implements noc.ShardedNetwork: latch the link registers, merge
+// per-shard deliveries in ascending shard order (= the sequential delivery
+// order), and route recycled pool slots back to their owning arenas.
+// Coordinator only.
+func (nw *Network) EndCycle(now int64) {
+	nw.swapRegs()
+
+	merged := nw.mergedDelivered[:0]
+	for k := range nw.sh {
+		merged = append(merged, nw.sh[k].delivered...)
+	}
+	nw.mergedDelivered = merged
+
+	for k := range nw.sh {
+		sh := &nw.sh[k]
+		for _, r := range sh.freed {
+			owner := &nw.sh[r/nw.arena]
+			owner.free = append(owner.free, r)
+		}
+		sh.freed = sh.freed[:0]
+	}
+}
+
+func (nw *Network) swapRegs() {
 	nw.wShR, nw.wShRN = nw.wShRN, nw.wShR
 	nw.wExR, nw.wExRN = nw.wExRN, nw.wExR
 	nw.nShR, nw.nShRN = nw.nShRN, nw.nShR
@@ -282,8 +553,11 @@ func shiftPipeR(pipe []int32, in int32) (out int32) {
 }
 
 // pipeStep shifts router i's express pipelines one stage and latches any
-// popped packet onto the downstream express input.
-func (nw *Network) pipeStep(i int) {
+// popped packet onto the downstream express input. Router i always belongs
+// to sh, so the pipe occupancy bit lands in the shard's own array; the
+// downstream latch may cross the boundary, which is race-free because this
+// router is the express link's only driver.
+func (nw *Network) pipeStep(sh *shardCtx, i int) {
 	n, d := nw.n, nw.cfg.Topology.D
 	x, y := i%n, i/n
 	ex := shiftPipeR(nw.xPipeR[i], nw.exPend[i])
@@ -306,30 +580,32 @@ func (nw *Network) pipeStep(i int) {
 		}
 	}
 	if occupied {
-		nw.pipeBits[i>>6] |= 1 << (uint(i) & 63)
+		sh.pipeBits[i>>6] |= 1 << (uint(i) & 63)
 	} else {
-		nw.pipeBits[i>>6] &^= 1 << (uint(i) & 63)
+		sh.pipeBits[i>>6] &^= 1 << (uint(i) & 63)
 	}
 	if ex >= 0 {
 		j := y*n + (x+d)%n
 		nw.wExRN[j] = ex
-		nw.markActive(j)
+		sh.mark(j)
 	}
 	if sy >= 0 {
 		j := ((y+d)%n)*n + x
 		nw.nExRN[j] = sy
-		nw.markActive(j)
+		sh.mark(j)
 	}
 }
 
 // stepDense is the reference path: clear all staging, route all routers,
 // latch all links.
 func (nw *Network) stepDense(now int64) {
-	nw.now = now
-	nw.delivered = nw.delivered[:0]
-	nw.acceptedPEs = nw.acceptedPEs[:0]
-	for w := range nw.activeBits {
-		nw.activeBits[w] = 0
+	s0 := &nw.sh[0]
+	s0.now = now
+	s0.obs = nw.obs
+	s0.delivered = s0.delivered[:0]
+	s0.acceptedPEs = s0.acceptedPEs[:0]
+	for w := range s0.next {
+		s0.next[w] = 0
 	}
 	for o := range nw.outs {
 		outs := nw.outs[o]
@@ -344,22 +620,23 @@ func (nw *Network) stepDense(now int64) {
 		}
 	}
 
-	nw.latch()
+	nw.latch(now)
 }
 
 // latch moves output staging onto the downstream input registers. Short
 // links connect adjacent routers; express links connect routers D apart and
 // are traversed in a single cycle — the FastTrack premise.
-func (nw *Network) latch() {
+func (nw *Network) latch(now int64) {
+	s0 := &nw.sh[0]
 	n, d := nw.n, nw.cfg.Topology.D
 	for y := 0; y < n; y++ {
 		for x := 0; x < n; x++ {
 			i := y*n + x
 			if s := nw.outs[oESh][i]; s.ok {
 				s.p.ShortHops++
-				nw.counters.ShortTraversals++
+				s0.counters.ShortTraversals++
 				if nw.obs != nil {
-					nw.obs.OnHop(nw.now, i, noc.PortESh, &s.p)
+					nw.obs.OnHop(now, i, noc.PortESh, &s.p)
 				}
 				nw.wShIn[y*n+(x+1)%n] = s
 			} else {
@@ -367,9 +644,9 @@ func (nw *Network) latch() {
 			}
 			if s := nw.outs[oSSh][i]; s.ok {
 				s.p.ShortHops++
-				nw.counters.ShortTraversals++
+				s0.counters.ShortTraversals++
 				if nw.obs != nil {
-					nw.obs.OnHop(nw.now, i, noc.PortSSh, &s.p)
+					nw.obs.OnHop(now, i, noc.PortSSh, &s.p)
 				}
 				nw.nShIn[((y+1)%n)*n+x] = s
 			} else {
@@ -378,9 +655,9 @@ func (nw *Network) latch() {
 			ex := nw.outs[oEEx][i]
 			if ex.ok {
 				ex.p.ExpressHops++
-				nw.counters.ExpressTraversals++
+				s0.counters.ExpressTraversals++
 				if nw.obs != nil {
-					nw.obs.OnExpressHop(nw.now, i, noc.PortEEx, &ex.p)
+					nw.obs.OnExpressHop(now, i, noc.PortEEx, &ex.p)
 				}
 			}
 			if nw.xPipe != nil {
@@ -391,9 +668,9 @@ func (nw *Network) latch() {
 			sy := nw.outs[oSEx][i]
 			if sy.ok {
 				sy.p.ExpressHops++
-				nw.counters.ExpressTraversals++
+				s0.counters.ExpressTraversals++
 				if nw.obs != nil {
-					nw.obs.OnExpressHop(nw.now, i, noc.PortSEx, &sy.p)
+					nw.obs.OnExpressHop(now, i, noc.PortSEx, &sy.p)
 				}
 			}
 			if nw.yPipe != nil {
@@ -404,8 +681,8 @@ func (nw *Network) latch() {
 	}
 }
 
-func (nw *Network) deliver(p noc.Packet) {
-	nw.inFlight--
-	nw.counters.Delivered++
-	nw.delivered = append(nw.delivered, p)
+func (nw *Network) deliver(sh *shardCtx, p noc.Packet) {
+	sh.inFlight--
+	sh.counters.Delivered++
+	sh.delivered = append(sh.delivered, p)
 }

@@ -79,6 +79,7 @@ func (nw *Network) route(x, y int, now int64) {
 // the priority discipline plus the recoverable emergency tails make the
 // assignment total, so running out of ports is a router bug and panics.
 func (nw *Network) place(a *arb, i int, port noc.Port, p noc.Packet, x, y int) {
+	s0 := &nw.sh[0]
 	pr := nw.prefsFor(port, p.Dst, x, y)
 	for k := 0; k < pr.n; k++ {
 		c := pr.c[k]
@@ -87,19 +88,19 @@ func (nw *Network) place(a *arb, i int, port noc.Port, p noc.Packet, x, y int) {
 		}
 		a.taken[c.out] = true
 		if c.misroute {
-			nw.counters.MisroutesByInput[port]++
+			s0.counters.MisroutesByInput[port]++
 			p.Deflections++
 			if nw.obs != nil {
-				nw.obs.OnDeflect(nw.now, i, port, &p)
+				nw.obs.OnDeflect(s0.now, i, port, &p)
 			}
 		} else if k > 0 {
-			nw.counters.ExpressDeniedByInput[port]++
+			s0.counters.ExpressDeniedByInput[port]++
 			if nw.obs != nil {
-				nw.obs.OnExpressDenied(nw.now, i, port, &p)
+				nw.obs.OnExpressDenied(s0.now, i, port, &p)
 			}
 		}
 		if c.deliver {
-			nw.deliver(p)
+			nw.deliver(s0, p)
 		} else {
 			nw.outs[c.out][i] = slot{p: p, ok: true}
 		}
@@ -290,6 +291,7 @@ func (nw *Network) prefsFor(port noc.Port, dst noc.Coord, x, y int) prefs {
 // first-hop port is busy the client stalls and retries (§IV-C: the PE port
 // has the lowest priority because in-flight packets cannot wait).
 func (nw *Network) injectAt(a *arb, i, x, y int, now int64) {
+	s0 := &nw.sh[0]
 	nw.accepted[i] = false
 	off := &nw.offers[i]
 	if !off.ok {
@@ -344,30 +346,30 @@ func (nw *Network) injectAt(a *arb, i, x, y int, now int64) {
 		}
 		a.taken[c.out] = true
 		if k > 0 {
-			nw.counters.ExpressDeniedByInput[noc.PortPE]++
+			s0.counters.ExpressDeniedByInput[noc.PortPE]++
 			if nw.obs != nil {
 				nw.obs.OnExpressDenied(now, i, noc.PortPE, &p)
 			}
 		}
 		p.Inject = now
-		nw.inFlight++
+		s0.inFlight++
 		nw.accepted[i] = true
-		nw.acceptedPEs = append(nw.acceptedPEs, i)
+		s0.acceptedPEs = append(s0.acceptedPEs, i)
 		if c.deliver {
-			nw.deliver(p)
+			nw.deliver(s0, p)
 		} else {
 			nw.outs[c.out][i] = slot{p: p, ok: true}
 		}
 		return
 	}
-	nw.counters.InjectionStalls++
+	s0.counters.InjectionStalls++
 }
 
 // routeSparse is the fast-path arbiter: identical decisions to route, but
 // over pool indices — staying on a ring moves an int32 instead of copying
 // an 80-byte slot — and with the latch fused in: granting an output writes
 // the downstream next-cycle register directly (emitR).
-func (nw *Network) routeSparse(i, x, y int, now int64) {
+func (nw *Network) routeSparse(sh *shardCtx, i, x, y int, now int64) {
 	t := nw.cfg.Topology
 	a := arb{exists: [numOuts]bool{
 		oESh: true,
@@ -380,25 +382,25 @@ func (nw *Network) routeSparse(i, x, y int, now int64) {
 	// replay stale packets when it reactivates) as they are read.
 	if r := nw.wExR[i]; r >= 0 {
 		nw.wExR[i] = -1
-		nw.placeR(&a, i, noc.PortWEx, r, x, y)
+		nw.placeR(sh, &a, i, noc.PortWEx, r, x, y)
 	}
 	if r := nw.nExR[i]; r >= 0 {
 		nw.nExR[i] = -1
-		nw.placeR(&a, i, noc.PortNEx, r, x, y)
+		nw.placeR(sh, &a, i, noc.PortNEx, r, x, y)
 	}
 	if r := nw.wShR[i]; r >= 0 {
 		nw.wShR[i] = -1
-		nw.placeR(&a, i, noc.PortWSh, r, x, y)
+		nw.placeR(sh, &a, i, noc.PortWSh, r, x, y)
 	}
 	if r := nw.nShR[i]; r >= 0 {
 		nw.nShR[i] = -1
-		nw.placeR(&a, i, noc.PortNSh, r, x, y)
+		nw.placeR(sh, &a, i, noc.PortNSh, r, x, y)
 	}
-	nw.injectAtR(&a, i, x, y, now)
+	nw.injectAtR(sh, &a, i, x, y, now)
 }
 
 // placeR is place over a pool index.
-func (nw *Network) placeR(a *arb, i int, port noc.Port, r int32, x, y int) {
+func (nw *Network) placeR(sh *shardCtx, a *arb, i int, port noc.Port, r int32, x, y int) {
 	p := &nw.pool[r]
 	pr := nw.prefsFor(port, p.Dst, x, y)
 	for k := 0; k < pr.n; k++ {
@@ -408,21 +410,21 @@ func (nw *Network) placeR(a *arb, i int, port noc.Port, r int32, x, y int) {
 		}
 		a.taken[c.out] = true
 		if c.misroute {
-			nw.counters.MisroutesByInput[port]++
+			sh.counters.MisroutesByInput[port]++
 			p.Deflections++
-			if nw.obs != nil {
-				nw.obs.OnDeflect(nw.now, i, port, p)
+			if sh.obs != nil {
+				sh.obs.OnDeflect(sh.now, i, port, p)
 			}
 		} else if k > 0 {
-			nw.counters.ExpressDeniedByInput[port]++
-			if nw.obs != nil {
-				nw.obs.OnExpressDenied(nw.now, i, port, p)
+			sh.counters.ExpressDeniedByInput[port]++
+			if sh.obs != nil {
+				sh.obs.OnExpressDenied(sh.now, i, port, p)
 			}
 		}
 		if c.deliver {
-			nw.deliverIdx(r)
+			nw.deliverIdx(sh, r)
 		} else {
-			nw.emitR(c.out, r, i, x, y)
+			nw.emitR(sh, c.out, r, i, x, y)
 		}
 		return
 	}
@@ -434,52 +436,52 @@ func (nw *Network) placeR(a *arb, i int, port noc.Port, r int32, x, y int) {
 // The hop accounting the dense path does in its latch pass happens here, at
 // grant time — totals and per-packet values at delivery are identical. A
 // pipelined express grant parks in exPend/syPend for the pipe pass instead.
-func (nw *Network) emitR(out uint8, r int32, i, x, y int) {
+func (nw *Network) emitR(sh *shardCtx, out uint8, r int32, i, x, y int) {
 	n, d := nw.n, nw.cfg.Topology.D
 	switch out {
 	case oESh:
 		nw.pool[r].ShortHops++
-		nw.counters.ShortTraversals++
-		if nw.obs != nil {
-			nw.obs.OnHop(nw.now, i, noc.PortESh, &nw.pool[r])
+		sh.counters.ShortTraversals++
+		if sh.obs != nil {
+			sh.obs.OnHop(sh.now, i, noc.PortESh, &nw.pool[r])
 		}
 		j := y*n + (x+1)%n
 		nw.wShRN[j] = r
-		nw.markActive(j)
+		sh.mark(j)
 	case oSSh:
 		nw.pool[r].ShortHops++
-		nw.counters.ShortTraversals++
-		if nw.obs != nil {
-			nw.obs.OnHop(nw.now, i, noc.PortSSh, &nw.pool[r])
+		sh.counters.ShortTraversals++
+		if sh.obs != nil {
+			sh.obs.OnHop(sh.now, i, noc.PortSSh, &nw.pool[r])
 		}
 		j := ((y+1)%n)*n + x
 		nw.nShRN[j] = r
-		nw.markActive(j)
+		sh.mark(j)
 	case oEEx:
 		nw.pool[r].ExpressHops++
-		nw.counters.ExpressTraversals++
-		if nw.obs != nil {
-			nw.obs.OnExpressHop(nw.now, i, noc.PortEEx, &nw.pool[r])
+		sh.counters.ExpressTraversals++
+		if sh.obs != nil {
+			sh.obs.OnExpressHop(sh.now, i, noc.PortEEx, &nw.pool[r])
 		}
 		if nw.xPipeR != nil {
 			nw.exPend[i] = r
 		} else {
 			j := y*n + (x+d)%n
 			nw.wExRN[j] = r
-			nw.markActive(j)
+			sh.mark(j)
 		}
 	case oSEx:
 		nw.pool[r].ExpressHops++
-		nw.counters.ExpressTraversals++
-		if nw.obs != nil {
-			nw.obs.OnExpressHop(nw.now, i, noc.PortSEx, &nw.pool[r])
+		sh.counters.ExpressTraversals++
+		if sh.obs != nil {
+			sh.obs.OnExpressHop(sh.now, i, noc.PortSEx, &nw.pool[r])
 		}
 		if nw.yPipeR != nil {
 			nw.syPend[i] = r
 		} else {
 			j := ((y+d)%n)*n + x
 			nw.nExRN[j] = r
-			nw.markActive(j)
+			sh.mark(j)
 		}
 	}
 }
@@ -487,7 +489,7 @@ func (nw *Network) emitR(out uint8, r int32, i, x, y int) {
 // injectAtR is injectAt over the pool: the offered packet is copied into
 // the pool only when an output is granted. accepted[i] is already false
 // here — Step cleared every flag set last cycle via acceptedPEs.
-func (nw *Network) injectAtR(a *arb, i, x, y int, now int64) {
+func (nw *Network) injectAtR(sh *shardCtx, a *arb, i, x, y int, now int64) {
 	off := &nw.offers[i]
 	if !off.ok {
 		return
@@ -537,24 +539,24 @@ func (nw *Network) injectAtR(a *arb, i, x, y int, now int64) {
 		}
 		a.taken[c.out] = true
 		if k > 0 {
-			nw.counters.ExpressDeniedByInput[noc.PortPE]++
-			if nw.obs != nil {
-				nw.obs.OnExpressDenied(now, i, noc.PortPE, &off.p)
+			sh.counters.ExpressDeniedByInput[noc.PortPE]++
+			if sh.obs != nil {
+				sh.obs.OnExpressDenied(now, i, noc.PortPE, &off.p)
 			}
 		}
-		nw.inFlight++
+		sh.inFlight++
 		nw.accepted[i] = true
-		nw.acceptedPEs = append(nw.acceptedPEs, i)
+		sh.acceptedPEs = append(sh.acceptedPEs, i)
 		if c.deliver {
 			p := off.p
 			p.Inject = now
-			nw.deliver(p)
+			nw.deliver(sh, p)
 		} else {
-			r := nw.alloc(off.p)
+			r := nw.alloc(sh, off.p)
 			nw.pool[r].Inject = now
-			nw.emitR(c.out, r, i, x, y)
+			nw.emitR(sh, c.out, r, i, x, y)
 		}
 		return
 	}
-	nw.counters.InjectionStalls++
+	sh.counters.InjectionStalls++
 }

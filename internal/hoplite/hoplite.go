@@ -30,6 +30,53 @@ type slot struct {
 	ok bool
 }
 
+// shardCtx is the per-shard slice of the network's mutable aggregate state.
+// The sequential engine is the single-shard special case — sh[0] covers the
+// whole fabric — so both paths execute the same routing code. When the
+// fabric is sharded (ConfigureShards), each StepShard worker touches only
+// its own shardCtx plus link-register elements it is the unique driver of,
+// which keeps the parallel step free of shared mutable words.
+type shardCtx struct {
+	k      int
+	lo, hi int // router index range [lo, hi)
+
+	// Masked word range of [lo, hi) for iterating the curBits occupancy set.
+	loWord, hiWord int
+	loMask, hiMask uint64
+
+	// next collects activity marks for the following cycle. It is full
+	// fabric sized: routing in this shard may wake routers across the shard
+	// boundary, and those marks land here (the marker's own array) rather
+	// than in the target shard's, so no two workers ever share a word.
+	// BeginCycle ORs every shard's next into curBits.
+	next []uint64
+
+	counters    noc.Counters
+	delivered   []noc.Packet
+	acceptedPEs []int
+	inFlight    int // per-shard delta; can go negative, the sum is real
+
+	// Sharded-pool allocation state: the shard allocates from its arena
+	// [cursor, limit) when its free list is empty. freed collects slots
+	// recycled this cycle; EndCycle routes each back to the arena owner's
+	// free list. The single-shard path uses free directly and grows the
+	// pool by append instead of from an arena.
+	free   []int32
+	freed  []int32
+	cursor int32
+	limit  int32
+
+	// obs receives this shard's telemetry events during routing; now mirrors
+	// the current cycle so forwarding helpers without a now parameter can
+	// stamp events. Sequentially this aliases the network observer; sharded
+	// stepping installs per-shard buffers via SetShardObservers.
+	obs telemetry.Observer
+	now int64
+}
+
+// mark queues router i for routing on the next Step.
+func (sh *shardCtx) mark(i int) { sh.next[i>>6] |= 1 << (uint(i) & 63) }
+
 // Network is a W×H Hoplite torus. Create with New; the zero value is not
 // usable.
 type Network struct {
@@ -46,42 +93,44 @@ type Network struct {
 	// Sparse-path link registers: each register holds an index into pool
 	// (-1 when empty) so a hop moves 4 bytes instead of an 80-byte slot.
 	// Packets live in pool from injection to delivery and are mutated in
-	// place; free is the LIFO recycle list. The registers are double
-	// buffered — wInR/nInR are read (and consumed) by the current cycle
-	// while wInRN/nInRN collect what latches for the next cycle, so routing
-	// writes downstream registers directly with no staging arrays and no
-	// separate latch pass. Each link has exactly one driver, so a register
-	// is written at most once per cycle. Only one representation is ever in
-	// use per network instance — SetDense selects before the first Step.
+	// place; recycling goes through the per-shard free lists. The registers
+	// are double buffered — wInR/nInR are read (and consumed) by the current
+	// cycle while wInRN/nInRN collect what latches for the next cycle, so
+	// routing writes downstream registers directly with no staging arrays
+	// and no separate latch pass. Each link has exactly one driver, so a
+	// register element is written at most once per cycle — which is also
+	// what makes the sharded step race-free at the boundary rows. Only one
+	// representation is ever in use per network instance — SetDense selects
+	// before the first Step.
 	wInR, nInR   []int32
 	wInRN, nInRN []int32
 	pool         []noc.Packet
-	free         []int32
 
-	offers    []slot
-	accepted  []bool
-	delivered []noc.Packet
-	inFlight  int
-	counters  noc.Counters
+	offers   []slot
+	accepted []bool
 
-	// Occupancy tracking for the sparse fast path. activeBits marks routers
-	// that must route next Step — a packet was latched onto one of their
-	// inputs, or a client offer is pending. curBits is the double buffer the
-	// current Step iterates while latching marks the next cycle's set.
-	// acceptedPEs lists the routers whose accepted flag is set, so clearing
-	// it does not touch all N² entries.
-	activeBits, curBits []uint64
-	acceptedPEs         []int
+	// sh holds the per-shard state; len(sh) == 1 until ConfigureShards.
+	// shardOf maps a router index to its owning shard, nil when single.
+	sh      []shardCtx
+	shardOf []int32
+	arena   int32 // per-shard arena size when sharded
+
+	// curBits is the occupancy set the current Step iterates: routers that
+	// must route — a packet was latched onto one of their inputs, or a
+	// client offer is pending. The per-shard next arrays double-buffer it.
+	curBits []uint64
+
+	// Merged views for the sharded accessors; unused when single-shard.
+	mergedDelivered []noc.Packet
+	mergedCounters  noc.Counters
 
 	// dense selects the reference stepping path that clears and routes
 	// every router every cycle; see SetDense.
 	dense bool
 
-	// obs, when non-nil, receives telemetry events; now mirrors the current
-	// Step's cycle so forwarding helpers without a now parameter can stamp
-	// events. Every emission site is guarded by a single nil check.
+	// obs, when non-nil, receives telemetry events. Every emission site is
+	// guarded by a single nil check.
 	obs telemetry.Observer
-	now int64
 
 	// exitGate, when non-nil, is consulted before delivering at PE pe; a
 	// false return blocks the exit for this cycle and the packet deflects.
@@ -96,6 +145,18 @@ func (nw *Network) SetExitGate(gate func(pe int) bool) { nw.exitGate = gate }
 // SetObserver attaches a telemetry observer (nil detaches); see the obs
 // field. sim.Run attaches Options.Observer through this.
 func (nw *Network) SetObserver(o telemetry.Observer) { nw.obs = o }
+
+// SetShardObservers implements telemetry.ShardObservable: obs[k] receives
+// the router events StepShard(k) emits. Ignored by sequential stepping.
+func (nw *Network) SetShardObservers(obs []telemetry.Observer) {
+	for k := range nw.sh {
+		if obs == nil || k >= len(obs) {
+			nw.sh[k].obs = nil
+		} else {
+			nw.sh[k].obs = obs[k]
+		}
+	}
+}
 
 func (nw *Network) canExit(pe int) bool { return nw.exitGate == nil || nw.exitGate(pe) }
 
@@ -113,24 +174,111 @@ func New(w, h int) (*Network, error) {
 		eOut: make([]slot, n), sOut: make([]slot, n),
 		wInR: make([]int32, n), nInR: make([]int32, n),
 		wInRN: make([]int32, n), nInRN: make([]int32, n),
-		offers:     make([]slot, n),
-		accepted:   make([]bool, n),
-		activeBits: make([]uint64, words),
-		curBits:    make([]uint64, words),
+		offers:   make([]slot, n),
+		accepted: make([]bool, n),
+		curBits:  make([]uint64, words),
 	}
 	for i := 0; i < n; i++ {
 		nw.wInR[i], nw.nInR[i] = -1, -1
 		nw.wInRN[i], nw.nInRN[i] = -1, -1
 	}
+	nw.sh = makeShards(1, w, h)
 	return nw, nil
 }
 
+// makeShards builds s row-band shard contexts over a w×h fabric: shard k
+// owns rows [k*h/s, (k+1)*h/s), i.e. the contiguous router range
+// [row*w, endRow*w). Concatenating the shards' outputs in ascending k is
+// therefore identical to a row-major scan of the whole fabric.
+func makeShards(s, w, h int) []shardCtx {
+	n := w * h
+	words := (n + 63) / 64
+	sh := make([]shardCtx, s)
+	for k := 0; k < s; k++ {
+		lo := (k * h / s) * w
+		hi := ((k + 1) * h / s) * w
+		c := &sh[k]
+		c.k, c.lo, c.hi = k, lo, hi
+		c.loWord, c.hiWord = lo>>6, (hi+63)>>6
+		c.loMask = ^uint64(0) << (uint(lo) & 63)
+		c.hiMask = ^uint64(0)
+		if r := uint(hi) & 63; r != 0 {
+			c.hiMask = (uint64(1) << r) - 1
+		}
+		c.next = make([]uint64, words)
+	}
+	return sh
+}
+
+// ConfigureShards implements noc.ShardedNetwork: partition the fabric into
+// s row-band shards. s is clamped to the row count; 1 restores sequential
+// stepping. The network must be idle (configure before the first Step); the
+// dense reference path and exit-gated (multi-channel) instances cannot
+// shard.
+func (nw *Network) ConfigureShards(s int) (int, error) {
+	if s < 1 {
+		return 0, fmt.Errorf("hoplite: shard count %d < 1", s)
+	}
+	if nw.dense {
+		return 0, fmt.Errorf("hoplite: dense reference path cannot shard")
+	}
+	if nw.exitGate != nil {
+		return 0, fmt.Errorf("hoplite: exit-gated (multi-channel) network cannot shard")
+	}
+	if nw.InFlight() != 0 {
+		return 0, fmt.Errorf("hoplite: cannot reconfigure shards with %d packets in flight", nw.InFlight())
+	}
+	if s > nw.h {
+		s = nw.h
+	}
+	n := nw.w * nw.h
+	nw.sh = makeShards(s, nw.w, nw.h)
+	if s == 1 {
+		nw.shardOf = nil
+		nw.arena = 0
+		nw.pool = nil
+		return 1, nil
+	}
+	nw.shardOf = make([]int32, n)
+	for k := range nw.sh {
+		for i := nw.sh[k].lo; i < nw.sh[k].hi; i++ {
+			nw.shardOf[i] = int32(k)
+		}
+	}
+	// Arena sizing: at any instant the slots in use by one owner are
+	// bounded by the fabric's register population (2n) plus one cycle of
+	// fresh injections and not-yet-recycled frees (≤ n), so 3n+64 per shard
+	// can never overflow. The arenas are allocated virtually and touched
+	// lazily — the free-list-first allocator keeps the hot region compact.
+	nw.arena = int32(3*n + 64)
+	nw.pool = make([]noc.Packet, int(nw.arena)*s)
+	for k := range nw.sh {
+		nw.sh[k].cursor = int32(k) * nw.arena
+		nw.sh[k].limit = nw.sh[k].cursor + nw.arena
+	}
+	return s, nil
+}
+
+// ShardRange implements noc.ShardedNetwork.
+func (nw *Network) ShardRange(k int) (lo, hi int) { return nw.sh[k].lo, nw.sh[k].hi }
+
 // alloc places p in the packet pool and returns its index, recycling a
 // freed entry when one is available (LIFO, so the order is deterministic).
-func (nw *Network) alloc(p noc.Packet) int32 {
-	if n := len(nw.free); n > 0 {
-		r := nw.free[n-1]
-		nw.free = nw.free[:n-1]
+// Sharded instances fall back to the shard's private arena; the sequential
+// path grows the pool by append.
+func (nw *Network) alloc(sh *shardCtx, p noc.Packet) int32 {
+	if n := len(sh.free); n > 0 {
+		r := sh.free[n-1]
+		sh.free = sh.free[:n-1]
+		nw.pool[r] = p
+		return r
+	}
+	if nw.shardOf != nil {
+		if sh.cursor == sh.limit {
+			panic("hoplite: shard arena overflow")
+		}
+		r := sh.cursor
+		sh.cursor++
 		nw.pool[r] = p
 		return r
 	}
@@ -145,9 +293,6 @@ func (nw *Network) alloc(p noc.Packet) int32 {
 // benchmarking the sparse path's speedup. Select before the first Step.
 func (nw *Network) SetDense(d bool) { nw.dense = d }
 
-// markActive queues router i for routing on the next Step.
-func (nw *Network) markActive(i int) { nw.activeBits[i>>6] |= 1 << (uint(i) & 63) }
-
 // Width returns the number of router columns.
 func (nw *Network) Width() int { return nw.w }
 
@@ -157,23 +302,54 @@ func (nw *Network) Height() int { return nw.h }
 // NumPEs returns the client count.
 func (nw *Network) NumPEs() int { return nw.w * nw.h }
 
-// Offer presents p for injection at PE pe this cycle.
+// Offer presents p for injection at PE pe this cycle. Concurrent offers are
+// allowed for PEs owned by different shards: the activity mark lands in the
+// owning shard's next array and the offer slot itself is per-PE.
 func (nw *Network) Offer(pe int, p noc.Packet) {
 	nw.offers[pe] = slot{p: p, ok: true}
-	nw.markActive(pe)
+	sh := &nw.sh[0]
+	if nw.shardOf != nil {
+		sh = &nw.sh[nw.shardOf[pe]]
+	}
+	sh.mark(pe)
 }
 
 // Accepted reports whether the offer at pe was injected in the last Step.
 func (nw *Network) Accepted(pe int) bool { return nw.accepted[pe] }
 
 // Delivered returns packets delivered in the last Step; the slice is reused.
-func (nw *Network) Delivered() []noc.Packet { return nw.delivered }
+func (nw *Network) Delivered() []noc.Packet {
+	if nw.shardOf == nil {
+		return nw.sh[0].delivered
+	}
+	return nw.mergedDelivered
+}
 
 // InFlight returns the number of packets inside the network.
-func (nw *Network) InFlight() int { return nw.inFlight }
+func (nw *Network) InFlight() int {
+	if nw.shardOf == nil {
+		return nw.sh[0].inFlight
+	}
+	t := 0
+	for k := range nw.sh {
+		t += nw.sh[k].inFlight
+	}
+	return t
+}
 
-// Counters returns the network-wide event counters.
-func (nw *Network) Counters() *noc.Counters { return &nw.counters }
+// Counters returns the network-wide event counters. Sharded instances
+// merge the per-shard counters on each call; the merge is pure integer
+// addition, so the totals are identical to sequential stepping.
+func (nw *Network) Counters() *noc.Counters {
+	if nw.shardOf == nil {
+		return &nw.sh[0].counters
+	}
+	nw.mergedCounters = noc.Counters{}
+	for k := range nw.sh {
+		nw.mergedCounters.Add(&nw.sh[k].counters)
+	}
+	return &nw.mergedCounters
+}
 
 // Step advances the network one cycle: every occupied router routes its
 // inputs, then the links latch. Only routers holding an in-flight input or
@@ -186,25 +362,37 @@ func (nw *Network) Step(now int64) {
 		nw.stepDense(now)
 		return
 	}
-	nw.now = now
-	nw.delivered = nw.delivered[:0]
-	for _, pe := range nw.acceptedPEs {
+	if nw.shardOf != nil {
+		// A sharded instance driven through the sequential entry point runs
+		// the same three-phase protocol on one goroutine.
+		nw.BeginCycle(now)
+		for k := range nw.sh {
+			nw.StepShard(k, now)
+		}
+		nw.EndCycle(now)
+		return
+	}
+	s0 := &nw.sh[0]
+	s0.now = now
+	s0.obs = nw.obs
+	s0.delivered = s0.delivered[:0]
+	for _, pe := range s0.acceptedPEs {
 		nw.accepted[pe] = false
 	}
-	nw.acceptedPEs = nw.acceptedPEs[:0]
+	s0.acceptedPEs = s0.acceptedPEs[:0]
 
 	// Swap the active set: latching below (and Offer calls before the next
-	// Step) accumulate the next cycle's set in activeBits.
-	nw.curBits, nw.activeBits = nw.activeBits, nw.curBits
-	for w := range nw.activeBits {
-		nw.activeBits[w] = 0
+	// Step) accumulate the next cycle's set in s0.next.
+	nw.curBits, s0.next = s0.next, nw.curBits
+	for w := range s0.next {
+		s0.next[w] = 0
 	}
 
 	for wd, b := range nw.curBits {
 		for b != 0 {
 			i := wd<<6 + bits.TrailingZeros64(b)
 			b &= b - 1
-			nw.routeSparse(i, i%nw.w, i/nw.w, now)
+			nw.routeSparse(s0, i, i%nw.w, i/nw.w, now)
 		}
 	}
 
@@ -215,39 +403,109 @@ func (nw *Network) Step(now int64) {
 	nw.nInR, nw.nInRN = nw.nInRN, nw.nInR
 }
 
+// BeginCycle implements noc.ShardedNetwork: publish every shard's pending
+// activity marks into the cycle's working set. Coordinator only.
+func (nw *Network) BeginCycle(now int64) {
+	for w := range nw.curBits {
+		nw.curBits[w] = 0
+	}
+	for k := range nw.sh {
+		next := nw.sh[k].next
+		for w, b := range next {
+			if b != 0 {
+				nw.curBits[w] |= b
+				next[w] = 0
+			}
+		}
+	}
+}
+
+// StepShard implements noc.ShardedNetwork: route the occupied routers in
+// shard k's range. Calls for distinct k may run concurrently — all writes
+// go to shard-private state or to link-register elements this shard is the
+// unique driver of.
+func (nw *Network) StepShard(k int, now int64) {
+	sh := &nw.sh[k]
+	sh.now = now
+	sh.delivered = sh.delivered[:0]
+	for _, pe := range sh.acceptedPEs {
+		nw.accepted[pe] = false
+	}
+	sh.acceptedPEs = sh.acceptedPEs[:0]
+
+	for wd := sh.loWord; wd < sh.hiWord; wd++ {
+		b := nw.curBits[wd]
+		if wd == sh.loWord {
+			b &= sh.loMask
+		}
+		if wd == sh.hiWord-1 {
+			b &= sh.hiMask
+		}
+		for b != 0 {
+			i := wd<<6 + bits.TrailingZeros64(b)
+			b &= b - 1
+			nw.routeSparse(sh, i, i%nw.w, i/nw.w, now)
+		}
+	}
+}
+
+// EndCycle implements noc.ShardedNetwork: latch the link registers, merge
+// per-shard deliveries in ascending shard order (= row-major = the
+// sequential delivery order), and route recycled pool slots back to their
+// owning arenas. Coordinator only.
+func (nw *Network) EndCycle(now int64) {
+	nw.wInR, nw.wInRN = nw.wInRN, nw.wInR
+	nw.nInR, nw.nInRN = nw.nInRN, nw.nInR
+
+	merged := nw.mergedDelivered[:0]
+	for k := range nw.sh {
+		merged = append(merged, nw.sh[k].delivered...)
+	}
+	nw.mergedDelivered = merged
+
+	for k := range nw.sh {
+		sh := &nw.sh[k]
+		for _, r := range sh.freed {
+			owner := &nw.sh[r/nw.arena]
+			owner.free = append(owner.free, r)
+		}
+		sh.freed = sh.freed[:0]
+	}
+}
+
 // fwdE and fwdS latch pool index r onto the downstream router's next-cycle
 // input register. The hop accounting the dense path does in its latch pass
 // happens here, at forward time — the totals and per-packet values at
 // delivery are identical.
-func (nw *Network) fwdE(r int32, x, y int) {
+func (nw *Network) fwdE(sh *shardCtx, r int32, x, y int) {
 	nw.pool[r].ShortHops++
-	nw.counters.ShortTraversals++
+	sh.counters.ShortTraversals++
 	j := y*nw.w + (x+1)%nw.w
 	nw.wInRN[j] = r
-	nw.markActive(j)
+	sh.mark(j)
 }
 
-func (nw *Network) fwdS(r int32, x, y int) {
+func (nw *Network) fwdS(sh *shardCtx, r int32, x, y int) {
 	nw.pool[r].ShortHops++
-	nw.counters.ShortTraversals++
+	sh.counters.ShortTraversals++
 	j := ((y+1)%nw.h)*nw.w + x
 	nw.nInRN[j] = r
-	nw.markActive(j)
+	sh.mark(j)
 }
 
 // obsHop reports the short-hop grant for pool slot r at router i. It is a
 // separate method, invoked behind the caller's nil check, so fwdE/fwdS stay
 // small enough to inline — the forwarders are the hottest functions in the
 // sparse path and must not pay for telemetry when it is off.
-func (nw *Network) obsHop(i int, out noc.Port, r int32) {
-	nw.obs.OnHop(nw.now, i, out, &nw.pool[r])
+func (nw *Network) obsHop(sh *shardCtx, i int, out noc.Port, r int32) {
+	sh.obs.OnHop(sh.now, i, out, &nw.pool[r])
 }
 
 // routeSparse is the fast-path arbiter: identical decisions to route, but
 // over pool indices — staying on the ring costs an int32 move instead of an
 // 80-byte slot copy — and with the latch fused in: granting an output
 // writes the downstream next-cycle register directly.
-func (nw *Network) routeSparse(i, x, y int, now int64) {
+func (nw *Network) routeSparse(sh *shardCtx, i, x, y int, now int64) {
 	var eTaken, sTaken bool
 
 	// Inputs are consumed (and cleared, so a router that goes idle does not
@@ -259,29 +517,29 @@ func (nw *Network) routeSparse(i, x, y int, now int64) {
 		case p.Dst.X == x && p.Dst.Y == y:
 			if nw.canExit(i) {
 				sTaken = true
-				nw.deliverIdx(r)
+				nw.deliverIdx(sh, r)
 			} else {
 				p.Deflections++
-				nw.counters.MisroutesByInput[noc.PortWSh]++
-				if nw.obs != nil {
-					nw.obs.OnDeflect(nw.now, i, noc.PortWSh, p)
+				sh.counters.MisroutesByInput[noc.PortWSh]++
+				if sh.obs != nil {
+					sh.obs.OnDeflect(sh.now, i, noc.PortWSh, p)
 				}
-				nw.fwdE(r, x, y)
-				if nw.obs != nil {
-					nw.obsHop(i, noc.PortESh, r)
+				nw.fwdE(sh, r, x, y)
+				if sh.obs != nil {
+					nw.obsHop(sh, i, noc.PortESh, r)
 				}
 				eTaken = true
 			}
 		case p.Dst.X != x:
-			nw.fwdE(r, x, y)
-			if nw.obs != nil {
-				nw.obsHop(i, noc.PortESh, r)
+			nw.fwdE(sh, r, x, y)
+			if sh.obs != nil {
+				nw.obsHop(sh, i, noc.PortESh, r)
 			}
 			eTaken = true
 		default:
-			nw.fwdS(r, x, y)
-			if nw.obs != nil {
-				nw.obsHop(i, noc.PortSSh, r)
+			nw.fwdS(sh, r, x, y)
+			if sh.obs != nil {
+				nw.obsHop(sh, i, noc.PortSSh, r)
 			}
 			sTaken = true
 		}
@@ -293,103 +551,111 @@ func (nw *Network) routeSparse(i, x, y int, now int64) {
 		atDst := p.Dst.X == x && p.Dst.Y == y
 		if atDst && !nw.canExit(i) {
 			p.Deflections++
-			nw.counters.MisroutesByInput[noc.PortNSh]++
-			if nw.obs != nil {
-				nw.obs.OnDeflect(nw.now, i, noc.PortNSh, p)
+			sh.counters.MisroutesByInput[noc.PortNSh]++
+			if sh.obs != nil {
+				sh.obs.OnDeflect(sh.now, i, noc.PortNSh, p)
 			}
 			if !eTaken {
-				nw.fwdE(r, x, y)
-				if nw.obs != nil {
-					nw.obsHop(i, noc.PortESh, r)
+				nw.fwdE(sh, r, x, y)
+				if sh.obs != nil {
+					nw.obsHop(sh, i, noc.PortESh, r)
 				}
 				eTaken = true
 			} else {
-				nw.fwdS(r, x, y)
-				if nw.obs != nil {
-					nw.obsHop(i, noc.PortSSh, r)
+				nw.fwdS(sh, r, x, y)
+				if sh.obs != nil {
+					nw.obsHop(sh, i, noc.PortSSh, r)
 				}
 				sTaken = true
 			}
 		} else if !sTaken {
 			sTaken = true
 			if atDst {
-				nw.deliverIdx(r)
+				nw.deliverIdx(sh, r)
 			} else {
-				nw.fwdS(r, x, y)
-				if nw.obs != nil {
-					nw.obsHop(i, noc.PortSSh, r)
+				nw.fwdS(sh, r, x, y)
+				if sh.obs != nil {
+					nw.obsHop(sh, i, noc.PortSSh, r)
 				}
 			}
 		} else {
 			p.Deflections++
-			nw.counters.MisroutesByInput[noc.PortNSh]++
-			if nw.obs != nil {
-				nw.obs.OnDeflect(nw.now, i, noc.PortNSh, p)
+			sh.counters.MisroutesByInput[noc.PortNSh]++
+			if sh.obs != nil {
+				sh.obs.OnDeflect(sh.now, i, noc.PortNSh, p)
 			}
-			nw.fwdE(r, x, y)
-			if nw.obs != nil {
-				nw.obsHop(i, noc.PortESh, r)
+			nw.fwdE(sh, r, x, y)
+			if sh.obs != nil {
+				nw.obsHop(sh, i, noc.PortESh, r)
 			}
 			eTaken = true
 		}
 	}
 
-	// accepted[i] is already false here: Step cleared every flag set last
-	// cycle via acceptedPEs before routing started.
+	// accepted[i] is already false here: the shard cleared every flag it
+	// set last cycle via acceptedPEs before routing started.
 	if off := &nw.offers[i]; off.ok {
 		switch {
 		case off.p.Dst.X != x && !eTaken:
-			r := nw.alloc(off.p)
+			r := nw.alloc(sh, off.p)
 			nw.pool[r].Inject = now
-			nw.fwdE(r, x, y)
-			if nw.obs != nil {
-				nw.obsHop(i, noc.PortESh, r)
+			nw.fwdE(sh, r, x, y)
+			if sh.obs != nil {
+				nw.obsHop(sh, i, noc.PortESh, r)
 			}
-			nw.inFlight++
+			sh.inFlight++
 			nw.accepted[i] = true
 		case off.p.Dst.X == x && off.p.Dst.Y == y:
 			if !sTaken && nw.canExit(i) {
 				p := off.p
 				p.Inject = now
-				nw.inFlight++
-				nw.deliver(p)
+				sh.inFlight++
+				nw.deliver(sh, p)
 				nw.accepted[i] = true
 			} else {
-				nw.counters.InjectionStalls++
+				sh.counters.InjectionStalls++
 			}
 		case off.p.Dst.X == x && !sTaken:
-			r := nw.alloc(off.p)
+			r := nw.alloc(sh, off.p)
 			nw.pool[r].Inject = now
-			nw.fwdS(r, x, y)
-			if nw.obs != nil {
-				nw.obsHop(i, noc.PortSSh, r)
+			nw.fwdS(sh, r, x, y)
+			if sh.obs != nil {
+				nw.obsHop(sh, i, noc.PortSSh, r)
 			}
-			nw.inFlight++
+			sh.inFlight++
 			nw.accepted[i] = true
 		default:
-			nw.counters.InjectionStalls++
+			sh.counters.InjectionStalls++
 		}
 		off.ok = false
 		if nw.accepted[i] {
-			nw.acceptedPEs = append(nw.acceptedPEs, i)
+			sh.acceptedPEs = append(sh.acceptedPEs, i)
 		}
 	}
 }
 
-// deliverIdx hands the pooled packet at r to the client and recycles r.
-func (nw *Network) deliverIdx(r int32) {
-	nw.deliver(nw.pool[r])
-	nw.free = append(nw.free, r)
+// deliverIdx hands the pooled packet at r to the client and recycles r:
+// directly onto the free list when sequential, via the freed staging list
+// (EndCycle routes it to the owning arena) when sharded.
+func (nw *Network) deliverIdx(sh *shardCtx, r int32) {
+	nw.deliver(sh, nw.pool[r])
+	if nw.shardOf != nil {
+		sh.freed = append(sh.freed, r)
+	} else {
+		sh.free = append(sh.free, r)
+	}
 }
 
 // stepDense is the reference path: clear all staging, route all routers,
 // latch all links.
 func (nw *Network) stepDense(now int64) {
-	nw.now = now
-	nw.delivered = nw.delivered[:0]
-	nw.acceptedPEs = nw.acceptedPEs[:0]
-	for w := range nw.activeBits {
-		nw.activeBits[w] = 0
+	s0 := &nw.sh[0]
+	s0.now = now
+	s0.obs = nw.obs
+	s0.delivered = s0.delivered[:0]
+	s0.acceptedPEs = s0.acceptedPEs[:0]
+	for w := range s0.next {
+		s0.next[w] = 0
 	}
 	for i := range nw.eOut {
 		nw.eOut[i] = slot{}
@@ -409,7 +675,7 @@ func (nw *Network) stepDense(now int64) {
 			e := nw.eOut[i]
 			if e.ok {
 				e.p.ShortHops++
-				nw.counters.ShortTraversals++
+				s0.counters.ShortTraversals++
 				if nw.obs != nil {
 					nw.obs.OnHop(now, i, noc.PortESh, &e.p)
 				}
@@ -418,7 +684,7 @@ func (nw *Network) stepDense(now int64) {
 			s := nw.sOut[i]
 			if s.ok {
 				s.p.ShortHops++
-				nw.counters.ShortTraversals++
+				s0.counters.ShortTraversals++
 				if nw.obs != nil {
 					nw.obs.OnHop(now, i, noc.PortSSh, &s.p)
 				}
@@ -432,6 +698,7 @@ func (nw *Network) stepDense(now int64) {
 // path, moving whole packets between the full-slot link registers. The
 // sparse path's routeSparse makes the same decisions over pool indices.
 func (nw *Network) route(x, y int, now int64) {
+	s0 := &nw.sh[0]
 	i := y*nw.w + x
 	var eTaken, sTaken bool
 
@@ -443,11 +710,11 @@ func (nw *Network) route(x, y int, now int64) {
 			if nw.canExit(i) {
 				// Exit shares the S driver.
 				sTaken = true
-				nw.deliver(p)
+				nw.deliver(s0, p)
 			} else {
 				// Client port busy (multi-channel sharing): loop the ring.
 				p.Deflections++
-				nw.counters.MisroutesByInput[noc.PortWSh]++
+				s0.counters.MisroutesByInput[noc.PortWSh]++
 				if nw.obs != nil {
 					nw.obs.OnDeflect(now, i, noc.PortWSh, &p)
 				}
@@ -471,7 +738,7 @@ func (nw *Network) route(x, y int, now int64) {
 			// Exit blocked by the shared client port: take either free
 			// ring and come back around.
 			p.Deflections++
-			nw.counters.MisroutesByInput[noc.PortNSh]++
+			s0.counters.MisroutesByInput[noc.PortNSh]++
 			if nw.obs != nil {
 				nw.obs.OnDeflect(now, i, noc.PortNSh, &p)
 			}
@@ -485,7 +752,7 @@ func (nw *Network) route(x, y int, now int64) {
 		} else if !sTaken {
 			sTaken = true
 			if atDst {
-				nw.deliver(p)
+				nw.deliver(s0, p)
 			} else {
 				nw.sOut[i] = slot{p: p, ok: true}
 			}
@@ -494,7 +761,7 @@ func (nw *Network) route(x, y int, now int64) {
 			// it was S. The packet will circle the X ring and return as a W
 			// input, which always wins.
 			p.Deflections++
-			nw.counters.MisroutesByInput[noc.PortNSh]++
+			s0.counters.MisroutesByInput[noc.PortNSh]++
 			if nw.obs != nil {
 				nw.obs.OnDeflect(now, i, noc.PortNSh, &p)
 			}
@@ -512,35 +779,35 @@ func (nw *Network) route(x, y int, now int64) {
 		case p.Dst.X != x && !eTaken:
 			p.Inject = now
 			nw.eOut[i] = slot{p: p, ok: true}
-			nw.inFlight++
+			s0.inFlight++
 			nw.accepted[i] = true
 		case p.Dst.X == x && p.Dst.Y == y:
 			if !sTaken && nw.canExit(i) {
 				// Self-addressed packet: delivered through the exit port.
 				p.Inject = now
-				nw.inFlight++
-				nw.deliver(p)
+				s0.inFlight++
+				nw.deliver(s0, p)
 				nw.accepted[i] = true
 			} else {
-				nw.counters.InjectionStalls++
+				s0.counters.InjectionStalls++
 			}
 		case p.Dst.X == x && !sTaken:
 			p.Inject = now
 			nw.sOut[i] = slot{p: p, ok: true}
-			nw.inFlight++
+			s0.inFlight++
 			nw.accepted[i] = true
 		default:
-			nw.counters.InjectionStalls++
+			s0.counters.InjectionStalls++
 		}
 		off.ok = false
 		if nw.accepted[i] {
-			nw.acceptedPEs = append(nw.acceptedPEs, i)
+			s0.acceptedPEs = append(s0.acceptedPEs, i)
 		}
 	}
 }
 
-func (nw *Network) deliver(p noc.Packet) {
-	nw.inFlight--
-	nw.counters.Delivered++
-	nw.delivered = append(nw.delivered, p)
+func (nw *Network) deliver(sh *shardCtx, p noc.Packet) {
+	sh.inFlight--
+	sh.counters.Delivered++
+	sh.delivered = append(sh.delivered, p)
 }

@@ -24,7 +24,7 @@ import (
 // results are invalidated whenever the simulator's behaviour changes. Bump it
 // on any change that can alter a Result bit for identical inputs (stepping
 // order, workload protocol, statistics definitions, histogram geometry).
-const Version = "ft-sim/3"
+const Version = "ft-sim/4"
 
 // Workload produces the packets a simulation injects and observes delivery.
 // Implementations: traffic.Synthetic (statistical patterns) and
@@ -60,6 +60,28 @@ type Workload interface {
 type ActiveSet interface {
 	// ActivePEs appends the live PE indices to buf and returns it.
 	ActivePEs(buf []int) []int
+}
+
+// ShardableWorkload is optionally implemented by workloads whose generation
+// state can be partitioned by PE range, so the sharded engine can tick and
+// enumerate each shard's PEs on that shard's worker. The contract mirrors
+// ActiveSet's: the packets produced (contents, IDs, order per PE) must be
+// bit-identical to a sequential Tick, and Injected must be safe to call
+// concurrently for PEs owned by different shards. traffic.Synthetic is the
+// canonical implementation.
+type ShardableWorkload interface {
+	Workload
+	ActiveSet
+	// ConfigureShards repartitions the PE space so shard k owns PEs
+	// [bounds[k], bounds[k+1]). It reports false — leaving the workload
+	// unchanged — if bounds is not a partition of [0, NumPEs).
+	ConfigureShards(bounds []int) bool
+	// TickShard runs shard k's share of Tick. Calls for distinct k may run
+	// concurrently.
+	TickShard(k int, now int64)
+	// ActiveShard appends shard k's live PEs to buf, like ActivePEs but
+	// range-restricted. Calls for distinct k may run concurrently.
+	ActiveShard(k int, buf []int) []int
 }
 
 // Result summarizes one simulation run.
@@ -155,6 +177,13 @@ type Options struct {
 	// fall back to). The two are bit-exact; EngineDense exists for the golden
 	// equivalence tests and for ftbench's speedup measurements.
 	Engine Engine
+	// Shards, when >1, partitions the torus into that many row-band shards
+	// and steps them on parallel workers (the network must implement
+	// noc.ShardedNetwork; EngineDense is incompatible). Results are bit-exact
+	// with the sequential engine — sharding is a wall-clock knob, never a
+	// semantics knob — so cache keys ignore it. 0 and 1 select the
+	// sequential path; values above the row count are clamped.
+	Shards int
 	// Observer, when non-nil, receives cycle-level telemetry events
 	// (injections, hops, deflections, deliveries — see internal/telemetry).
 	// Run attaches it to the network and to every layer of the workload
@@ -268,204 +297,337 @@ func attachObserver(net noc.Network, wl Workload, obs telemetry.Observer) {
 }
 
 // Run drives net against wl until the workload drains or a limit is hit.
+// With Options.Shards > 1 the network steps shard-parallel (see shard.go);
+// the Result is bit-exact with the sequential engine either way.
 func Run(net noc.Network, wl Workload, opts Options) (Result, error) {
 	opts = opts.withDefaults()
-	res := Result{Latency: stats.NewLatencyHistogram(opts.HistogramMax)}
-	numPE := net.NumPEs()
-	res.PerSource = make([]stats.Accumulator, numPE)
-	offered := make([]bool, numPE)
-	offeredPkt := make([]noc.Packet, numPE)
-	aud := newAuditor(net, opts)
-	obs := opts.Observer
-	if obs != nil {
-		attachObserver(net, wl, obs)
+	if opts.Shards > 1 {
+		return runSharded(net, wl, opts)
+	}
+	return runSequential(net, wl, opts)
+}
+
+// engine is one run's mutable state, shared by the sequential and sharded
+// drivers. The per-cycle protocol is decomposed into phase methods —
+// tick/offer, step, inject feedback, deliver, cycle-end bookkeeping — so
+// the sharded driver can replace individual phases with fan-out versions
+// while every scalar rule (watchdog, convergence, result finalization)
+// stays in exactly one place.
+type engine struct {
+	net  noc.Network
+	wl   Workload
+	opts Options
+	res  Result
+
+	numPE int
+	width int
+
+	offered    []bool
+	offeredPkt []noc.Packet
+	aud        *auditor
+	obs        telemetry.Observer
+	// track mirrors accepted offers for the auditor and the observer;
+	// without either consumer the copy is skipped in the hot loop.
+	track    bool
+	fast     bool
+	activeWL ActiveSet
+	live     []int
+
+	// latSum accumulates delivery latencies as an integer so per-shard
+	// partial sums merge to the exact sequential total (int64 addition is
+	// associative; float64 addition is not).
+	latSum       int64
+	now          int64
+	lastProgress int64
+
+	// Convergence-window state (inert when ConvergeWindow is 0).
+	convWin telemetry.WindowTracker
+	conv    convergence
+}
+
+func newEngine(net noc.Network, wl Workload, opts Options) *engine {
+	e := &engine{
+		net: net, wl: wl, opts: opts,
+		res:     Result{Latency: stats.NewLatencyHistogram(opts.HistogramMax)},
+		numPE:   net.NumPEs(),
+		width:   net.Width(),
+		aud:     newAuditor(net, opts),
+		obs:     opts.Observer,
+		convWin: telemetry.WindowTracker{W: opts.ConvergeWindow},
+		conv:    convergence{tol: opts.ConvergeTol, patience: opts.ConvergePatience},
+	}
+	e.res.PerSource = make([]stats.Accumulator, e.numPE)
+	e.offered = make([]bool, e.numPE)
+	e.offeredPkt = make([]noc.Packet, e.numPE)
+	if e.obs != nil {
+		attachObserver(net, wl, e.obs)
 	}
 	if sd, ok := net.(denseSelectable); ok {
 		sd.SetDense(opts.Engine == EngineDense)
 	}
-	activeWL, fast := wl.(ActiveSet)
+	e.activeWL, e.fast = wl.(ActiveSet)
 	if opts.Engine == EngineDense {
-		fast = false
+		e.fast = false
 	}
-	// track mirrors accepted offers for the auditor and the observer; without
-	// either consumer the copy is skipped in the hot loop.
-	track := aud != nil || obs != nil
-	var live []int
-	var latSum float64
-	var now, lastProgress int64
+	e.track = e.aud != nil || e.obs != nil
+	return e
+}
 
-	// Convergence-window state (inert when ConvergeWindow is 0).
-	convWin := telemetry.WindowTracker{W: opts.ConvergeWindow}
-	conv := convergence{tol: opts.ConvergeTol, patience: opts.ConvergePatience}
+// pollCtx checks for sweep-scheduler cancellation every few thousand cycles.
+func (e *engine) pollCtx(now int64) error {
+	if e.opts.Context != nil && now&4095 == 0 {
+		return e.opts.Context.Err()
+	}
+	return nil
+}
 
+// offerPE presents pe's pending packet to the network; reports whether one
+// was offered. Touches only per-PE state, so the sharded driver calls it
+// concurrently for PEs owned by different shards.
+func (e *engine) offerPE(pe int, now int64) bool {
+	p, ok := e.wl.Pending(pe, now)
+	e.offered[pe] = ok
+	if !ok {
+		return false
+	}
+	if e.track {
+		e.offeredPkt[pe] = p
+	}
+	e.net.Offer(pe, p)
+	return true
+}
+
+// phaseOffer gathers this cycle's offers, via the ActiveSet fast path when
+// available. Per-PE offer operations are independent, so the fast path is
+// bit-exact with the full scan (golden_test.go holds the two to
+// byte-identical Results).
+func (e *engine) phaseOffer(now int64) bool {
+	anyOffer := false
+	if e.fast {
+		e.live = e.activeWL.ActivePEs(e.live[:0])
+		for _, pe := range e.live {
+			if e.offerPE(pe, now) {
+				anyOffer = true
+			}
+		}
+	} else {
+		for pe := 0; pe < e.numPE; pe++ {
+			if e.offerPE(pe, now) {
+				anyOffer = true
+			}
+		}
+	}
+	return anyOffer
+}
+
+// injectPE consumes pe's offer if the network accepted it, reporting whether
+// an injection happened. The caller counts successes into Result.Injected —
+// kept out of here so the sharded driver can run this concurrently for PEs
+// of different shards (workload Injected is shard-safe by the
+// ShardableWorkload contract) and tally per shard.
+func (e *engine) injectPE(pe int, now int64) bool {
+	if !e.offered[pe] {
+		return false
+	}
+	if !e.net.Accepted(pe) {
+		if e.obs != nil {
+			e.obs.OnInjectStall(now, pe)
+		}
+		return false
+	}
+	e.wl.Injected(pe, now)
+	if e.aud != nil {
+		e.aud.onInject(e.offeredPkt[pe], now)
+	}
+	if e.obs != nil {
+		e.obs.OnInject(now, &e.offeredPkt[pe])
+	}
+	return true
+}
+
+// phaseInjectFeedback relays the network's accept decisions back to the
+// workload for every PE that offered this cycle.
+func (e *engine) phaseInjectFeedback(now int64) bool {
+	progress := false
+	if e.fast {
+		for _, pe := range e.live {
+			if e.injectPE(pe, now) {
+				e.res.Injected++
+				progress = true
+			}
+		}
+	} else {
+		for pe := 0; pe < e.numPE; pe++ {
+			if e.injectPE(pe, now) {
+				e.res.Injected++
+				progress = true
+			}
+		}
+	}
+	return progress
+}
+
+// deliverStats folds one delivered packet into the latency statistics.
+func (e *engine) deliverStats(p *noc.Packet, lat int64) {
+	e.res.Latency.Add(lat)
+	e.res.PerSource[noc.PEIndex(p.Src, e.width)].Add(float64(lat))
+	e.latSum += lat
+	if lat > e.res.WorstLatency {
+		e.res.WorstLatency = lat
+	}
+	e.res.Delivered++
+}
+
+// errNegativeLatency builds the invariant error for a delivery that predates
+// its own generation.
+func (e *engine) errNegativeLatency(p *noc.Packet, now int64) error {
+	return &InvariantError{
+		Err: ErrCorrupt, Cycle: now,
+		Detail:   fmt.Sprintf("packet %d delivered before generation (gen=%d)", p.ID, p.Gen),
+		Snapshot: e.aud.snapshot(now),
+	}
+}
+
+// phaseDeliver processes this cycle's deliveries: audit, statistics,
+// observer and workload callbacks, in the network's delivery order.
+func (e *engine) phaseDeliver(now int64) (progress bool, err error) {
+	for _, p := range e.net.Delivered() {
+		lat := now - p.Gen
+		if lat < 0 {
+			return progress, e.errNegativeLatency(&p, now)
+		}
+		if e.aud != nil {
+			if err := e.aud.onDeliver(p, now); err != nil {
+				return progress, err
+			}
+		}
+		e.deliverStats(&p, lat)
+		if e.obs != nil {
+			e.obs.OnDeliver(now, &p)
+		}
+		e.wl.Delivered(p, now)
+		progress = true
+	}
+	return progress, nil
+}
+
+// phaseCycleEnd runs the end-of-cycle audit and telemetry hooks.
+func (e *engine) phaseCycleEnd(now int64) error {
+	if e.aud != nil {
+		if err := e.aud.endOfCycle(e.net, now, e.res.Injected, e.res.Delivered); err != nil {
+			return err
+		}
+	}
+	if e.obs != nil {
+		e.obs.OnCycleEnd(now, e.net.InFlight())
+	}
+	return nil
+}
+
+// watchdog enforces the stall limit. A cycle counts toward it only when the
+// network could have made progress and did not: a packet is in flight or an
+// offer was presented (and, having produced no progress, was refused). A
+// deliberately idle workload — a trace in a long compute gap with nothing
+// pending and an empty network — is not a livelock and resets the window,
+// no matter how long the gap.
+func (e *engine) watchdog(now int64, anyOffer, progress bool) error {
+	if progress || (!anyOffer && e.net.InFlight() == 0) {
+		e.lastProgress = now
+		return nil
+	}
+	if now-e.lastProgress > e.opts.StallLimit {
+		return &InvariantError{
+			Err: ErrStalled, Cycle: now,
+			Detail: fmt.Sprintf("stalled for %d cycles (in-flight %d)",
+				now-e.lastProgress, e.net.InFlight()),
+			Snapshot: e.aud.snapshot(now),
+		}
+	}
+	return nil
+}
+
+// converged runs the windowed stationarity test (opt-in early exit); see
+// convergence for the criteria. latSum is the cumulative latency total so
+// far — passed in rather than read from e so the sharded driver can supply
+// the sum of its per-shard partials.
+func (e *engine) converged(now, latSum int64) bool {
+	if !e.convWin.Boundary(now) {
+		return false
+	}
+	wp := e.convWin.Roll(now, e.res.Delivered, e.res.Injected, float64(latSum), 0)
+	if !e.conv.observe(wp) {
+		return false
+	}
+	e.res.Converged = true
+	return true
+}
+
+// finish seals the Result after the main loop exits at cycle now.
+func (e *engine) finish(now int64) (Result, error) {
+	e.res.Cycles = now
+	// A run that converged used its last cycle in full and stopped on
+	// purpose; even if that bumped now to MaxCycles it did not time out.
+	// (Converged and TimedOut are mutually exclusive by contract.)
+	e.res.TimedOut = now >= e.opts.MaxCycles && !e.res.Converged
+	if fn, ok := e.net.(FaultyNetwork); ok {
+		e.res.Faults = fn.FaultCounts()
+	}
+	if rr, ok := findRecoveryReporter(e.wl); ok {
+		e.res.Recovery = rr.RecoveryCounts()
+	}
+	if got := e.res.Delivered + e.res.Faults.Lost(); got != e.res.Injected && !e.res.TimedOut && !e.res.Converged {
+		return e.res, &InvariantError{
+			Err: ErrConservation, Cycle: now,
+			Detail: fmt.Sprintf("injected %d != delivered %d + lost %d (in-flight %d)",
+				e.res.Injected, e.res.Delivered, e.res.Faults.Lost(), e.net.InFlight()),
+			Snapshot: e.aud.snapshot(now),
+		}
+	}
+	if e.res.Delivered > 0 {
+		e.res.AvgLatency = float64(e.latSum) / float64(e.res.Delivered)
+	}
+	if now > 0 {
+		e.res.SustainedRate = float64(e.res.Delivered) / (float64(now) * float64(e.numPE))
+	}
+	e.res.P50 = e.res.Latency.Quantile(0.50)
+	e.res.P99 = e.res.Latency.Quantile(0.99)
+	e.res.Counters = *e.net.Counters()
+	return e.res, nil
+}
+
+// runSequential is the single-goroutine driver: every phase runs inline on
+// the caller, in the canonical per-cycle order.
+func runSequential(net noc.Network, wl Workload, opts Options) (Result, error) {
+	e := newEngine(net, wl, opts)
+	var now int64
 	for now = 0; now < opts.MaxCycles; now++ {
-		if opts.Context != nil && now&4095 == 0 {
-			if err := opts.Context.Err(); err != nil {
-				return res, err
-			}
+		if err := e.pollCtx(now); err != nil {
+			return e.res, err
 		}
-		wl.Tick(now)
-
-		anyOffer := false
-		if fast {
-			// Fast path: poll only the PEs the workload marks live. Per-PE
-			// offer operations are independent, so this is bit-exact with
-			// the full scan below (the golden tests in golden_test.go hold
-			// the two paths to byte-identical Results).
-			live = activeWL.ActivePEs(live[:0])
-			for _, pe := range live {
-				p, ok := wl.Pending(pe, now)
-				offered[pe] = ok
-				if ok {
-					if track {
-						offeredPkt[pe] = p
-					}
-					net.Offer(pe, p)
-					anyOffer = true
-				}
-			}
-		} else {
-			for pe := 0; pe < numPE; pe++ {
-				p, ok := wl.Pending(pe, now)
-				offered[pe] = ok
-				if ok {
-					if track {
-						offeredPkt[pe] = p
-					}
-					net.Offer(pe, p)
-					anyOffer = true
-				}
-			}
-		}
+		e.wl.Tick(now)
+		anyOffer := e.phaseOffer(now)
 		if !anyOffer && wl.Done() && net.InFlight() == 0 {
 			break
 		}
 
 		net.Step(now)
 
-		progress := false
-		if fast {
-			for _, pe := range live {
-				if offered[pe] && net.Accepted(pe) {
-					wl.Injected(pe, now)
-					res.Injected++
-					if aud != nil {
-						aud.onInject(offeredPkt[pe], now)
-					}
-					if obs != nil {
-						obs.OnInject(now, &offeredPkt[pe])
-					}
-					progress = true
-				} else if obs != nil && offered[pe] {
-					obs.OnInjectStall(now, pe)
-				}
-			}
-		} else {
-			for pe := 0; pe < numPE; pe++ {
-				if offered[pe] && net.Accepted(pe) {
-					wl.Injected(pe, now)
-					res.Injected++
-					if aud != nil {
-						aud.onInject(offeredPkt[pe], now)
-					}
-					if obs != nil {
-						obs.OnInject(now, &offeredPkt[pe])
-					}
-					progress = true
-				} else if obs != nil && offered[pe] {
-					obs.OnInjectStall(now, pe)
-				}
-			}
+		progress := e.phaseInjectFeedback(now)
+		dp, err := e.phaseDeliver(now)
+		if err != nil {
+			return e.res, err
 		}
-		for _, p := range net.Delivered() {
-			lat := now - p.Gen
-			if lat < 0 {
-				return res, &InvariantError{
-					Err: ErrCorrupt, Cycle: now,
-					Detail:   fmt.Sprintf("packet %d delivered before generation (gen=%d)", p.ID, p.Gen),
-					Snapshot: aud.snapshot(now),
-				}
-			}
-			if aud != nil {
-				if err := aud.onDeliver(p, now); err != nil {
-					return res, err
-				}
-			}
-			res.Latency.Add(lat)
-			res.PerSource[noc.PEIndex(p.Src, net.Width())].Add(float64(lat))
-			latSum += float64(lat)
-			if lat > res.WorstLatency {
-				res.WorstLatency = lat
-			}
-			res.Delivered++
-			if obs != nil {
-				obs.OnDeliver(now, &p)
-			}
-			wl.Delivered(p, now)
-			progress = true
+		progress = progress || dp
+		if err := e.phaseCycleEnd(now); err != nil {
+			return e.res, err
 		}
-		if aud != nil {
-			if err := aud.endOfCycle(net, now, res.Injected, res.Delivered); err != nil {
-				return res, err
-			}
+		if err := e.watchdog(now, anyOffer, progress); err != nil {
+			return e.res, err
 		}
-		if obs != nil {
-			obs.OnCycleEnd(now, net.InFlight())
-		}
-
-		// Stall watchdog. A cycle counts toward the stall limit only when the
-		// network could have made progress and did not: a packet is in flight
-		// or an offer was presented (and, having produced no progress, was
-		// refused). A deliberately idle workload — a trace in a long compute
-		// gap with nothing pending and an empty network — is not a livelock
-		// and resets the window, no matter how long the gap.
-		if progress || (!anyOffer && net.InFlight() == 0) {
-			lastProgress = now
-		} else if now-lastProgress > opts.StallLimit {
-			return res, &InvariantError{
-				Err: ErrStalled, Cycle: now,
-				Detail: fmt.Sprintf("stalled for %d cycles (in-flight %d)",
-					now-lastProgress, net.InFlight()),
-				Snapshot: aud.snapshot(now),
-			}
-		}
-
-		// Windowed stationarity test (opt-in early exit); see convergence for
-		// the criteria.
-		if convWin.Boundary(now) {
-			wp := convWin.Roll(now, res.Delivered, res.Injected, latSum, 0)
-			if conv.observe(wp) {
-				res.Converged = true
-				now++ // this cycle completed in full
-				break
-			}
+		if e.converged(now, e.latSum) {
+			now++ // this cycle completed in full
+			break
 		}
 	}
-
-	res.Cycles = now
-	res.TimedOut = now >= opts.MaxCycles
-	if fn, ok := net.(FaultyNetwork); ok {
-		res.Faults = fn.FaultCounts()
-	}
-	if rr, ok := findRecoveryReporter(wl); ok {
-		res.Recovery = rr.RecoveryCounts()
-	}
-	if got := res.Delivered + res.Faults.Lost(); got != res.Injected && !res.TimedOut && !res.Converged {
-		return res, &InvariantError{
-			Err: ErrConservation, Cycle: now,
-			Detail: fmt.Sprintf("injected %d != delivered %d + lost %d (in-flight %d)",
-				res.Injected, res.Delivered, res.Faults.Lost(), net.InFlight()),
-			Snapshot: aud.snapshot(now),
-		}
-	}
-	if res.Delivered > 0 {
-		res.AvgLatency = latSum / float64(res.Delivered)
-	}
-	if now > 0 {
-		res.SustainedRate = float64(res.Delivered) / (float64(now) * float64(numPE))
-	}
-	res.P50 = res.Latency.Quantile(0.50)
-	res.P99 = res.Latency.Quantile(0.99)
-	res.Counters = *net.Counters()
-	return res, nil
+	return e.finish(now)
 }

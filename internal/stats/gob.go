@@ -39,19 +39,26 @@ func (a *Accumulator) GobDecode(b []byte) error {
 	return nil
 }
 
-// histogramWire mirrors Histogram's private state for serialization.
+// histogramWire mirrors Histogram's private state for serialization. The
+// integer summary fields (N/Sum/MaxVal) replaced the old floating-point
+// accumulator when the histogram switched to exact-merge internals; the
+// layout change is versioned by the sim.Version bump in the cache keys, so
+// no entry written under the old layout is ever decoded with this one.
 type histogramWire struct {
 	Bounds []int64
 	Counts []int64
 	Over   int64
-	Acc    Accumulator
+	N      int64
+	Sum    int64
+	MaxVal int64
 }
 
 // GobEncode implements gob.GobEncoder.
 func (h *Histogram) GobEncode() ([]byte, error) {
 	var buf bytes.Buffer
 	err := gob.NewEncoder(&buf).Encode(histogramWire{
-		Bounds: h.bounds, Counts: h.counts, Over: h.over, Acc: h.acc,
+		Bounds: h.bounds, Counts: h.counts, Over: h.over,
+		N: h.n, Sum: h.sum, MaxVal: h.max,
 	})
 	return buf.Bytes(), err
 }
@@ -62,6 +69,7 @@ func (h *Histogram) GobDecode(b []byte) error {
 	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&w); err != nil {
 		return err
 	}
-	h.bounds, h.counts, h.over, h.acc = w.Bounds, w.Counts, w.Over, w.Acc
+	h.bounds, h.counts, h.over = w.Bounds, w.Counts, w.Over
+	h.n, h.sum, h.max = w.N, w.Sum, w.MaxVal
 	return nil
 }

@@ -85,11 +85,18 @@ func (a *Accumulator) Merge(other *Accumulator) {
 // (packet latencies in cycles). Buckets grow geometrically so that both a
 // 3-cycle delivery and a 10 000-cycle pathological deflection are resolved,
 // mirroring the log axis of the paper's Fig 16.
+//
+// The summary moments are kept as exact integers (count, sum, max) rather
+// than a floating-point accumulator, so merging per-shard histograms is
+// bit-identical to adding every sample into one histogram in any order —
+// the property the sharded engine's golden equivalence tests rely on.
 type Histogram struct {
 	bounds []int64 // upper inclusive bound per bucket
 	counts []int64
 	over   int64 // samples beyond the last bound
-	acc    Accumulator
+	n      int64 // total samples
+	sum    int64 // exact sample sum
+	max    int64 // largest sample
 }
 
 // NewLatencyHistogram returns a histogram with geometric buckets from 1 up
@@ -111,7 +118,11 @@ func NewLatencyHistogram(max int64) *Histogram {
 
 // Add records one sample.
 func (h *Histogram) Add(x int64) {
-	h.acc.Add(float64(x))
+	h.n++
+	h.sum += x
+	if x > h.max {
+		h.max = x
+	}
 	i := sort.Search(len(h.bounds), func(i int) bool { return h.bounds[i] >= x })
 	if i == len(h.bounds) {
 		h.over++
@@ -121,13 +132,18 @@ func (h *Histogram) Add(x int64) {
 }
 
 // Count returns the total number of samples.
-func (h *Histogram) Count() int64 { return h.acc.Count() }
+func (h *Histogram) Count() int64 { return h.n }
 
 // Mean returns the mean sample value.
-func (h *Histogram) Mean() float64 { return h.acc.Mean() }
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.n)
+}
 
 // Max returns the largest sample value.
-func (h *Histogram) Max() int64 { return int64(h.acc.Max()) }
+func (h *Histogram) Max() int64 { return h.max }
 
 // Quantile returns an approximate q-quantile (0 <= q <= 1) using the bucket
 // upper bounds. It uses ceil-rank semantics: the result is the bucket
@@ -136,18 +152,12 @@ func (h *Histogram) Max() int64 { return int64(h.acc.Max()) }
 // q*count is whole), and Quantile(0) / Quantile(1) are the buckets of the
 // minimum and maximum.
 func (h *Histogram) Quantile(q float64) int64 {
-	total := h.acc.Count()
+	total := h.n
 	if total == 0 {
 		return 0
 	}
-	rank := int64(math.Ceil(q * float64(total)))
-	if rank < 1 {
-		rank = 1
-	}
-	if rank > total {
-		rank = total
-	}
-	max := int64(h.acc.Max())
+	rank := ceilRank(q, total)
+	max := h.max
 	var cum int64
 	for i, c := range h.counts {
 		cum += c
@@ -169,7 +179,7 @@ func (h *Histogram) Reset() {
 		h.counts[i] = 0
 	}
 	h.over = 0
-	h.acc = Accumulator{}
+	h.n, h.sum, h.max = 0, 0, 0
 }
 
 // Buckets invokes fn for every non-empty bucket with the bucket's upper
@@ -187,7 +197,9 @@ func (h *Histogram) Buckets(fn func(upper int64, count int64)) {
 }
 
 // Merge folds other into h. The two histograms must share bucket geometry
-// (same constructor arguments); Merge panics otherwise.
+// (same constructor arguments); Merge panics otherwise. Because the summary
+// moments are exact integers, merging is associative and commutative: any
+// partition of a sample stream merges back to the identical histogram.
 func (h *Histogram) Merge(other *Histogram) {
 	if len(h.bounds) != len(other.bounds) {
 		panic("stats: merging histograms with different geometry")
@@ -196,11 +208,32 @@ func (h *Histogram) Merge(other *Histogram) {
 		h.counts[i] += other.counts[i]
 	}
 	h.over += other.over
-	h.acc.Merge(&other.acc)
+	h.n += other.n
+	h.sum += other.sum
+	if other.max > h.max {
+		h.max = other.max
+	}
 }
 
-// Quantiles computes exact quantiles of an int64 sample slice. The input is
-// sorted in place.
+// ceilRank converts quantile q over n samples to a 1-based rank using
+// ceil-rank semantics: the q-quantile is the ceil(q*n)-th smallest sample,
+// clamped to [1, n]. This is the single quantile definition shared by
+// Histogram.Quantile and Quantiles, so a p99 computed from a histogram
+// (/metrics) and one computed from raw samples (ftbench) agree on the same
+// data up to bucket resolution.
+func ceilRank(q float64, n int64) int64 {
+	rank := int64(math.Ceil(q * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return rank
+}
+
+// Quantiles computes exact quantiles of an int64 sample slice using the same
+// ceil-rank semantics as Histogram.Quantile. The input is sorted in place.
 func Quantiles(xs []int64, qs ...float64) []int64 {
 	out := make([]int64, len(qs))
 	if len(xs) == 0 {
@@ -208,8 +241,7 @@ func Quantiles(xs []int64, qs ...float64) []int64 {
 	}
 	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
 	for i, q := range qs {
-		idx := int(q * float64(len(xs)-1))
-		out[i] = xs[idx]
+		out[i] = xs[ceilRank(q, int64(len(xs)))-1]
 	}
 	return out
 }

@@ -199,6 +199,49 @@ func TestQuantilesExact(t *testing.T) {
 	}
 }
 
+// TestQuantileDefinitionShared pins Histogram.Quantile and Quantiles to one
+// quantile definition (ceil-rank: the q-quantile is the ceil(q*n)-th smallest
+// sample). The samples stay in the histogram's width-1 bucket range (1..8) so
+// the bucket upper bound IS the sample and the two implementations must agree
+// exactly — a p99 computed from /metrics' histogram and one computed by
+// ftbench from raw latencies describe identical data identically.
+//
+// The regression row is q=0.99 over 10 samples: the old Quantiles truncated
+// an index into the sorted slice (int(0.99*9) = 8 → the 9th sample) while the
+// histogram's ceil-rank picks rank ceil(9.9) = 10 → the maximum.
+func TestQuantileDefinitionShared(t *testing.T) {
+	cases := []struct {
+		name    string
+		samples []int64
+		q       float64
+		want    int64
+	}{
+		{"p50 of 2 lands on 1st", []int64{1, 5}, 0.5, 1},
+		{"p75 of 2 lands on 2nd", []int64{1, 5}, 0.75, 5},
+		{"p99 of 10 is the max", []int64{1, 2, 3, 4, 5, 6, 7, 8, 8, 8}, 0.99, 8},
+		{"p0 is the min", []int64{3, 1, 2}, 0, 1},
+		{"p100 is the max", []int64{3, 1, 2}, 1, 3},
+		{"p50 of odd count is the middle", []int64{1, 2, 3, 4, 5, 6, 7, 8, 5}, 0.5, 5},
+	}
+	for _, tc := range cases {
+		h := NewLatencyHistogram(1 << 10)
+		raw := make([]int64, len(tc.samples))
+		copy(raw, tc.samples)
+		for _, x := range tc.samples {
+			h.Add(x)
+		}
+		hq := h.Quantile(tc.q)
+		sq := Quantiles(raw, tc.q)[0]
+		if hq != sq {
+			t.Errorf("%s: Histogram.Quantile(%v)=%d but Quantiles=%d — definitions diverged",
+				tc.name, tc.q, hq, sq)
+		}
+		if hq != tc.want {
+			t.Errorf("%s: quantile %v = %d, want %d", tc.name, tc.q, hq, tc.want)
+		}
+	}
+}
+
 func TestRatio(t *testing.T) {
 	if Ratio(3, 2) != "1.50x" {
 		t.Errorf("Ratio = %q", Ratio(3, 2))

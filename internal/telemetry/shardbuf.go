@@ -1,0 +1,114 @@
+package telemetry
+
+import "fasttrack/internal/noc"
+
+// ShardObservable is implemented by networks that can shard their Step
+// (noc.ShardedNetwork). When stepping shard-parallel, a network must not
+// call the session observer from worker goroutines; instead it is handed
+// one observer per shard, and each StepShard emits only into its own.
+// The engine pairs this with a ShardFanIn whose Flush replays the buffered
+// events into the real observer after the step barrier, in ascending shard
+// order — which, because shards own ascending router ranges and the sparse
+// stepping visits routers in index order, reproduces the sequential
+// engine's event order exactly.
+type ShardObservable interface {
+	// SetShardObservers installs per-shard observers; obs[k] receives the
+	// router events emitted by StepShard(k). A nil slice (or nil entries)
+	// disables shard-local emission.
+	SetShardObservers(obs []Observer)
+}
+
+// shardEvent is one buffered router-level event. The packet is captured by
+// value: observers may not retain the pointers they are handed, so a replay
+// that hands out a pointer to the snapshot is indistinguishable from the
+// synchronous call.
+type shardEvent struct {
+	kind   uint8
+	port   noc.Port
+	router int32
+	now    int64
+	p      noc.Packet
+}
+
+const (
+	evHop uint8 = iota
+	evExpressHop
+	evDeflect
+	evExpressDenied
+)
+
+// ShardBuffer records the four router-level events a network emits during
+// StepShard (hop, express hop, deflect, express denied) for later ordered
+// replay. The engine-side events (inject, deliver, cycle end, ...) never
+// fire from inside StepShard, so Base's no-ops cover them.
+type ShardBuffer struct {
+	Base
+	events []shardEvent
+}
+
+// OnHop implements Observer.
+func (b *ShardBuffer) OnHop(now int64, router int, out noc.Port, p *noc.Packet) {
+	b.events = append(b.events, shardEvent{kind: evHop, port: out, router: int32(router), now: now, p: *p})
+}
+
+// OnExpressHop implements Observer.
+func (b *ShardBuffer) OnExpressHop(now int64, router int, out noc.Port, p *noc.Packet) {
+	b.events = append(b.events, shardEvent{kind: evExpressHop, port: out, router: int32(router), now: now, p: *p})
+}
+
+// OnDeflect implements Observer.
+func (b *ShardBuffer) OnDeflect(now int64, router int, in noc.Port, p *noc.Packet) {
+	b.events = append(b.events, shardEvent{kind: evDeflect, port: in, router: int32(router), now: now, p: *p})
+}
+
+// OnExpressDenied implements Observer.
+func (b *ShardBuffer) OnExpressDenied(now int64, router int, in noc.Port, p *noc.Packet) {
+	b.events = append(b.events, shardEvent{kind: evExpressDenied, port: in, router: int32(router), now: now, p: *p})
+}
+
+// ShardFanIn owns one event buffer per shard and replays them into the real
+// observer after the step barrier.
+type ShardFanIn struct {
+	dst  Observer
+	bufs []*ShardBuffer
+}
+
+// NewShardFanIn builds a fan-in of shards buffers draining into dst.
+func NewShardFanIn(dst Observer, shards int) *ShardFanIn {
+	f := &ShardFanIn{dst: dst, bufs: make([]*ShardBuffer, shards)}
+	for i := range f.bufs {
+		f.bufs[i] = &ShardBuffer{}
+	}
+	return f
+}
+
+// Observers returns the per-shard observers to install via
+// ShardObservable.SetShardObservers.
+func (f *ShardFanIn) Observers() []Observer {
+	obs := make([]Observer, len(f.bufs))
+	for i, b := range f.bufs {
+		obs[i] = b
+	}
+	return obs
+}
+
+// Flush replays every buffered event into the destination observer in
+// ascending shard order and resets the buffers for the next cycle.
+func (f *ShardFanIn) Flush() {
+	for _, b := range f.bufs {
+		for i := range b.events {
+			e := &b.events[i]
+			switch e.kind {
+			case evHop:
+				f.dst.OnHop(e.now, int(e.router), e.port, &e.p)
+			case evExpressHop:
+				f.dst.OnExpressHop(e.now, int(e.router), e.port, &e.p)
+			case evDeflect:
+				f.dst.OnDeflect(e.now, int(e.router), e.port, &e.p)
+			case evExpressDenied:
+				f.dst.OnExpressDenied(e.now, int(e.router), e.port, &e.p)
+			}
+		}
+		b.events = b.events[:0]
+	}
+}

@@ -5,36 +5,56 @@ import (
 	"fasttrack/internal/xrand"
 )
 
+// synthShard is the per-shard slice of the workload state. The sequential
+// workload is the single-shard special case, so both paths run the same
+// code; when the engine shards the fabric, each worker owns a contiguous PE
+// range and all mutable aggregate state (pending counts, quota bookkeeping,
+// live lists) lives here so shard ticks never touch shared words.
+type synthShard struct {
+	lo, hi  int // PE range [lo, hi)
+	pending int // packets queued across the range
+	doneGen int // PEs in range that are silent or at quota
+
+	// live lists PEs with a non-empty source queue (inLive guards against
+	// duplicates); it backs the sim.ActiveSet fast path. PEs are added when
+	// their queue first becomes non-empty and dropped lazily when the active
+	// walk finds them drained.
+	live []int
+}
+
 // Synthetic is a sim.Workload that generates pattern traffic with Bernoulli
 // arrivals: every cycle each PE creates a packet with probability Rate until
 // it has generated PacketsPerPE packets. Created packets wait in an
 // unbounded source queue, so measured latency includes source queueing —
 // saturated networks show the hockey-stick latency curves of Fig 12.
+//
+// Synthetic also implements sim.ShardableWorkload: generation state is
+// per-PE (seed-split RNG streams, per-PE packet sequence numbers), so
+// ticking disjoint PE ranges on different workers produces bit-identical
+// packets to a sequential tick.
 type Synthetic struct {
-	w, h         int
-	rate         float64
-	quota        int
-	pattern      Pattern
-	rngs         []*xrand.Rand
-	queues       [][]noc.Packet
-	generated    []int
-	silent       []bool // PEs the pattern never sources from
-	totalPending int
-	doneGen      int // PEs that reached quota
-	nextID       int64
+	w, h      int
+	rate      float64
+	quota     int
+	pattern   Pattern
+	rngs      []*xrand.Rand
+	queues    [][]noc.Packet
+	generated []int
+	silent    []bool // PEs the pattern never sources from
+	inLive    []bool
 
-	// live lists PEs with a non-empty source queue (inLive guards against
-	// duplicates); it backs the sim.ActiveSet fast path. PEs are added when
-	// their queue first becomes non-empty and dropped lazily when ActivePEs
-	// finds them drained.
-	live   []int
-	inLive []bool
+	sh      []synthShard
+	peShard []int32 // PE index -> owning shard
 }
 
 // NewSynthetic builds a synthetic workload for a w×h network. rate is the
 // per-PE injection probability per cycle (the paper's "injection rate"
 // axis); quota is packets per PE (the paper uses 1000). seed fixes the
 // random streams.
+//
+// Whether a PE is permanently silent (e.g. the TRANSPOSE diagonal) is the
+// pattern's SilenceClassifier verdict, never a sampled Dest probe: a
+// stochastic pattern that returns !ok on one draw merely skips that cycle.
 func NewSynthetic(w, h int, pattern Pattern, rate float64, quota int, seed uint64) *Synthetic {
 	n := w * h
 	s := &Synthetic{
@@ -51,20 +71,71 @@ func NewSynthetic(w, h int, pattern Pattern, rate float64, quota int, seed uint6
 	root := xrand.New(seed)
 	for pe := 0; pe < n; pe++ {
 		s.rngs[pe] = root.SplitBy(uint64(pe))
-		// Probe whether this PE ever sources traffic (e.g. the TRANSPOSE
-		// diagonal is silent); silent PEs count as already done.
-		if _, ok := pattern.Dest(noc.PECoord(pe, w), w, h, xrand.New(seed^0xabcd)); !ok {
-			s.silent[pe] = true
-			s.doneGen++
+		s.silent[pe] = Silent(pattern, noc.PECoord(pe, w), w, h)
+	}
+	s.ConfigureShards([]int{0, n})
+	return s
+}
+
+// ConfigureShards implements sim.ShardableWorkload: repartition the PE space
+// into len(bounds)-1 contiguous shards with shard k owning PEs
+// [bounds[k], bounds[k+1]). Aggregate state (pending, quota bookkeeping,
+// live lists) is redistributed to the new owners; live-list insertion order
+// is preserved per shard so an active walk stays deterministic. Returns
+// false (leaving the workload untouched) if bounds do not partition [0, n).
+func (s *Synthetic) ConfigureShards(bounds []int) bool {
+	n := len(s.rngs)
+	if len(bounds) < 2 || bounds[0] != 0 || bounds[len(bounds)-1] != n {
+		return false
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			return false
 		}
 	}
-	return s
+	var oldLive []int
+	for i := range s.sh {
+		oldLive = append(oldLive, s.sh[i].live...)
+	}
+	ns := make([]synthShard, len(bounds)-1)
+	ps := make([]int32, n)
+	for k := range ns {
+		ns[k].lo, ns[k].hi = bounds[k], bounds[k+1]
+		for pe := ns[k].lo; pe < ns[k].hi; pe++ {
+			ps[pe] = int32(k)
+			if s.silent[pe] || s.generated[pe] >= s.quota {
+				ns[k].doneGen++
+			}
+			ns[k].pending += len(s.queues[pe])
+		}
+	}
+	for _, pe := range oldLive {
+		if len(s.queues[pe]) == 0 {
+			s.inLive[pe] = false
+			continue
+		}
+		ns[ps[pe]].live = append(ns[ps[pe]].live, pe)
+	}
+	s.sh, s.peShard = ns, ps
+	return true
 }
 
 // Tick implements sim.Workload: Bernoulli generation for every PE under
 // quota.
 func (s *Synthetic) Tick(now int64) {
-	for pe := range s.rngs {
+	for k := range s.sh {
+		s.tickShard(&s.sh[k], now)
+	}
+}
+
+// TickShard implements sim.ShardableWorkload: generation for shard k's PE
+// range only. Safe to call concurrently for distinct k.
+func (s *Synthetic) TickShard(k int, now int64) {
+	s.tickShard(&s.sh[k], now)
+}
+
+func (s *Synthetic) tickShard(sh *synthShard, now int64) {
+	for pe := sh.lo; pe < sh.hi; pe++ {
 		if s.silent[pe] || s.generated[pe] >= s.quota {
 			continue
 		}
@@ -76,22 +147,25 @@ func (s *Synthetic) Tick(now int64) {
 		if !ok {
 			continue
 		}
-		s.nextID++
+		// IDs are a per-PE (source, sequence) pair rather than a global
+		// counter, so the ID a packet gets is independent of the order PEs
+		// are ticked in — shard-parallel generation assigns the same IDs as
+		// a sequential pass. Quotas are bounded well below 2^32.
 		s.queues[pe] = append(s.queues[pe], noc.Packet{
-			ID:    s.nextID,
+			ID:    (int64(pe)+1)<<32 | int64(s.generated[pe]+1),
 			Src:   src,
 			Dst:   dst,
 			Gen:   now,
 			Event: -1,
 		})
-		s.totalPending++
+		sh.pending++
 		if !s.inLive[pe] {
 			s.inLive[pe] = true
-			s.live = append(s.live, pe)
+			sh.live = append(sh.live, pe)
 		}
 		s.generated[pe]++
 		if s.generated[pe] == s.quota {
-			s.doneGen++
+			sh.doneGen++
 		}
 	}
 }
@@ -105,12 +179,14 @@ func (s *Synthetic) Pending(pe int, _ int64) (noc.Packet, bool) {
 	return q[0], true
 }
 
-// Injected implements sim.Workload.
+// Injected implements sim.Workload. Safe to call concurrently for PEs in
+// distinct shards: the dequeue touches only per-PE state and the pending
+// count of the owning shard.
 func (s *Synthetic) Injected(pe int, _ int64) {
 	q := s.queues[pe]
 	copy(q, q[1:])
 	s.queues[pe] = q[:len(q)-1]
-	s.totalPending--
+	s.sh[s.peShard[pe]].pending--
 }
 
 // Delivered implements sim.Workload (synthetic traffic has no dependencies).
@@ -118,15 +194,34 @@ func (s *Synthetic) Delivered(noc.Packet, int64) {}
 
 // Done implements sim.Workload.
 func (s *Synthetic) Done() bool {
-	return s.doneGen == len(s.rngs) && s.totalPending == 0
+	for i := range s.sh {
+		sh := &s.sh[i]
+		if sh.doneGen != sh.hi-sh.lo || sh.pending != 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // ActivePEs implements sim.ActiveSet: the PEs with a queued packet.
 // Drained PEs are dropped here rather than in Injected, so the list walk
 // doubles as the compaction pass and Injected stays O(queue).
 func (s *Synthetic) ActivePEs(buf []int) []int {
-	kept := s.live[:0]
-	for _, pe := range s.live {
+	for k := range s.sh {
+		buf = s.activeShard(&s.sh[k], buf)
+	}
+	return buf
+}
+
+// ActiveShard implements sim.ShardableWorkload: live PEs of shard k only.
+// Safe to call concurrently for distinct k.
+func (s *Synthetic) ActiveShard(k int, buf []int) []int {
+	return s.activeShard(&s.sh[k], buf)
+}
+
+func (s *Synthetic) activeShard(sh *synthShard, buf []int) []int {
+	kept := sh.live[:0]
+	for _, pe := range sh.live {
 		if len(s.queues[pe]) == 0 {
 			s.inLive[pe] = false
 			continue
@@ -134,9 +229,15 @@ func (s *Synthetic) ActivePEs(buf []int) []int {
 		kept = append(kept, pe)
 		buf = append(buf, pe)
 	}
-	s.live = kept
+	sh.live = kept
 	return buf
 }
 
 // Generated returns the total packets created so far.
-func (s *Synthetic) Generated() int64 { return s.nextID }
+func (s *Synthetic) Generated() int64 {
+	var total int64
+	for _, g := range s.generated {
+		total += int64(g)
+	}
+	return total
+}

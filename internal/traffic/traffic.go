@@ -38,6 +38,26 @@ func ValidateDims(p Pattern, w, h int) error {
 	return nil
 }
 
+// SilenceClassifier is optionally implemented by patterns with sources that
+// never generate traffic (for example the TRANSPOSE diagonal). Silence must
+// be a deterministic property of the source coordinate: workload setup
+// consults it instead of sampling Dest, so a stochastic pattern that returns
+// !ok on one unlucky draw is never mistaken for a permanently mute PE — a
+// transient !ok just skips that cycle's generation.
+type SilenceClassifier interface {
+	// Silent reports whether src never sources traffic on a w×h torus.
+	Silent(src noc.Coord, w, h int) bool
+}
+
+// Silent reports whether p declares src permanently silent. Patterns that do
+// not implement SilenceClassifier are assumed to source from every PE.
+func Silent(p Pattern, src noc.Coord, w, h int) bool {
+	if c, ok := p.(SilenceClassifier); ok {
+		return c.Silent(src, w, h)
+	}
+	return false
+}
+
 // Random is uniform-random traffic over all other PEs.
 type Random struct{}
 
@@ -119,6 +139,12 @@ func (BitComplement) ValidateDims(w, h int) error {
 	return nil
 }
 
+// Silent implements SilenceClassifier: a source is mute only where the
+// complement permutation has a fixed point (1×1 degenerate tori).
+func (BitComplement) Silent(src noc.Coord, w, h int) bool {
+	return (noc.Coord{X: ^src.X & (w - 1), Y: ^src.Y & (h - 1)}) == src
+}
+
 // Transpose sends (x, y) to (y, x); the diagonal stays silent.
 type Transpose struct{}
 
@@ -132,6 +158,9 @@ func (Transpose) Dest(src noc.Coord, w, h int, _ *xrand.Rand) (noc.Coord, bool) 
 	}
 	return noc.Coord{X: src.Y % w, Y: src.X % h}, true
 }
+
+// Silent implements SilenceClassifier: the diagonal maps to itself.
+func (Transpose) Silent(src noc.Coord, _, _ int) bool { return src.X == src.Y }
 
 // Tornado sends each packet halfway around the X ring — an adversarial
 // pattern for ring networks, included beyond the paper's four for ablation.

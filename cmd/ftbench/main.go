@@ -24,8 +24,10 @@
 //
 // With -sweep the tool instead benchmarks the sweep orchestration layer
 // (internal/runner): a quick-scale Fig 11 rate sweep timed dense-serial,
-// dense-parallel, adaptive with a cold result cache, and adaptive warm —
-// written to BENCH_sweep.json (see sweep.go).
+// dense-parallel, lockstep-batched cold, adaptive per-job cold, and warm
+// over the batched cache — written to BENCH_sweep.json (see sweep.go).
+// -check-sweep is its regression gate and -sweep-verify the fast
+// batched-vs-per-job bit-exactness assertion `make sweep-quick` runs.
 package main
 
 import (
@@ -217,9 +219,25 @@ func main() {
 	reps := flag.Int("reps", 3, "repetitions per scenario (best kept)")
 	sweep := flag.Bool("sweep", false, "benchmark the sweep orchestrator instead of the engine hot path")
 	check := flag.String("check", "", "regression gate: compare a fresh measurement against this baseline JSON and exit 1 on >10% regression")
+	checkSweep := flag.String("check-sweep", "", "sweep regression gate: re-measure the sweep and compare against this BENCH_sweep.json baseline")
+	sweepVerify := flag.Bool("sweep-verify", false, "assert the batched cold path is bit-identical to the per-job path on a small matrix, then exit")
 	mon := cliflags.RegisterMonitor(flag.CommandLine)
 	flag.Parse()
 
+	if *sweepVerify {
+		if err := runSweepVerify(); err != nil {
+			fmt.Fprintf(os.Stderr, "ftbench: sweep-verify: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *checkSweep != "" {
+		if err := runSweepCheck(*checkSweep, mon, *reps); err != nil {
+			fmt.Fprintf(os.Stderr, "ftbench: check-sweep: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *check != "" {
 		if err := runCheck(*check, *reps); err != nil {
 			fmt.Fprintf(os.Stderr, "ftbench: check: %v\n", err)
@@ -231,7 +249,7 @@ func main() {
 		if *out == "" {
 			*out = "BENCH_sweep.json"
 		}
-		if err := runSweep(*out, mon); err != nil {
+		if err := runSweep(*out, mon, *reps); err != nil {
 			fmt.Fprintf(os.Stderr, "ftbench: sweep: %v\n", err)
 			os.Exit(1)
 		}

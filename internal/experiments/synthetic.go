@@ -31,45 +31,40 @@ type RatePoint struct {
 	WorstLatency  int64
 }
 
-// sweepSynthetic runs the rate sweep for the given configs and patterns,
-// fanning the independent simulations across the scale's orchestrator
-// (results are deterministic regardless of scheduling and are served from
-// the result cache when one is configured). With AdaptiveRates set the
-// dense grid is replaced by one adaptive saturation search per curve.
+// sweepSynthetic runs the rate sweep for the given configs and patterns on
+// the lockstep batched path: jobs sharing a configuration run as one batch
+// over a single topology (results are bit-identical to per-job runs and are
+// served from the result cache when one is configured). With AdaptiveRates
+// set the dense grid is replaced by one adaptive saturation search per
+// curve, which bisects sequentially and so stays on the per-job path.
 func sweepSynthetic(sc Scale, configs []core.Config, patterns []string) ([]RatePoint, error) {
 	if sc.AdaptiveRates {
 		return sweepSyntheticAdaptive(sc, configs, patterns)
 	}
-	type job struct {
-		pat  string
-		cfg  core.Config
-		rate float64
-	}
-	var jobs []job
+	var jobs []runner.SyntheticJob
 	for _, pat := range patterns {
 		for _, cfg := range configs {
 			for _, rate := range sc.Rates {
-				jobs = append(jobs, job{pat: pat, cfg: cfg, rate: rate})
+				jobs = append(jobs, runner.SyntheticJob{Cfg: cfg, Opts: core.SyntheticOptions{
+					Pattern: pat, Rate: rate, PacketsPerPE: sc.Quota, Seed: sc.Seed,
+				}})
 			}
 		}
 	}
+	results, err := sc.runSyntheticBatch(context.Background(), jobs)
+	if err != nil {
+		return nil, err
+	}
 	pts := make([]RatePoint, len(jobs))
-	err := sc.forEachParallel(len(jobs), func(ctx context.Context, i int) error {
+	for i, res := range results {
 		j := jobs[i]
-		res, err := sc.runSynthetic(ctx, j.cfg, core.SyntheticOptions{
-			Pattern: j.pat, Rate: j.rate, PacketsPerPE: sc.Quota, Seed: sc.Seed,
-		})
-		if err != nil {
-			return fmt.Errorf("%s/%s@%.2f: %w", j.cfg, j.pat, j.rate, err)
-		}
 		pts[i] = RatePoint{
-			Config: j.cfg.String(), Pattern: j.pat, InjectionRate: j.rate,
+			Config: j.Cfg.String(), Pattern: j.Opts.Pattern, InjectionRate: j.Opts.Rate,
 			SustainedRate: res.SustainedRate, AvgLatency: res.AvgLatency,
 			WorstLatency: res.WorstLatency,
 		}
-		return nil
-	})
-	return pts, err
+	}
+	return pts, nil
 }
 
 // adaptiveBracket derives the search bracket from a dense grid: the lowest

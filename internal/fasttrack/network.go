@@ -128,13 +128,25 @@ type Network struct {
 	// dense selects the reference stepping path; see SetDense.
 	dense bool
 
+	// tabs, when non-nil, holds the memoized routing-decision tables shared
+	// by every instance with the same (topology, variant); see tables.go.
+	// Only batch instances carry tables.
+	tabs *routeTables
+
 	// obs, when non-nil, receives telemetry events. Every emission site is
 	// guarded by a single nil check.
 	obs telemetry.Observer
 }
 
 // New builds an idle FastTrack network for the given configuration.
-func New(cfg Config) (*Network, error) {
+func New(cfg Config) (*Network, error) { return newNet(cfg, nil) }
+
+// newNet is New with an optional batch arena: when ar is non-nil the sparse
+// hot-path arrays (link registers, offers, occupancy words, packet pool) are
+// carved out of the arena's batch-major slabs instead of allocated
+// individually; see batch.go. The dense reference arrays always come from
+// plain allocations — batch instances never run the dense path.
+func newNet(cfg Config, ar *batchArena) (*Network, error) {
 	if _, err := NewTopology(cfg.Topology.N, cfg.Topology.D, cfg.Topology.R); err != nil {
 		return nil, err
 	}
@@ -148,17 +160,17 @@ func New(cfg Config) (*Network, error) {
 		n:     n,
 		wShIn: make([]slot, sz), wExIn: make([]slot, sz),
 		nShIn: make([]slot, sz), nExIn: make([]slot, sz),
-		offers:   make([]slot, sz),
-		accepted: make([]bool, sz),
+		offers:   ar.slots(sz),
+		accepted: ar.bools(sz),
 	}
 	words := (sz + 63) / 64
-	nw.curBits = make([]uint64, words)
-	nw.sh = nw.makeShards(1)
+	nw.curBits = ar.words(words)
+	nw.sh = nw.makeShards(1, ar)
 	for i := range nw.outs {
 		nw.outs[i] = make([]slot, sz)
 	}
 	emptyRegs := func() []int32 {
-		r := make([]int32, sz)
+		r := ar.int32s(sz)
 		for i := range r {
 			r[i] = -1
 		}
@@ -168,6 +180,7 @@ func New(cfg Config) (*Network, error) {
 	nw.nShR, nw.nExR = emptyRegs(), emptyRegs()
 	nw.wShRN, nw.wExRN = emptyRegs(), emptyRegs()
 	nw.nShRN, nw.nExRN = emptyRegs(), emptyRegs()
+	nw.pool = ar.packets(poolBound(cfg))
 	if cfg.ExpressPipeline > 0 {
 		nw.xPipe = make([][]slot, sz)
 		nw.yPipe = make([][]slot, sz)
@@ -177,8 +190,8 @@ func New(cfg Config) (*Network, error) {
 		for i := range nw.xPipe {
 			nw.xPipe[i] = make([]slot, cfg.ExpressPipeline)
 			nw.yPipe[i] = make([]slot, cfg.ExpressPipeline)
-			nw.xPipeR[i] = make([]int32, cfg.ExpressPipeline)
-			nw.yPipeR[i] = make([]int32, cfg.ExpressPipeline)
+			nw.xPipeR[i] = ar.int32s(cfg.ExpressPipeline)
+			nw.yPipeR[i] = ar.int32s(cfg.ExpressPipeline)
 			for k := 0; k < cfg.ExpressPipeline; k++ {
 				nw.xPipeR[i][k], nw.yPipeR[i][k] = -1, -1
 			}
@@ -187,10 +200,77 @@ func New(cfg Config) (*Network, error) {
 	return nw, nil
 }
 
+// poolBound is the packet-pool occupancy bound for one instance: the
+// register population ((8 + 2*pipeline stages) per router) plus a cycle of
+// fresh injections and not-yet-recycled frees — the same formula
+// ConfigureShards sizes per-shard arenas with.
+func poolBound(cfg Config) int {
+	sz := cfg.Topology.N * cfg.Topology.N
+	return (8+2*cfg.ExpressPipeline)*sz + 64
+}
+
+// Reset restores the network to the idle state New leaves it in, keeping
+// every backing array (and its capacity) so a recycled instance re-runs a
+// job without reallocating. The result of a run on a Reset network is
+// bit-identical to a run on a fresh one: the only state that survives is
+// slice capacity, which routing never observes.
+func (nw *Network) Reset() {
+	for i := range nw.wShR {
+		nw.wShR[i], nw.wExR[i], nw.nShR[i], nw.nExR[i] = -1, -1, -1, -1
+		nw.wShRN[i], nw.wExRN[i], nw.nShRN[i], nw.nExRN[i] = -1, -1, -1, -1
+	}
+	clear(nw.wShIn)
+	clear(nw.wExIn)
+	clear(nw.nShIn)
+	clear(nw.nExIn)
+	for o := range nw.outs {
+		clear(nw.outs[o])
+	}
+	clear(nw.offers)
+	clear(nw.accepted)
+	clear(nw.curBits)
+	if nw.xPipeR != nil {
+		for i := range nw.xPipeR {
+			clear(nw.xPipe[i])
+			clear(nw.yPipe[i])
+			for k := range nw.xPipeR[i] {
+				nw.xPipeR[i][k], nw.yPipeR[i][k] = -1, -1
+			}
+			nw.exPend[i], nw.syPend[i] = -1, -1
+		}
+	}
+	nw.pool = nw.pool[:0]
+	if len(nw.sh) != 1 {
+		// A previously sharded instance drops back to the single-shard
+		// layout New builds (its pool was arena-partitioned and is gone).
+		nw.sh = nw.makeShards(1, nil)
+	} else {
+		s0 := &nw.sh[0]
+		clear(s0.next)
+		clear(s0.pipeBits)
+		s0.counters = noc.Counters{}
+		s0.delivered = s0.delivered[:0]
+		s0.acceptedPEs = s0.acceptedPEs[:0]
+		s0.inFlight = 0
+		s0.free = s0.free[:0]
+		s0.freed = s0.freed[:0]
+		s0.cursor, s0.limit = 0, 0
+		s0.obs = nil
+		s0.now = 0
+	}
+	nw.shardOf = nil
+	nw.arena = 0
+	nw.mergedDelivered = nw.mergedDelivered[:0]
+	nw.mergedCounters = noc.Counters{}
+	nw.dense = false
+	nw.obs = nil
+}
+
 // makeShards builds s row-band shard contexts: shard k owns rows
 // [k*n/s, (k+1)*n/s). Concatenating per-shard outputs in ascending k equals
-// a row-major scan of the whole fabric.
-func (nw *Network) makeShards(s int) []shardCtx {
+// a row-major scan of the whole fabric. ar is the optional batch arena the
+// single-shard bit arrays are carved from (nil outside NewBatch).
+func (nw *Network) makeShards(s int, ar *batchArena) []shardCtx {
 	sz := nw.n * nw.n
 	words := (sz + 63) / 64
 	sh := make([]shardCtx, s)
@@ -205,8 +285,8 @@ func (nw *Network) makeShards(s int) []shardCtx {
 		if r := uint(hi) & 63; r != 0 {
 			c.hiMask = (uint64(1) << r) - 1
 		}
-		c.next = make([]uint64, words)
-		c.pipeBits = make([]uint64, words)
+		c.next = ar.words(words)
+		c.pipeBits = ar.words(words)
 	}
 	return sh
 }
@@ -228,7 +308,7 @@ func (nw *Network) ConfigureShards(s int) (int, error) {
 		s = nw.n
 	}
 	sz := nw.n * nw.n
-	nw.sh = nw.makeShards(s)
+	nw.sh = nw.makeShards(s, nil)
 	if s == 1 {
 		nw.shardOf = nil
 		nw.arena = 0

@@ -370,13 +370,18 @@ func (nw *Network) injectAt(a *arb, i, x, y int, now int64) {
 // an 80-byte slot — and with the latch fused in: granting an output writes
 // the downstream next-cycle register directly (emitR).
 func (nw *Network) routeSparse(sh *shardCtx, i, x, y int, now int64) {
-	t := nw.cfg.Topology
-	a := arb{exists: [numOuts]bool{
-		oESh: true,
-		oSSh: true,
-		oEEx: t.HasXExpress(x),
-		oSEx: t.HasYExpress(y),
-	}}
+	var a arb
+	if tb := nw.tabs; tb != nil {
+		a.exists = tb.exists[i]
+	} else {
+		t := nw.cfg.Topology
+		a.exists = [numOuts]bool{
+			oESh: true,
+			oSSh: true,
+			oEEx: t.HasXExpress(x),
+			oSEx: t.HasYExpress(y),
+		}
+	}
 
 	// Inputs are consumed (and cleared, so a router that goes idle does not
 	// replay stale packets when it reactivates) as they are read.
@@ -399,10 +404,19 @@ func (nw *Network) routeSparse(sh *shardCtx, i, x, y int, now int64) {
 	nw.injectAtR(sh, &a, i, x, y, now)
 }
 
-// placeR is place over a pool index.
+// placeR is place over a pool index. Batch instances replay the memoized
+// preference list for (port, dx, dy) instead of rebuilding it per packet;
+// the tables are constructed by calling prefsFor itself (see tables.go), so
+// both branches walk identical lists.
 func (nw *Network) placeR(sh *shardCtx, a *arb, i int, port noc.Port, r int32, x, y int) {
 	p := &nw.pool[r]
-	pr := nw.prefsFor(port, p.Dst, x, y)
+	var pr *prefs
+	if tb := nw.tabs; tb != nil {
+		pr = &tb.in[port][delta(y, p.Dst.Y, nw.n)*nw.n+delta(x, p.Dst.X, nw.n)]
+	} else {
+		fresh := nw.prefsFor(port, p.Dst, x, y)
+		pr = &fresh
+	}
 	for k := 0; k < pr.n; k++ {
 		c := pr.c[k]
 		if !a.exists[c.out] || a.taken[c.out] {
@@ -496,40 +510,16 @@ func (nw *Network) injectAtR(sh *shardCtx, a *arb, i, x, y int, now int64) {
 	}
 	off.ok = false
 
-	t := nw.cfg.Topology
 	dx := noc.RingDelta(x, off.p.Dst.X, nw.n)
 	dy := noc.RingDelta(y, off.p.Dst.Y, nw.n)
 
-	var pr prefs
-	switch {
-	case dx == 0 && dy == 0:
-		pr.add(oSSh, true, false)
-	case nw.cfg.Variant == VariantInject:
-		if nw.cfg.injectEligible(t, x, y, dx, dy) {
-			if dx > 0 {
-				pr.add(oEEx, false, false)
-				pr.add(oESh, false, false)
-			} else {
-				pr.add(oSEx, false, false)
-				pr.add(oSSh, false, false)
-			}
-		} else if dx > 0 {
-			pr.add(oESh, false, false)
-		} else {
-			pr.add(oSSh, false, false)
-		}
-	default: // VariantFull
-		if dx > 0 {
-			if t.HasXExpress(x) && dx%t.D == 0 {
-				pr.add(oEEx, false, false)
-			}
-			pr.add(oESh, false, false)
-		} else {
-			if t.HasYExpress(y) && dy%t.D == 0 {
-				pr.add(oSEx, false, false)
-			}
-			pr.add(oSSh, false, false)
-		}
+	var pr *prefs
+	if tb := nw.tabs; tb != nil {
+		pr = &tb.inj[tb.class[i]][dy*nw.n+dx]
+	} else {
+		t := nw.cfg.Topology
+		fresh := nw.injectPrefs(dx, dy, t.HasXExpress(x), t.HasYExpress(y))
+		pr = &fresh
 	}
 
 	for k := 0; k < pr.n; k++ {

@@ -1,0 +1,119 @@
+package hoplite
+
+import (
+	"fmt"
+
+	"fasttrack/internal/noc"
+)
+
+// batchArena carves per-instance arrays out of shared batch-major slabs: one
+// backing allocation per element type, with instance i's arrays occupying
+// the i-th contiguous region. A nil arena (the per-job path) degrades every
+// method to a plain allocation, and an exhausted slab does too — layout is
+// an optimization, never a correctness dependency.
+type batchArena struct {
+	i32 []int32
+	pk  []noc.Packet
+	u64 []uint64
+	sl  []slot
+	b   []bool
+}
+
+func (a *batchArena) int32s(n int) []int32 {
+	if a == nil || len(a.i32) < n {
+		return make([]int32, n)
+	}
+	r := a.i32[:n:n]
+	a.i32 = a.i32[n:]
+	return r
+}
+
+func (a *batchArena) words(n int) []uint64 {
+	if a == nil || len(a.u64) < n {
+		return make([]uint64, n)
+	}
+	r := a.u64[:n:n]
+	a.u64 = a.u64[n:]
+	return r
+}
+
+func (a *batchArena) slots(n int) []slot {
+	if a == nil || len(a.sl) < n {
+		return make([]slot, n)
+	}
+	r := a.sl[:n:n]
+	a.sl = a.sl[n:]
+	return r
+}
+
+func (a *batchArena) bools(n int) []bool {
+	if a == nil || len(a.b) < n {
+		return make([]bool, n)
+	}
+	r := a.b[:n:n]
+	a.b = a.b[n:]
+	return r
+}
+
+// packets returns an empty slice with capacity n carved from the packet
+// slab; growing past n falls back to append's reallocation.
+func (a *batchArena) packets(n int) []noc.Packet {
+	if a == nil || len(a.pk) < n {
+		return make([]noc.Packet, 0, n)
+	}
+	r := a.pk[:0:n]
+	a.pk = a.pk[n:]
+	return r
+}
+
+// Batch is B independent Hoplite instances of one geometry, with the sparse
+// hot-path state (register files, packet pools, occupancy bitsets, offer
+// and accepted arrays) laid out batch-major in shared slabs. Each instance
+// is an ordinary *Network: the lockstep driver steps them with the same
+// Step code the per-job path runs, which is what makes batched results
+// bit-identical.
+type Batch struct {
+	w, h  int
+	insts []*Network
+}
+
+// NewBatch builds b idle w×h instances sharing slab-backed state.
+func NewBatch(w, h, b int) (*Batch, error) {
+	if b < 1 {
+		return nil, fmt.Errorf("hoplite: batch size %d < 1", b)
+	}
+	if w < 2 || h < 2 {
+		return nil, fmt.Errorf("hoplite: dimensions %dx%d too small (need at least 2x2)", w, h)
+	}
+	n := w * h
+	words := (n + 63) / 64
+	ar := &batchArena{
+		i32: make([]int32, b*4*n),
+		u64: make([]uint64, b*2*words), // curBits + sh[0].next
+		sl:  make([]slot, b*n),
+		b:   make([]bool, b*n),
+		pk:  make([]noc.Packet, b*poolBound(w, h)),
+	}
+	bt := &Batch{w: w, h: h, insts: make([]*Network, b)}
+	for i := range bt.insts {
+		nw, err := newNet(w, h, ar)
+		if err != nil {
+			return nil, err
+		}
+		bt.insts[i] = nw
+	}
+	return bt, nil
+}
+
+// Size returns the instance count.
+func (bt *Batch) Size() int { return len(bt.insts) }
+
+// Instance returns the i-th network.
+func (bt *Batch) Instance(i int) *Network { return bt.insts[i] }
+
+// Reset idles every instance for the next job, keeping all slabs.
+func (bt *Batch) Reset() {
+	for _, nw := range bt.insts {
+		nw.Reset()
+	}
+}

@@ -162,7 +162,13 @@ func (nw *Network) canExit(pe int) bool { return nw.exitGate == nil || nw.exitGa
 
 // New returns an idle W×H Hoplite network. Both dimensions must be at
 // least 2 (a 1-wide ring has no distinct neighbour registers).
-func New(w, h int) (*Network, error) {
+func New(w, h int) (*Network, error) { return newNet(w, h, nil) }
+
+// newNet is New with an optional batch arena: when ar is non-nil the sparse
+// hot-path arrays are carved out of the arena's batch-major slabs instead of
+// allocated individually; see batch.go. The dense reference arrays always
+// come from plain allocations — batch instances never run the dense path.
+func newNet(w, h int, ar *batchArena) (*Network, error) {
 	if w < 2 || h < 2 {
 		return nil, fmt.Errorf("hoplite: dimensions %dx%d too small (need at least 2x2)", w, h)
 	}
@@ -172,25 +178,76 @@ func New(w, h int) (*Network, error) {
 		w: w, h: h,
 		wIn: make([]slot, n), nIn: make([]slot, n),
 		eOut: make([]slot, n), sOut: make([]slot, n),
-		wInR: make([]int32, n), nInR: make([]int32, n),
-		wInRN: make([]int32, n), nInRN: make([]int32, n),
-		offers:   make([]slot, n),
-		accepted: make([]bool, n),
-		curBits:  make([]uint64, words),
+		wInR: ar.int32s(n), nInR: ar.int32s(n),
+		wInRN: ar.int32s(n), nInRN: ar.int32s(n),
+		offers:   ar.slots(n),
+		accepted: ar.bools(n),
+		curBits:  ar.words(words),
 	}
 	for i := 0; i < n; i++ {
 		nw.wInR[i], nw.nInR[i] = -1, -1
 		nw.wInRN[i], nw.nInRN[i] = -1, -1
 	}
-	nw.sh = makeShards(1, w, h)
+	nw.pool = ar.packets(poolBound(w, h))
+	nw.sh = makeShards(1, w, h, ar)
 	return nw, nil
+}
+
+// poolBound is the packet-pool occupancy bound for one instance: the
+// register population (2n) plus a cycle of fresh injections and
+// not-yet-recycled frees — the formula ConfigureShards sizes arenas with.
+func poolBound(w, h int) int { return 3*w*h + 64 }
+
+// Reset restores the network to the idle state New leaves it in, keeping
+// every backing array (and its capacity) so a recycled instance re-runs a
+// job without reallocating. The result of a run on a Reset network is
+// bit-identical to a run on a fresh one: the only state that survives is
+// slice capacity, which routing never observes.
+func (nw *Network) Reset() {
+	for i := range nw.wInR {
+		nw.wInR[i], nw.nInR[i] = -1, -1
+		nw.wInRN[i], nw.nInRN[i] = -1, -1
+	}
+	clear(nw.wIn)
+	clear(nw.nIn)
+	clear(nw.eOut)
+	clear(nw.sOut)
+	clear(nw.offers)
+	clear(nw.accepted)
+	clear(nw.curBits)
+	nw.pool = nw.pool[:0]
+	if len(nw.sh) != 1 {
+		// A previously sharded instance drops back to the single-shard
+		// layout New builds (its pool was arena-partitioned and is gone).
+		nw.sh = makeShards(1, nw.w, nw.h, nil)
+	} else {
+		s0 := &nw.sh[0]
+		clear(s0.next)
+		s0.counters = noc.Counters{}
+		s0.delivered = s0.delivered[:0]
+		s0.acceptedPEs = s0.acceptedPEs[:0]
+		s0.inFlight = 0
+		s0.free = s0.free[:0]
+		s0.freed = s0.freed[:0]
+		s0.cursor, s0.limit = 0, 0
+		s0.obs = nil
+		s0.now = 0
+	}
+	nw.shardOf = nil
+	nw.arena = 0
+	nw.mergedDelivered = nw.mergedDelivered[:0]
+	nw.mergedCounters = noc.Counters{}
+	nw.dense = false
+	nw.obs = nil
+	nw.exitGate = nil
 }
 
 // makeShards builds s row-band shard contexts over a w×h fabric: shard k
 // owns rows [k*h/s, (k+1)*h/s), i.e. the contiguous router range
 // [row*w, endRow*w). Concatenating the shards' outputs in ascending k is
-// therefore identical to a row-major scan of the whole fabric.
-func makeShards(s, w, h int) []shardCtx {
+// therefore identical to a row-major scan of the whole fabric. ar is the
+// optional batch arena the single-shard bit arrays are carved from.
+func makeShards(s, w, h int, ar *batchArena) []shardCtx {
 	n := w * h
 	words := (n + 63) / 64
 	sh := make([]shardCtx, s)
@@ -205,7 +262,7 @@ func makeShards(s, w, h int) []shardCtx {
 		if r := uint(hi) & 63; r != 0 {
 			c.hiMask = (uint64(1) << r) - 1
 		}
-		c.next = make([]uint64, words)
+		c.next = ar.words(words)
 	}
 	return sh
 }
@@ -232,7 +289,7 @@ func (nw *Network) ConfigureShards(s int) (int, error) {
 		s = nw.h
 	}
 	n := nw.w * nw.h
-	nw.sh = makeShards(s, nw.w, nw.h)
+	nw.sh = makeShards(s, nw.w, nw.h, nil)
 	if s == 1 {
 		nw.shardOf = nil
 		nw.arena = 0

@@ -1,0 +1,99 @@
+package runner
+
+import (
+	"context"
+
+	"fasttrack/internal/core"
+	"fasttrack/internal/sim"
+)
+
+// SyntheticCurve names one saturation curve for SaturationSearchBatch: a
+// network configuration plus the synthetic options template whose Rate each
+// evaluation overrides.
+type SyntheticCurve struct {
+	Cfg  core.Config
+	Opts core.SyntheticOptions
+}
+
+// SaturationSearchBatch runs one SaturationSearch per curve, advancing all
+// searches in lockstep rounds: each round gathers the next rate probe every
+// still-active search needs and answers them with a single DoSyntheticBatch
+// call, so probes for curves that share a configuration run as one lockstep
+// chunk on recycled networks and the whole round pays the batched engine's
+// amortized costs instead of len(curves) per-job setups.
+//
+// The grouping is invisible in the outcome: each search's probe sequence
+// depends only on its own results, every result is bit-identical to the
+// per-job path (RunBatch's contract), and cache reads/writes go through the
+// same keys and bytes DoSyntheticBatch always uses. Running the same curves
+// through per-curve SaturationSearch(Do(...)) yields equal Saturations and
+// an equivalent cache.
+func SaturationSearchBatch(ctx context.Context, o *Orchestrator, pool *NetPool, curves []SyntheticCurve, opts SaturationOptions) ([]Saturation, error) {
+	type reply struct {
+		res sim.Result
+		err error
+	}
+	type request struct {
+		curve int
+		rate  float64
+		reply chan reply
+	}
+
+	sats := make([]Saturation, len(curves))
+	errs := make([]error, len(curves))
+	reqCh := make(chan request)
+	doneCh := make(chan struct{})
+	for i := range curves {
+		i := i
+		go func() {
+			sats[i], errs[i] = SaturationSearch(func(rate float64) (sim.Result, error) {
+				ch := make(chan reply, 1)
+				reqCh <- request{curve: i, rate: rate, reply: ch}
+				r := <-ch
+				return r.res, r.err
+			}, opts)
+			doneCh <- struct{}{}
+		}()
+	}
+
+	// Round barrier: between rounds every active search is blocked on its
+	// reply, so each sends exactly one message per round — its next probe,
+	// or done. Collecting one message per active search therefore drains the
+	// round completely before any simulation runs.
+	active := len(curves)
+	for active > 0 {
+		var round []request
+		for n := active; n > 0; n-- {
+			select {
+			case r := <-reqCh:
+				round = append(round, r)
+			case <-doneCh:
+				active--
+			}
+		}
+		if len(round) == 0 {
+			continue
+		}
+		jobs := make([]SyntheticJob, len(round))
+		for k, r := range round {
+			opts := curves[r.curve].Opts
+			opts.Rate = r.rate
+			jobs[k] = SyntheticJob{Cfg: curves[r.curve].Cfg, Opts: opts}
+		}
+		out, err := DoSyntheticBatch(ctx, o, pool, jobs)
+		for k, r := range round {
+			if err != nil {
+				r.reply <- reply{err: err}
+			} else {
+				r.reply <- reply{res: out[k]}
+			}
+		}
+	}
+
+	for _, err := range errs {
+		if err != nil {
+			return sats, err
+		}
+	}
+	return sats, nil
+}

@@ -1,0 +1,73 @@
+package runner
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"fasttrack/internal/core"
+	"fasttrack/internal/sim"
+)
+
+// TestSaturationSearchBatchMatchesPerCurve pins the lockstep sweep's
+// contract: running several saturation searches through the round
+// coordinator yields Saturations DeepEqual to independent per-curve
+// searches on the per-job path, and fills a cache the per-job path can
+// answer warm.
+func TestSaturationSearchBatchMatchesPerCurve(t *testing.T) {
+	template := core.SyntheticOptions{PacketsPerPE: 40, Seed: 17}
+	curves := []SyntheticCurve{
+		{Cfg: core.FastTrack(4, 2, 1), Opts: withPattern(template, "RANDOM")},
+		{Cfg: core.FastTrack(4, 2, 1), Opts: withPattern(template, "TRANSPOSE")},
+		{Cfg: core.Hoplite(4), Opts: withPattern(template, "RANDOM")},
+	}
+	sopts := SaturationOptions{Tol: 0.05, Probes: []float64{0.05}}
+
+	batchedCache := testCache(t)
+	o := &Orchestrator{Cache: batchedCache, Workers: 2}
+	got, err := SaturationSearchBatch(context.Background(), o, &NetPool{}, curves, sopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	perJob := &Orchestrator{Cache: testCache(t)}
+	for i, c := range curves {
+		c := c
+		want, err := SaturationSearch(func(rate float64) (sim.Result, error) {
+			opts := c.Opts
+			opts.Rate = rate
+			return Do(context.Background(), perJob, SyntheticKey(c.Cfg, opts), func() (sim.Result, error) {
+				return core.RunSynthetic(context.Background(), c.Cfg, opts)
+			})
+		}, sopts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got[i], want) {
+			t.Fatalf("curve %d diverges from per-job search\nbatched: %+v\nper-job: %+v", i, got[i], want)
+		}
+	}
+
+	// The batched cache answers the per-job search warm: zero executions.
+	warm := &Orchestrator{Cache: batchedCache}
+	for _, c := range curves {
+		c := c
+		if _, err := SaturationSearch(func(rate float64) (sim.Result, error) {
+			opts := c.Opts
+			opts.Rate = rate
+			return Do(context.Background(), warm, SyntheticKey(c.Cfg, opts), func() (sim.Result, error) {
+				return core.RunSynthetic(context.Background(), c.Cfg, opts)
+			})
+		}, sopts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ex, _ := warm.Stats(); ex != 0 {
+		t.Fatalf("per-job search over batched cache executed %d simulations, want 0", ex)
+	}
+}
+
+func withPattern(o core.SyntheticOptions, pat string) core.SyntheticOptions {
+	o.Pattern = pat
+	return o
+}

@@ -1,0 +1,145 @@
+package sim
+
+import (
+	"fmt"
+
+	"fasttrack/internal/noc"
+)
+
+// EventWorkload is optionally implemented by workloads that can predict when
+// their next generation event fires (traffic.SynthView is the canonical
+// implementation: Bernoulli generation is open-loop, so the next arrival is
+// a pure function of workload state). The lockstep batch driver uses it to
+// fast-forward an instance across provably idle stretches — cycles where the
+// workload has nothing queued, nothing is in flight, and Tick cannot enqueue
+// anything — instead of stepping them one by one.
+type EventWorkload interface {
+	// NextEventCycle returns the earliest cycle > now at which Tick can
+	// enqueue new work, or math.MaxInt64 when generation is finished.
+	NextEventCycle(now int64) int64
+	// QueueEmpty reports that no PE currently holds a queued packet.
+	QueueEmpty() bool
+}
+
+// BatchJob is one instance of a lockstep batch: a network, a workload, and
+// the per-job options. Jobs in one batch are fully independent — they
+// typically share slab-backed network state (hoplite.NewBatch /
+// fasttrack.NewBatch) and a SyntheticBatch workload, but any
+// Network+Workload pair works.
+type BatchJob struct {
+	Net  noc.Network
+	WL   Workload
+	Opts Options
+}
+
+// BatchResult is one job's outcome.
+type BatchResult struct {
+	Res Result
+	Err error
+}
+
+// RunBatch drives every job in lockstep: one outer loop steps each live
+// instance one cycle per round through engine.cycle — the exact phase
+// sequence runSequential runs — with per-instance virtual time, so every
+// Result (fields, counters, float accumulation order) is bit-identical to
+// Run on the same job. Batching, like Options.Shards, is a wall-clock knob
+// only; runner cache keys ignore it.
+//
+// Per-job restrictions: Shards > 1 and EngineDense are rejected (batching
+// composes with sharding at the job level — B instances on one core — not
+// inside one instance; the dense path is the reference the batch is measured
+// against). A rejected job gets an error in its slot; siblings still run.
+//
+// Instances whose workload implements EventWorkload fast-forward across
+// idle stretches when no auditor, observer, or convergence window is armed
+// (those need to see every cycle): the skipped cycles are no-ops by
+// construction, and the watchdog state is advanced exactly as if they had
+// run. Context polling happens at most once per executed cycle, so
+// cancellation latency over a skipped stretch collapses to its end.
+func RunBatch(jobs []BatchJob) []BatchResult {
+	out := make([]BatchResult, len(jobs))
+
+	type instState struct {
+		e    *engine
+		idx  int
+		now  int64
+		max  int64
+		ev   EventWorkload
+		skip bool
+	}
+	live := make([]*instState, 0, len(jobs))
+	for i, j := range jobs {
+		opts := j.Opts.withDefaults()
+		if opts.Shards > 1 {
+			out[i].Err = fmt.Errorf("sim: batch job cannot shard (Shards=%d); run it as a per-job simulation instead", opts.Shards)
+			continue
+		}
+		if opts.Engine == EngineDense {
+			out[i].Err = fmt.Errorf("sim: batch jobs run the sparse engine only")
+			continue
+		}
+		e := newEngine(j.Net, j.WL, opts)
+		st := &instState{e: e, idx: i, max: opts.MaxCycles}
+		if ev, ok := j.WL.(EventWorkload); ok && e.aud == nil && e.obs == nil && opts.ConvergeWindow <= 0 {
+			st.ev, st.skip = ev, true
+		}
+		live = append(live, st)
+	}
+
+	for len(live) > 0 {
+		kept := live[:0]
+		for _, st := range live {
+			e := st.e
+
+			// Idle fast-forward: with an empty network, an empty source
+			// queue, and an undrained workload, every cycle before the
+			// next generation event ticks nothing, offers nothing, and
+			// resets the watchdog — so jump straight to the event (or the
+			// cycle budget). lastProgress lands where the last no-op cycle
+			// would have left it. InFlight is tested first: it is the
+			// cheapest probe and the one that fails on almost every busy
+			// cycle.
+			if st.skip && e.net.InFlight() == 0 && st.ev.QueueEmpty() && !e.wl.Done() {
+				target := st.ev.NextEventCycle(st.now)
+				if target > st.max {
+					target = st.max
+				}
+				if target > st.now {
+					e.lastProgress = target - 1
+					st.now = target
+				}
+			}
+
+			if st.now >= st.max {
+				out[st.idx].Res, out[st.idx].Err = e.finish(st.now)
+				continue
+			}
+			if err := e.pollCtx(st.now); err != nil {
+				out[st.idx] = BatchResult{Res: e.res, Err: err}
+				continue
+			}
+			cs, err := e.cycle(st.now)
+			if err != nil {
+				out[st.idx] = BatchResult{Res: e.res, Err: err}
+				continue
+			}
+			switch cs {
+			case cycleDrained:
+				out[st.idx].Res, out[st.idx].Err = e.finish(st.now)
+				continue
+			case cycleConverged:
+				st.now++ // this cycle completed in full
+				out[st.idx].Res, out[st.idx].Err = e.finish(st.now)
+				continue
+			}
+			st.now++
+			if st.now >= st.max {
+				out[st.idx].Res, out[st.idx].Err = e.finish(st.now)
+				continue
+			}
+			kept = append(kept, st)
+		}
+		live = kept
+	}
+	return out
+}

@@ -595,6 +595,51 @@ func (e *engine) finish(now int64) (Result, error) {
 	return e.res, nil
 }
 
+// cycleStatus is what one engine cycle reports back to its driver.
+type cycleStatus uint8
+
+const (
+	// cycleRan: the cycle completed; keep going.
+	cycleRan cycleStatus = iota
+	// cycleDrained: the workload drained before this cycle ran — the run
+	// ends with the current cycle number (the drain check precedes Step).
+	cycleDrained
+	// cycleConverged: the stationarity test passed at the end of this cycle —
+	// the run ends after it (the cycle completed in full).
+	cycleConverged
+)
+
+// cycle runs the canonical per-cycle phase sequence once at time now. It is
+// the body of runSequential's loop, extracted so the lockstep batch driver
+// (batch.go) interleaves instances cycle by cycle through the exact code the
+// per-job path runs.
+func (e *engine) cycle(now int64) (cycleStatus, error) {
+	e.wl.Tick(now)
+	anyOffer := e.phaseOffer(now)
+	if !anyOffer && e.wl.Done() && e.net.InFlight() == 0 {
+		return cycleDrained, nil
+	}
+
+	e.net.Step(now)
+
+	progress := e.phaseInjectFeedback(now)
+	dp, err := e.phaseDeliver(now)
+	if err != nil {
+		return cycleRan, err
+	}
+	progress = progress || dp
+	if err := e.phaseCycleEnd(now); err != nil {
+		return cycleRan, err
+	}
+	if err := e.watchdog(now, anyOffer, progress); err != nil {
+		return cycleRan, err
+	}
+	if e.converged(now, e.latSum) {
+		return cycleConverged, nil
+	}
+	return cycleRan, nil
+}
+
 // runSequential is the single-goroutine driver: every phase runs inline on
 // the caller, in the canonical per-cycle order.
 func runSequential(net noc.Network, wl Workload, opts Options) (Result, error) {
@@ -604,27 +649,14 @@ func runSequential(net noc.Network, wl Workload, opts Options) (Result, error) {
 		if err := e.pollCtx(now); err != nil {
 			return e.res, err
 		}
-		e.wl.Tick(now)
-		anyOffer := e.phaseOffer(now)
-		if !anyOffer && wl.Done() && net.InFlight() == 0 {
-			break
-		}
-
-		net.Step(now)
-
-		progress := e.phaseInjectFeedback(now)
-		dp, err := e.phaseDeliver(now)
+		st, err := e.cycle(now)
 		if err != nil {
 			return e.res, err
 		}
-		progress = progress || dp
-		if err := e.phaseCycleEnd(now); err != nil {
-			return e.res, err
+		if st == cycleDrained {
+			break
 		}
-		if err := e.watchdog(now, anyOffer, progress); err != nil {
-			return e.res, err
-		}
-		if e.converged(now, e.latSum) {
+		if st == cycleConverged {
 			now++ // this cycle completed in full
 			break
 		}

@@ -71,5 +71,8 @@ func (h *Histogram) GobDecode(b []byte) error {
 	}
 	h.bounds, h.counts, h.over = w.Bounds, w.Counts, w.Over
 	h.n, h.sum, h.max = w.N, w.Sum, w.MaxVal
+	// The direct-index table is derived state: rebuilding it here keeps a
+	// decoded histogram field-identical to a freshly constructed one.
+	h.small = smallIndex(h.bounds)
 	return nil
 }

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 )
 
 // Accumulator tracks count/mean/min/max/variance of a stream of samples
@@ -97,6 +98,56 @@ type Histogram struct {
 	n      int64 // total samples
 	sum    int64 // exact sample sum
 	max    int64 // largest sample
+
+	// small[x] is the bucket index of sample value x, precomputed for the
+	// low values almost every latency sample lands in (Fig 16's mass sits
+	// far below smallBucketCap), turning the per-delivery bucket lookup
+	// into one load. Derived from bounds — rebuilt on decode, never
+	// serialized, and identical for identical geometry, so it is invisible
+	// to gob bytes and DeepEqual alike.
+	small []int32
+}
+
+// smallBucketCap bounds the direct-index bucket table.
+const smallBucketCap = 4096
+
+// smallCache shares the read-only tables across histograms: the geometry is
+// a pure function of the constructor's max, and simulations build one
+// histogram per run, so recomputing (and reallocating) 16KB per engine
+// would be pure churn. NewLatencyHistogram geometries are fully determined
+// by (bucket count, last bound), which is the key.
+var smallCache sync.Map // smallKey -> []int32
+
+type smallKey struct {
+	n    int
+	last int64
+}
+
+// smallIndex returns the bucket index of every sample value in
+// [0, min(lastBound, smallBucketCap)), memoized per geometry.
+func smallIndex(bounds []int64) []int32 {
+	if len(bounds) == 0 {
+		return nil
+	}
+	last := bounds[len(bounds)-1]
+	key := smallKey{n: len(bounds), last: last}
+	if tab, ok := smallCache.Load(key); ok {
+		return tab.([]int32)
+	}
+	limit := int64(smallBucketCap)
+	if last+1 < limit {
+		limit = last + 1
+	}
+	small := make([]int32, limit)
+	i := 0
+	for x := int64(0); x < limit; x++ {
+		for bounds[i] < x {
+			i++
+		}
+		small[x] = int32(i)
+	}
+	smallCache.Store(key, small)
+	return small
 }
 
 // NewLatencyHistogram returns a histogram with geometric buckets from 1 up
@@ -113,7 +164,7 @@ func NewLatencyHistogram(max int64) *Histogram {
 		b = nb
 	}
 	bounds = append(bounds, max)
-	return &Histogram{bounds: bounds, counts: make([]int64, len(bounds))}
+	return &Histogram{bounds: bounds, counts: make([]int64, len(bounds)), small: smallIndex(bounds)}
 }
 
 // Add records one sample.
@@ -122,6 +173,10 @@ func (h *Histogram) Add(x int64) {
 	h.sum += x
 	if x > h.max {
 		h.max = x
+	}
+	if x >= 0 && x < int64(len(h.small)) {
+		h.counts[h.small[x]]++
+		return
 	}
 	i := sort.Search(len(h.bounds), func(i int) bool { return h.bounds[i] >= x })
 	if i == len(h.bounds) {

@@ -1,0 +1,130 @@
+package traffic
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"fasttrack/internal/xrand"
+)
+
+// TestSyntheticBatchStreamEquivalence drives a batched instance and the
+// per-job Synthetic through the same Tick/Pending/Injected schedule and
+// asserts the packet streams match event for event: same packets (ID, src,
+// dst, gen) in the same order under an adversarial drain schedule that
+// leaves queues non-empty across ticks. This pins the event-driven
+// generator's claim that it replays the exact per-PE RNG streams the
+// per-cycle path consumes.
+func TestSyntheticBatchStreamEquivalence(t *testing.T) {
+	patterns := []string{"RANDOM", "TRANSPOSE", "BITCOMPL", "LOCAL"}
+	for _, name := range patterns {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			pat, err := ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			const w, h, quota, seed = 4, 4, 12, 9
+			const rate = 0.35
+			ref := NewSynthetic(w, h, pat, rate, quota, seed)
+			sb := NewSyntheticBatch(w, h, []SynthSpec{
+				{Pattern: pat, Rate: rate, Quota: quota, Seed: seed},
+				// A sibling with a different seed shares the flat arrays;
+				// it must not perturb instance 0.
+				{Pattern: pat, Rate: rate, Quota: quota, Seed: seed + 1},
+			})
+			view := sb.View(0)
+			sibling := sb.View(1)
+
+			drain := xrand.New(4242)
+			n := w * h
+			for now := int64(0); now < 4000; now++ {
+				ref.Tick(now)
+				view.Tick(now)
+				sibling.Tick(now)
+				for pe := 0; pe < n; pe++ {
+					refPkt, refOK := ref.Pending(pe, now)
+					gotPkt, gotOK := view.Pending(pe, now)
+					if refOK != gotOK {
+						t.Fatalf("cycle %d pe %d: pending mismatch ref=%v got=%v", now, pe, refOK, gotOK)
+					}
+					if !refOK {
+						continue
+					}
+					if refPkt != gotPkt {
+						t.Fatalf("cycle %d pe %d: packet mismatch\nref: %+v\ngot: %+v", now, pe, refPkt, gotPkt)
+					}
+					// Adversarial drain: inject only sometimes, so queues
+					// grow, wrap, and compact.
+					if drain.Bool(0.6) {
+						ref.Injected(pe, now)
+						view.Injected(pe, now)
+					}
+					if sp, ok := sibling.Pending(pe, now); ok && drain.Bool(0.5) {
+						_ = sp
+						sibling.Injected(pe, now)
+					}
+				}
+				if ref.Done() != view.Done() {
+					t.Fatalf("cycle %d: Done mismatch ref=%v got=%v", now, ref.Done(), view.Done())
+				}
+				refActive := ref.ActivePEs(nil)
+				gotActive := view.ActivePEs(nil)
+				if !reflect.DeepEqual(refActive, gotActive) {
+					t.Fatalf("cycle %d: active sets differ\nref: %v\ngot: %v", now, refActive, gotActive)
+				}
+				if view.Done() {
+					break
+				}
+			}
+			if !view.Done() || !ref.Done() {
+				t.Fatal("workloads did not drain within the test horizon")
+			}
+		})
+	}
+}
+
+// TestSyntheticBatchNextEvent checks the idle-skip probes: NextEventCycle
+// is exactly the first future cycle at which Tick enqueues something, and
+// QueueEmpty tracks pending packets.
+func TestSyntheticBatchNextEvent(t *testing.T) {
+	pat, err := ByName("RANDOM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb := NewSyntheticBatch(4, 4, []SynthSpec{{Pattern: pat, Rate: 0.02, Quota: 3, Seed: 5}})
+	v := sb.View(0)
+	if !v.QueueEmpty() {
+		t.Fatal("fresh workload must have empty queues")
+	}
+	var now int64
+	for !v.Done() && now < 100000 {
+		next := v.NextEventCycle(now)
+		if v.QueueEmpty() && next > now {
+			// Ticking any cycle before next must enqueue nothing.
+			probe := next - 1
+			v.Tick(probe)
+			if !v.QueueEmpty() {
+				t.Fatalf("tick %d (before predicted event %d) enqueued work", probe, next)
+			}
+			now = next
+			continue
+		}
+		v.Tick(now)
+		if next == now && v.QueueEmpty() {
+			t.Fatalf("predicted event at %d enqueued nothing", now)
+		}
+		for pe := 0; pe < 16; pe++ {
+			if _, ok := v.Pending(pe, now); ok {
+				v.Injected(pe, now)
+			}
+		}
+		now++
+	}
+	if !v.Done() {
+		t.Fatal("workload did not drain")
+	}
+	if v.NextEventCycle(now) != math.MaxInt64 {
+		t.Fatal("drained workload must report no next event")
+	}
+}

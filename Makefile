@@ -9,7 +9,7 @@ GO ?= go
 # pass so the assertion is meaningful).
 SWEEP_CACHE ?= .ftcache-quick
 
-.PHONY: build test vet race race-shards fuzz verify bench bench-sweep bench-check sweep-quick monitor-smoke serve-load serve-load-smoke
+.PHONY: build test vet race race-shards fuzz verify bench bench-sweep bench-check sweep-quick monitor-smoke serve-load serve-load-smoke trace-roundtrip
 
 build:
 	$(GO) build ./...
@@ -75,12 +75,32 @@ sweep-quick:
 	rm -rf $(SWEEP_CACHE)
 
 # Short fuzz pass over the property fuzzers (noc.RingDelta, FastTrack
-# topology construction, the daemon's JSON job-spec decoder); extend
-# -fuzztime for deeper runs.
+# topology construction, the daemon's JSON job-spec decoder, the FTT1
+# binary trace decoder); extend -fuzztime for deeper runs.
 fuzz:
 	$(GO) test -fuzz FuzzRingDelta -fuzztime 10s ./internal/noc/
 	$(GO) test -fuzz FuzzTopology -fuzztime 10s ./internal/fasttrack/
 	$(GO) test -fuzz FuzzDecodeJobSpec -fuzztime 10s ./internal/cliflags/
+	$(GO) test -fuzz FuzzReadBinary -fuzztime 10s ./internal/trace/
+
+# Trace record/replay round trip through the fttrace CLI: generate a text
+# trace, record it to FTT1, decode the recording back to text (must be
+# byte-identical), check all three carry one fingerprint, and replay both
+# formats on the same NoC (streaming vs in-memory) expecting identical
+# simulation output lines.
+TRACE_RT_DIR ?= .trace-roundtrip
+trace-roundtrip:
+	rm -rf $(TRACE_RT_DIR) && mkdir -p $(TRACE_RT_DIR)
+	$(GO) run ./cmd/fttrace -suite spmv -bench add20 -n 4 > $(TRACE_RT_DIR)/t.trace
+	$(GO) run ./cmd/fttrace -record $(TRACE_RT_DIR)/t.ftt -from $(TRACE_RT_DIR)/t.trace
+	$(GO) run ./cmd/fttrace -suite spmv -bench add20 -n 4 -record $(TRACE_RT_DIR)/gen.ftt
+	cmp $(TRACE_RT_DIR)/t.ftt $(TRACE_RT_DIR)/gen.ftt
+	$(GO) run ./cmd/fttrace -decode $(TRACE_RT_DIR)/t.ftt | cmp - $(TRACE_RT_DIR)/t.trace
+	$(GO) run ./cmd/fttrace -fingerprint $(TRACE_RT_DIR)/t.trace > $(TRACE_RT_DIR)/fp.txt
+	$(GO) run ./cmd/fttrace -fingerprint $(TRACE_RT_DIR)/t.ftt | cmp - $(TRACE_RT_DIR)/fp.txt
+	$(GO) run ./cmd/fttrace -replay $(TRACE_RT_DIR)/t.trace -noc ft -n 4 -d 2 -r 1 > $(TRACE_RT_DIR)/replay.txt
+	$(GO) run ./cmd/fttrace -replay $(TRACE_RT_DIR)/t.ftt -noc ft -n 4 -d 2 -r 1 | cmp - $(TRACE_RT_DIR)/replay.txt
+	rm -rf $(TRACE_RT_DIR)
 
 # Daemon load test: ftload self-hosts an ftserve daemon and hammers it with
 # concurrent clients posting mixed valid/duplicate/malformed specs, then
@@ -101,4 +121,4 @@ monitor-smoke:
 	$(GO) run ./cmd/ftexp -quick -run fig11 -no-cache -span-trace .smoke.spans.trace.json > /dev/null
 	rm -f .smoke.spans.trace.json
 
-verify: build vet test race race-shards sweep-quick monitor-smoke serve-load-smoke
+verify: build vet test race race-shards sweep-quick trace-roundtrip monitor-smoke serve-load-smoke

@@ -1,12 +1,20 @@
-// Command fttrace generates, inspects, and replays the application
+// Command fttrace generates, records, inspects, and replays the application
 // communication traces behind the paper's Fig 15 case studies.
+//
+// Traces exist in two interchangeable formats with the same content
+// fingerprint: a line-oriented text form and the compact FTT1 binary form
+// (.ftt), which records and replays in constant memory.
 //
 // Examples:
 //
 //	fttrace -list
 //	fttrace -suite spmv -bench add20 -n 8 > add20.trace
+//	fttrace -suite spmv -bench add20 -n 8 -record add20.ftt
+//	fttrace -record add20.ftt -from add20.trace
+//	fttrace -decode add20.ftt > add20.trace
+//	fttrace -fingerprint add20.ftt
 //	fttrace -suite lu -bench s953_4568 -n 8 -stats
-//	fttrace -replay add20.trace -noc ft -n 8 -d 2 -r 1
+//	fttrace -replay add20.ftt -noc ft -n 8 -d 2 -r 1
 package main
 
 import (
@@ -14,6 +22,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"fasttrack/internal/cliflags"
@@ -33,93 +42,199 @@ func main() {
 	bench := flag.String("bench", "", "benchmark name within the suite")
 	n := flag.Int("n", 8, "torus width (trace targets NxN PEs)")
 	stats := flag.Bool("stats", false, "print trace statistics instead of the trace")
-	replay := flag.String("replay", "", "replay a trace file on a NoC instead of generating")
+	record := flag.String("record", "", "write the trace as an FTT1 binary file (from -suite/-bench, streamed, or from -from)")
+	from := flag.String("from", "", "input trace file for -record (text or FTT1, sniffed)")
+	decode := flag.String("decode", "", "decode a trace file (text or FTT1, sniffed) to text on stdout")
+	fingerprint := flag.String("fingerprint", "", "print a trace file's identity (name, PEs, events, fingerprint)")
+	replay := flag.String("replay", "", "replay a trace file (text or FTT1, sniffed) on a NoC instead of generating")
 	nocKind := flag.String("noc", "ft", "replay network: hoplite | ft")
 	d := flag.Int("d", 2, "FastTrack D for replay")
 	r := flag.Int("r", 1, "FastTrack R for replay")
 	seed := flag.Uint64("seed", 1, "seed for synthetic trace generation")
 	eng := cliflags.RegisterEngine(flag.CommandLine)
+	rep := cliflags.RegisterReplay(flag.CommandLine)
 	telem := cliflags.RegisterTelemetry(flag.CommandLine)
 	mon := cliflags.RegisterMonitor(flag.CommandLine)
 	flag.Parse()
 
-	if *list {
-		fmt.Println("spmv:")
+	switch {
+	case *list:
+		listBenchmarks()
+	case *fingerprint != "":
+		src, closer, err := trace.OpenFile(*fingerprint)
+		if err != nil {
+			fatal(err)
+		}
+		defer closer.Close()
+		hdr := src.Header()
+		fmt.Printf("name=%s pes=%d events=%d fp=%016x\n", hdr.Name, hdr.PEs, hdr.Events, hdr.Fingerprint)
+	case *decode != "":
+		src, closer, err := trace.OpenFile(*decode)
+		if err != nil {
+			fatal(err)
+		}
+		defer closer.Close()
+		if err := trace.WriteText(os.Stdout, src); err != nil {
+			fatal(err)
+		}
+	case *record != "":
+		hdr, err := recordTrace(*record, *from, *suite, *bench, *n, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "fttrace: recorded %s: %d PEs, %d events, fp=%016x\n",
+			hdr.Name, hdr.PEs, hdr.Events, hdr.Fingerprint)
+	case *replay != "":
+		src, closer, err := trace.OpenFile(*replay)
+		if err != nil {
+			fatal(err)
+		}
+		defer closer.Close()
+		replayTrace(src, *nocKind, *n, *d, *r, eng, rep, telem, mon)
+	default:
+		tr, err := generate(*suite, *bench, *n, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		if *stats {
+			s := tr.ComputeStats(*n, *n)
+			fmt.Printf("trace %s: %d PEs, %d events (%d self), max fan-in %d, critical path %d, avg fwd distance %.1f\n",
+				tr.Name, tr.PEs, s.Events, s.SelfEvents, s.MaxFanIn, s.CritPathLen, s.AvgDistance)
+			return
+		}
+		if err := tr.Write(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func listBenchmarks() {
+	fmt.Println("spmv:")
+	for _, m := range spmv.Benchmarks() {
+		fmt.Printf("  %s\n", m)
+	}
+	fmt.Println("graph:")
+	for _, b := range graphwl.Benchmarks() {
+		fmt.Printf("  %s\n", b.Graph)
+	}
+	fmt.Println("lu:")
+	for _, m := range dataflow.Benchmarks() {
+		fmt.Printf("  %s\n", m)
+	}
+	fmt.Println("overlay:")
+	for _, b := range overlay.Benchmarks() {
+		fmt.Printf("  %s\n", b.Name)
+	}
+}
+
+// recordTrace writes an FTT1 file: converted from an existing trace file
+// (-from, format sniffed) or streamed straight out of a generator — the
+// generator path never materializes the trace.
+func recordTrace(out, from, suite, bench string, n int, seed uint64) (trace.Header, error) {
+	f, err := os.Create(out)
+	if err != nil {
+		return trace.Header{}, err
+	}
+	hdr, err := recordInto(f, from, suite, bench, n, seed)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(out)
+		return trace.Header{}, err
+	}
+	return hdr, nil
+}
+
+func recordInto(f io.WriteSeeker, from, suite, bench string, n int, seed uint64) (trace.Header, error) {
+	if from != "" {
+		src, closer, err := trace.OpenFile(from)
+		if err != nil {
+			return trace.Header{}, err
+		}
+		defer closer.Close()
+		return trace.EncodeBinaryFrom(f, src)
+	}
+	switch suite {
+	case "spmv":
 		for _, m := range spmv.Benchmarks() {
-			fmt.Printf("  %s\n", m)
-		}
-		fmt.Println("graph:")
-		for _, b := range graphwl.Benchmarks() {
-			fmt.Printf("  %s\n", b.Graph)
-		}
-		fmt.Println("lu:")
-		for _, m := range dataflow.Benchmarks() {
-			fmt.Printf("  %s\n", m)
-		}
-		fmt.Println("overlay:")
-		for _, b := range overlay.Benchmarks() {
-			fmt.Printf("  %s\n", b.Name)
-		}
-		return
-	}
-
-	if *replay != "" {
-		f, err := os.Open(*replay)
-		if err != nil {
-			fatal(err)
-		}
-		defer f.Close()
-		tr, err := trace.Read(f)
-		if err != nil {
-			fatal(err)
-		}
-		cfg := core.Hoplite(*n)
-		if *nocKind == "ft" {
-			cfg = core.FastTrack(*n, *d, *r)
-		}
-		sinks, err := telem.Build(*n, *n)
-		if err != nil {
-			fatal(err)
-		}
-		ops, err := mon.Build(*n, *n, nil)
-		if err != nil {
-			fatal(err)
-		}
-		obs := telemetry.Multi(sinks.Observer, ops.Observer)
-		topts := core.TraceOptions{Observer: obs}
-		eng.ApplyTrace(&topts)
-		res, err := core.RunTrace(context.Background(), cfg, tr, topts)
-		if err != nil {
-			var inv *sim.InvariantError
-			if errors.As(err, &inv) {
-				ops.DumpFlight(os.Stderr, 10)
+			if m.Name == bench {
+				return spmv.WriteTo(m, n, n, spmv.Options{}, f)
 			}
-			fatal(err)
 		}
-		if err := sinks.Close(); err != nil {
-			fatal(err)
+	case "graph":
+		for _, b := range graphwl.Benchmarks() {
+			if b.Graph.Name == bench {
+				return graphwl.WriteTo(b.Graph, b.PartitionFor(n*n), n, n, graphwl.Options{}, f)
+			}
 		}
-		if err := ops.Close(); err != nil {
-			fatal(err)
+	case "lu":
+		for _, m := range dataflow.Benchmarks() {
+			if m.Name == bench {
+				return dataflow.WriteTo(m, n, n, dataflow.Options{}, f)
+			}
 		}
-		fmt.Printf("%s on %s: %d cycles, %d messages, avg latency %.1f, worst %d\n",
-			tr.Name, cfg, res.Cycles, res.Delivered, res.AvgLatency, res.WorstLatency)
-		return
+	case "overlay":
+		for _, b := range overlay.Benchmarks() {
+			if b.Name == bench {
+				return overlay.WriteTo(b, n, n, overlayActive(n), seed, f)
+			}
+		}
+	case "":
+		return trace.Header{}, fmt.Errorf("fttrace: -record needs -from or -suite/-bench")
+	default:
+		return trace.Header{}, fmt.Errorf("fttrace: unknown suite %q (spmv|graph|lu|overlay)", suite)
 	}
+	return trace.Header{}, fmt.Errorf("fttrace: benchmark %q not found in suite %s (try -list)", bench, suite)
+}
 
-	tr, err := generate(*suite, *bench, *n, *seed)
+// replayTrace runs src on the selected NoC. A binary source replays
+// streaming (constant memory, -trace-window bounds residency); a text
+// source replays in memory.
+func replayTrace(src trace.Source, nocKind string, n, d, r int, eng *cliflags.Engine, rep *cliflags.Replay, telem *cliflags.Telemetry, mon *cliflags.Monitor) {
+	cfg := core.Hoplite(n)
+	if nocKind == "ft" {
+		cfg = core.FastTrack(n, d, r)
+	}
+	sinks, err := telem.Build(n, n)
 	if err != nil {
 		fatal(err)
 	}
-	if *stats {
-		s := tr.ComputeStats(*n, *n)
-		fmt.Printf("trace %s: %d PEs, %d events (%d self), max fan-in %d, critical path %d, avg fwd distance %.1f\n",
-			tr.Name, tr.PEs, s.Events, s.SelfEvents, s.MaxFanIn, s.CritPathLen, s.AvgDistance)
-		return
-	}
-	if err := tr.Write(os.Stdout); err != nil {
+	ops, err := mon.Build(n, n, nil)
+	if err != nil {
 		fatal(err)
 	}
+	obs := telemetry.Multi(sinks.Observer, ops.Observer)
+	topts := core.TraceOptions{Observer: obs}
+	eng.ApplyTrace(&topts)
+	rep.Apply(&topts)
+	res, err := core.RunTrace(context.Background(), cfg, src, topts)
+	if err != nil {
+		var inv *sim.InvariantError
+		if errors.As(err, &inv) {
+			ops.DumpFlight(os.Stderr, 10)
+		}
+		fatal(err)
+	}
+	if err := sinks.Close(); err != nil {
+		fatal(err)
+	}
+	if err := ops.Close(); err != nil {
+		fatal(err)
+	}
+	hdr := src.Header()
+	fmt.Printf("%s on %s: %d cycles, %d messages, avg latency %.1f, worst %d\n",
+		hdr.Name, cfg, res.Cycles, res.Delivered, res.AvgLatency, res.WorstLatency)
+}
+
+// overlayActive mirrors generate's active-thread sizing for the overlay
+// suite (32 threads on the lower half of the grid, capped on small grids).
+func overlayActive(n int) int {
+	active := 32
+	if n*n < 2*active {
+		active = n * n / 2
+	}
+	return active
 }
 
 func generate(suite, bench string, n int, seed uint64) (*trace.Trace, error) {
@@ -145,11 +260,7 @@ func generate(suite, bench string, n int, seed uint64) (*trace.Trace, error) {
 	case "overlay":
 		for _, b := range overlay.Benchmarks() {
 			if b.Name == bench {
-				active := 32
-				if n*n < 2*active {
-					active = n * n / 2
-				}
-				return overlay.Trace(b, n, n, active, seed)
+				return overlay.Trace(b, n, n, overlayActive(n), seed)
 			}
 		}
 	default:

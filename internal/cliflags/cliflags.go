@@ -127,6 +127,25 @@ func (e *Engine) Apply(o *core.SyntheticOptions) { o.Shards = e.Shards }
 // ApplyTrace copies the parsed engine flags into o.
 func (e *Engine) ApplyTrace(o *core.TraceOptions) { o.Shards = e.Shards }
 
+// Replay is the trace-replay flag group (-trace-window). Unlike Engine,
+// an explicit window CAN change what a replay computes (a binding window
+// delays injection — see trace.StreamOptions.Window), so runner.TraceKey
+// keys it whenever it is set.
+type Replay struct {
+	Window int
+}
+
+// RegisterReplay registers the streaming-replay flags on fs.
+func RegisterReplay(fs *flag.FlagSet) *Replay {
+	r := &Replay{}
+	fs.IntVar(&r.Window, "trace-window", 0,
+		"streaming replay: max resident events when replaying a recorded (.ftt) trace; 0 = default (replay memory is O(window), independent of trace length)")
+	return r
+}
+
+// Apply copies the parsed replay flags into o.
+func (r *Replay) Apply(o *core.TraceOptions) { o.StreamWindow = r.Window }
+
 // Faults is the fault-injection flag group (-faults, -misroute, -faultseed,
 // -retry); JSON tags mirror the flag spellings (see JobSpec).
 type Faults struct {

@@ -44,6 +44,9 @@ type (
 	Result = sim.Result
 	// Trace is an application communication trace.
 	Trace = trace.Trace
+	// TraceSource is a replayable trace: an in-memory *Trace or a
+	// streaming binary trace.Reader (FTT1 file).
+	TraceSource = trace.Source
 	// Variant selects the FastTrack router microarchitecture.
 	Variant = fasttrack.Variant
 	// Device is an FPGA technology model.
@@ -260,6 +263,11 @@ type TraceOptions struct {
 	Shards int
 	// Observer, when non-nil, receives cycle-level telemetry events.
 	Observer Observer
+	// StreamWindow caps resident events when the source is replayed
+	// streaming (not an in-memory *Trace); 0 means
+	// trace.DefaultStreamWindow. See trace.StreamOptions.Window for the
+	// exactness contract.
+	StreamWindow int
 }
 
 // RunSynthetic builds cfg's network and drives it with a statistical
@@ -312,20 +320,39 @@ func RunSynthetic(ctx context.Context, cfg Config, opts SyntheticOptions) (Resul
 // RunTrace builds cfg's network and replays an application trace with
 // dependency-driven injection, returning completion time and latency
 // statistics. ctx cancels cooperatively (see RunSynthetic).
-func RunTrace(ctx context.Context, cfg Config, tr *Trace, opts TraceOptions) (Result, error) {
+//
+// src is any trace.Source. An in-memory *Trace replays through the
+// materialized Workload; anything else (typically a *trace.Reader over an
+// FTT1 file) replays through trace.Stream in O(StreamWindow) memory, so a
+// billion-event recorded trace never has to fit in RAM. The two paths are
+// bit-exact whenever the window does not bind (golden-tested).
+func RunTrace(ctx context.Context, cfg Config, src TraceSource, opts TraceOptions) (Result, error) {
 	net, err := cfg.Build()
 	if err != nil {
 		return Result{}, err
 	}
-	wl, err := trace.NewWorkload(tr, net.Width(), net.Height())
+	var wl sim.Workload
+	var stream *trace.Stream
+	if tr, ok := src.(*trace.Trace); ok {
+		wl, err = trace.NewWorkload(tr, net.Width(), net.Height())
+	} else {
+		stream, err = trace.NewStream(src, net.Width(), net.Height(), trace.StreamOptions{Window: opts.StreamWindow})
+		wl = stream
+	}
 	if err != nil {
 		return Result{}, err
 	}
-	return sim.Run(net, wl, sim.Options{
+	res, err := sim.Run(net, wl, sim.Options{
 		MaxCycles: opts.MaxCycles,
 		Context:   ctx,
 		Engine:    opts.Engine,
 		Shards:    opts.Shards,
 		Observer:  opts.Observer,
 	})
+	// A failed stream reports Done to stop the engine; surface its error
+	// over the (misleadingly clean) partial result.
+	if stream != nil && stream.Err() != nil {
+		return Result{}, stream.Err()
+	}
+	return res, err
 }

@@ -55,10 +55,11 @@ func (s Scale) runSyntheticBatch(ctx context.Context, jobs []runner.SyntheticJob
 }
 
 // runTrace funnels one trace replay through the orchestrator, keyed by the
-// trace's content fingerprint.
-func (s Scale) runTrace(ctx context.Context, cfg core.Config, tr *trace.Trace) (sim.Result, error) {
-	return runner.Do(ctx, s.orch(), runner.TraceKey(cfg, tr, core.TraceOptions{}), func() (sim.Result, error) {
-		return core.RunTrace(ctx, cfg, tr, core.TraceOptions{})
+// trace's content fingerprint (from its header, so a recorded FTT1 trace
+// shares cache entries with the in-memory generation of the same trace).
+func (s Scale) runTrace(ctx context.Context, cfg core.Config, src trace.Source) (sim.Result, error) {
+	return runner.Do(ctx, s.orch(), runner.TraceKey(cfg, src, core.TraceOptions{}), func() (sim.Result, error) {
+		return core.RunTrace(ctx, cfg, src, core.TraceOptions{})
 	})
 }
 

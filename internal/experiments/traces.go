@@ -43,17 +43,18 @@ func ftCandidates(n int) []core.Config {
 
 // traceSpeedup measures one benchmark trace on Hoplite and the FastTrack
 // candidates, reusing cached replays keyed by the trace fingerprint.
-func traceSpeedup(ctx context.Context, sc Scale, tr *trace.Trace, n int) (SpeedupPoint, error) {
-	pt := SpeedupPoint{Benchmark: tr.Name, PEs: n * n}
-	hop, err := sc.runTrace(ctx, core.Hoplite(n), tr)
+func traceSpeedup(ctx context.Context, sc Scale, src trace.Source, n int) (SpeedupPoint, error) {
+	name := src.Header().Name
+	pt := SpeedupPoint{Benchmark: name, PEs: n * n}
+	hop, err := sc.runTrace(ctx, core.Hoplite(n), src)
 	if err != nil {
-		return pt, fmt.Errorf("%s on Hoplite %dx%d: %w", tr.Name, n, n, err)
+		return pt, fmt.Errorf("%s on Hoplite %dx%d: %w", name, n, n, err)
 	}
 	pt.HopliteCycles = hop.Cycles
 	for _, cfg := range ftCandidates(n) {
-		res, err := sc.runTrace(ctx, cfg, tr)
+		res, err := sc.runTrace(ctx, cfg, src)
 		if err != nil {
-			return pt, fmt.Errorf("%s on %s: %w", tr.Name, cfg, err)
+			return pt, fmt.Errorf("%s on %s: %w", name, cfg, err)
 		}
 		if pt.BestFTCycles == 0 || res.Cycles < pt.BestFTCycles {
 			pt.BestFTCycles = res.Cycles
@@ -84,11 +85,13 @@ func fig15Sizes(sc Scale, sizes ...int) []int {
 	return out
 }
 
-// traceJob generates one benchmark trace for one system size.
+// traceJob generates one benchmark trace for one system size. gen may
+// return any trace.Source — the in-memory generators return a *trace.Trace;
+// a job replaying a pre-recorded FTT1 file would return a *trace.Reader.
 type traceJob struct {
 	n   int
 	pes int // reported PE count override (0 = n*n)
-	gen func() (*trace.Trace, error)
+	gen func() (trace.Source, error)
 }
 
 // runTraceJobs generates and measures trace speedups across the scale's
@@ -122,7 +125,7 @@ func Fig15aData(sc Scale) ([]SpeedupPoint, error) {
 		m := m
 		for _, n := range fig15Sizes(sc, 2, 4, 8, 16) {
 			n := n
-			jobs = append(jobs, traceJob{n: n, gen: func() (*trace.Trace, error) {
+			jobs = append(jobs, traceJob{n: n, gen: func() (trace.Source, error) {
 				return spmv.Trace(m, n, n, spmv.Options{})
 			}})
 		}
@@ -149,7 +152,7 @@ func Fig15bData(sc Scale) ([]SpeedupPoint, error) {
 		b := b
 		for _, n := range fig15Sizes(sc, 4, 8, 16) {
 			n := n
-			jobs = append(jobs, traceJob{n: n, gen: func() (*trace.Trace, error) {
+			jobs = append(jobs, traceJob{n: n, gen: func() (trace.Source, error) {
 				return graphwl.Trace(b.Graph, b.PartitionFor(n*n), n, n, graphwl.Options{})
 			}})
 		}
@@ -176,7 +179,7 @@ func Fig15cData(sc Scale) ([]SpeedupPoint, error) {
 		m := m
 		for _, n := range fig15Sizes(sc, 8, 16) {
 			n := n
-			jobs = append(jobs, traceJob{n: n, gen: func() (*trace.Trace, error) {
+			jobs = append(jobs, traceJob{n: n, gen: func() (trace.Source, error) {
 				return dataflow.Trace(m, n, n, dataflow.Options{})
 			}})
 		}
@@ -207,7 +210,7 @@ func Fig15dData(sc Scale) ([]SpeedupPoint, error) {
 	var jobs []traceJob
 	for _, b := range benches {
 		b := b
-		jobs = append(jobs, traceJob{n: n, pes: active, gen: func() (*trace.Trace, error) {
+		jobs = append(jobs, traceJob{n: n, pes: active, gen: func() (trace.Source, error) {
 			return overlay.Trace(b, n, n, active, sc.Seed)
 		}})
 	}

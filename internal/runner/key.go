@@ -51,20 +51,30 @@ func SyntheticKey(cfg core.Config, o core.SyntheticOptions) string {
 	return b.String()
 }
 
-// TraceKey is the cache key for core.RunTrace(ctx, cfg, tr, o): the trace
-// enters by content fingerprint, so regenerating an identical trace reuses
-// the entry. Engine and Observer follow the SyntheticKey rules (Engine
-// excluded, Observer keyed append-only), and MaxCycles enters only when set
-// so pre-TraceOptions entries stay valid.
-func TraceKey(cfg core.Config, tr *trace.Trace, o core.TraceOptions) string {
+// TraceKey is the cache key for core.RunTrace(ctx, cfg, src, o): the trace
+// enters by content fingerprint, so regenerating an identical trace — or
+// replaying its FTT1 recording, whose header carries the same fingerprint
+// the streaming Writer computed — reuses the entry. Engine and Observer
+// follow the SyntheticKey rules (Engine excluded, Observer keyed
+// append-only), and MaxCycles enters only when set so pre-TraceOptions
+// entries stay valid.
+//
+// StreamWindow enters only when set: an explicitly bounded window may bind
+// and shift injection timing (see trace.StreamOptions.Window), so those
+// runs never share entries with default-window or in-memory replays.
+func TraceKey(cfg core.Config, src trace.Source, o core.TraceOptions) string {
+	hdr := src.Header()
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s|trace|%s|name=%s pes=%d events=%d fp=%016x",
-		sim.Version, ConfigKey(cfg), tr.Name, tr.PEs, len(tr.Events), tr.Fingerprint())
+		sim.Version, ConfigKey(cfg), hdr.Name, hdr.PEs, hdr.Events, hdr.Fingerprint)
 	if o.MaxCycles != 0 {
 		fmt.Fprintf(&b, " maxcyc=%d", o.MaxCycles)
 	}
 	if o.Observer != nil {
 		fmt.Fprintf(&b, " telem=%s", telemetry.Key(o.Observer))
+	}
+	if o.StreamWindow != 0 {
+		fmt.Fprintf(&b, " window=%d", o.StreamWindow)
 	}
 	return b.String()
 }

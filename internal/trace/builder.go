@@ -2,9 +2,22 @@ package trace
 
 // Builder accumulates events in topological order. Add returns the event's
 // index for use as a dependency of later events.
+//
+// Builder is the in-memory Adder; Writer is the streaming one. Generators
+// written against Adder (internal/workloads) produce either with the same
+// emit code.
 type Builder struct {
 	t Trace
 }
+
+// Compile-time conformance: both event sinks satisfy Adder, both trace
+// representations satisfy Source.
+var (
+	_ Adder  = (*Builder)(nil)
+	_ Adder  = (*Writer)(nil)
+	_ Source = (*Trace)(nil)
+	_ Source = (*Reader)(nil)
+)
 
 // NewBuilder starts a trace for a pes-PE system.
 func NewBuilder(name string, pes int) *Builder {

@@ -7,12 +7,11 @@ package trace
 
 import (
 	"bufio"
-	"encoding/binary"
 	"fmt"
-	"hash/fnv"
 	"io"
 	"strconv"
 	"strings"
+	"unicode"
 )
 
 // Event is one message of a trace.
@@ -43,26 +42,59 @@ type Trace struct {
 // result cache (internal/runner) keys trace simulations on it, so two
 // generator invocations that produce the same trace share one cache entry
 // and any change to the generated events invalidates stale results.
+//
+// The event count is hashed after the events, not before: the streaming
+// FTT1 Writer computes the same fingerprint incrementally while emitting a
+// trace whose length it does not know up front, and a recorded trace must
+// share cache entries with its in-memory twin.
 func (t *Trace) Fingerprint() uint64 {
-	h := fnv.New64a()
-	var buf [8]byte
-	word := func(v uint64) {
-		binary.LittleEndian.PutUint64(buf[:], v)
-		h.Write(buf[:])
+	h := fpSeed(t.Name, t.PEs)
+	for i := range t.Events {
+		h = fpEvent(h, &t.Events[i])
 	}
-	io.WriteString(h, t.Name)
-	word(uint64(t.PEs))
-	word(uint64(len(t.Events)))
-	for _, e := range t.Events {
-		word(uint64(e.Src))
-		word(uint64(e.Dst))
-		word(uint64(e.Delay))
-		word(uint64(len(e.Deps)))
-		for _, d := range e.Deps {
-			word(uint64(d))
-		}
+	return fpFinish(h, int64(len(t.Events)))
+}
+
+// The fingerprint is FNV-64a over little-endian 64-bit words (hand-rolled so
+// the per-event streaming paths hash without an interface call per word;
+// TestFingerprintMatchesStdlibFNV pins equivalence with hash/fnv).
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fpWord(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h = (h ^ (v & 0xff)) * fnvPrime64
+		v >>= 8
 	}
-	return h.Sum64()
+	return h
+}
+
+// fpSeed starts a fingerprint over the trace header fields.
+func fpSeed(name string, pes int) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(name); i++ {
+		h = (h ^ uint64(name[i])) * fnvPrime64
+	}
+	return fpWord(h, uint64(pes))
+}
+
+// fpEvent folds one event into a running fingerprint.
+func fpEvent(h uint64, e *Event) uint64 {
+	h = fpWord(h, uint64(e.Src))
+	h = fpWord(h, uint64(e.Dst))
+	h = fpWord(h, uint64(e.Delay))
+	h = fpWord(h, uint64(len(e.Deps)))
+	for _, d := range e.Deps {
+		h = fpWord(h, uint64(d))
+	}
+	return h
+}
+
+// fpFinish folds the trailing event count in and returns the fingerprint.
+func fpFinish(h uint64, events int64) uint64 {
+	return fpWord(h, uint64(events))
 }
 
 // Validate checks internal consistency: PE indices in range, dependency
@@ -132,11 +164,35 @@ func (t *Trace) ComputeStats(w, h int) Stats {
 	return s
 }
 
+// CheckName reports whether name can label a trace in every serialization.
+// The text header is space-delimited, so whitespace anywhere in the name
+// would shift the PE-count and event-count fields on Read — the name is
+// rejected up front rather than written corrupted. The binary format is
+// length-prefixed and does not need the restriction, but enforces it too so
+// every FTT1 file converts losslessly to text.
+func CheckName(name string) error {
+	if name == "" {
+		return fmt.Errorf("trace: empty name")
+	}
+	for _, r := range name {
+		if unicode.IsSpace(r) {
+			return fmt.Errorf("trace: name %q contains whitespace", name)
+		}
+	}
+	return nil
+}
+
 // Write serializes the trace in a line-oriented text format:
 //
 //	trace <name> <pes> <events>
 //	<src> <dst> <delay> [dep ...]
+//
+// Names containing whitespace are rejected (see CheckName): the header line
+// is space-delimited and a spaced name would round-trip corrupted.
 func (t *Trace) Write(w io.Writer) error {
+	if err := CheckName(t.Name); err != nil {
+		return err
+	}
 	bw := bufio.NewWriter(w)
 	fmt.Fprintf(bw, "trace %s %d %d\n", t.Name, t.PEs, len(t.Events))
 	for _, e := range t.Events {
@@ -199,6 +255,16 @@ func Read(r io.Reader) (*Trace, error) {
 			e.Deps = append(e.Deps, int32(dep))
 		}
 		t.Events = append(t.Events, e)
+	}
+	// The declared event count is a contract, not a hint: trailing non-empty
+	// input means the header lies about the trace (or two traces were
+	// concatenated), and silently ignoring it would let a corrupted file
+	// replay as a shorter workload. Same hostile-input posture as
+	// cliflags.DecodeJobSpec.
+	for sc.Scan() {
+		if strings.TrimSpace(sc.Text()) != "" {
+			return nil, fmt.Errorf("trace: trailing data after %d declared events: %q", n, sc.Text())
+		}
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err

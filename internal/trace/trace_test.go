@@ -116,6 +116,46 @@ func TestReadRejectsGarbage(t *testing.T) {
 	}
 }
 
+// TestWriteRejectsWhitespaceName: the text format is whitespace-delimited, so
+// a name containing whitespace would shift every later field on Read. Write
+// must refuse to produce such a file rather than corrupt the round trip.
+func TestWriteRejectsWhitespaceName(t *testing.T) {
+	for _, name := range []string{"has space", "tab\tname", "nl\nname", "", " lead"} {
+		tr := tinyTrace()
+		tr.Name = name
+		var buf bytes.Buffer
+		if err := tr.Write(&buf); err == nil {
+			t.Errorf("Write with Name=%q should fail", name)
+		}
+		if buf.Len() != 0 {
+			t.Errorf("Write with Name=%q emitted %d bytes before failing", name, buf.Len())
+		}
+	}
+}
+
+// TestReadRejectsTrailingData: input carrying extra non-empty lines after the
+// declared event count is malformed, not a longer trace — hostile-input
+// posture matching the binary reader.
+func TestReadRejectsTrailingData(t *testing.T) {
+	tr := tinyTrace()
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.String()
+	for _, trailing := range []string{"0 1 0\n", "junk\n", "\n\nx"} {
+		if _, err := Read(bytes.NewReader([]byte(good + trailing))); err == nil {
+			t.Errorf("Read with trailing %q should fail", trailing)
+		}
+	}
+	// Trailing blank lines / final newline remain acceptable.
+	for _, trailing := range []string{"", "\n", "\n\n"} {
+		if _, err := Read(bytes.NewReader([]byte(good + trailing))); err != nil {
+			t.Errorf("Read with benign trailing %q failed: %v", trailing, err)
+		}
+	}
+}
+
 func TestComputeStats(t *testing.T) {
 	s := tinyTrace().ComputeStats(2, 2)
 	if s.Events != 4 || s.SelfEvents != 1 {

@@ -1,7 +1,6 @@
 package trace
 
 import (
-	"container/heap"
 	"fmt"
 
 	"fasttrack/internal/noc"
@@ -59,6 +58,46 @@ func (h *eventHeap) Pop() any {
 	return it
 }
 
+// pushItem and popItem are typed equivalents of container/heap's Push and
+// Pop, avoiding an interface allocation per event on the replay hot path.
+// Less is a strict total order (ev tiebreak), so pop order is identical.
+func (h *eventHeap) pushItem(it item) {
+	*h = append(*h, it)
+	q := *h
+	for i := len(q) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !q.Less(i, parent) {
+			break
+		}
+		q.Swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *eventHeap) popItem() item {
+	q := *h
+	n := len(q) - 1
+	q.Swap(0, n)
+	for i := 0; ; {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		j := l
+		if r := l + 1; r < n && q.Less(r, l) {
+			j = r
+		}
+		if !q.Less(j, i) {
+			break
+		}
+		q.Swap(i, j)
+		i = j
+	}
+	it := q[n]
+	*h = q[:n]
+	return it
+}
+
 // NewWorkload prepares tr for replay on a width×height network. The trace's
 // PE count must equal width*height.
 func NewWorkload(tr *Trace, width, height int) (*Workload, error) {
@@ -94,10 +133,10 @@ func NewWorkload(tr *Trace, width, height int) (*Workload, error) {
 func (w *Workload) schedule(ev int32, readyAt int64) {
 	e := &w.tr.Events[ev]
 	if e.Src == e.Dst {
-		heap.Push(&w.selfQ, item{ev: ev, readyAt: readyAt})
+		w.selfQ.pushItem(item{ev: ev, readyAt: readyAt})
 		return
 	}
-	heap.Push(&w.readyQ[e.Src], item{ev: ev, readyAt: readyAt})
+	w.readyQ[e.Src].pushItem(item{ev: ev, readyAt: readyAt})
 	if !w.inLive[e.Src] {
 		w.inLive[e.Src] = true
 		w.live = append(w.live, e.Src)
@@ -119,7 +158,7 @@ func (w *Workload) complete(ev int32, now int64) {
 // delay has elapsed.
 func (w *Workload) Tick(now int64) {
 	for len(w.selfQ) > 0 && w.selfQ[0].readyAt <= now {
-		it := heap.Pop(&w.selfQ).(item)
+		it := w.selfQ.popItem()
 		w.complete(it.ev, now)
 	}
 }
@@ -143,7 +182,7 @@ func (w *Workload) Pending(pe int, now int64) (noc.Packet, bool) {
 
 // Injected implements sim.Workload.
 func (w *Workload) Injected(pe int, _ int64) {
-	heap.Pop(&w.readyQ[pe])
+	w.readyQ[pe].popItem()
 }
 
 // Delivered implements sim.Workload: a delivered packet completes its event

@@ -9,6 +9,7 @@ package dataflow
 
 import (
 	"fmt"
+	"io"
 
 	"fasttrack/internal/matrixgen"
 	"fasttrack/internal/trace"
@@ -34,12 +35,40 @@ func (o Options) withDefaults() Options {
 // Columns are scattered across PEs (owner = column mod PEs), the standard
 // token-dataflow mapping that exposes whatever parallelism the DAG has.
 func Trace(m *matrixgen.Matrix, w, h int, opts Options) (*trace.Trace, error) {
+	b := trace.NewBuilder(name(m), w*h)
+	if err := emit(b, m, w, h, opts); err != nil {
+		return nil, err
+	}
+	return b.Build()
+}
+
+// WriteTo streams the same trace, event for event, to dst as an FTT1 file
+// without materializing it; the returned header's fingerprint equals
+// Trace(...).Fingerprint() for identical inputs.
+func WriteTo(m *matrixgen.Matrix, w, h int, opts Options, dst io.WriteSeeker) (trace.Header, error) {
+	bw, err := trace.NewWriter(dst, name(m), w*h)
+	if err != nil {
+		return trace.Header{}, err
+	}
+	if err := emit(bw, m, w, h, opts); err != nil {
+		return trace.Header{}, err
+	}
+	if err := bw.Close(); err != nil {
+		return trace.Header{}, err
+	}
+	return bw.Header(), nil
+}
+
+func name(m *matrixgen.Matrix) string { return fmt.Sprintf("lu/%s", m.Name) }
+
+// emit generates the event stream into any trace.Adder (shared by the
+// in-memory and streaming paths; see spmv.emit).
+func emit(b trace.Adder, m *matrixgen.Matrix, w, h int, opts Options) error {
 	opts = opts.withDefaults()
 	pes := w * h
 	deps := matrixgen.SymbolicLU(m)
 	owner := func(col int) int { return col % pes }
 
-	b := trace.NewBuilder(fmt.Sprintf("lu/%s", m.Name), pes)
 	compute := make([]int32, m.N) // event index of each column's task
 	crossMsgs := 0
 	for k := 0; k < m.N; k++ {
@@ -60,9 +89,9 @@ func Trace(m *matrixgen.Matrix, w, h int, opts Options) (*trace.Trace, error) {
 		compute[k] = b.Add(dst, dst, opts.ComputeDelay, taskDeps...)
 	}
 	if crossMsgs == 0 {
-		return nil, fmt.Errorf("dataflow: %s generates no cross-PE tokens on %d PEs", m.Name, pes)
+		return fmt.Errorf("dataflow: %s generates no cross-PE tokens on %d PEs", m.Name, pes)
 	}
-	return b.Build()
+	return nil
 }
 
 // Benchmarks returns synthetic stand-ins for the paper's Fig 15c LU

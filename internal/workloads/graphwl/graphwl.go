@@ -7,6 +7,7 @@ package graphwl
 
 import (
 	"fmt"
+	"io"
 
 	"fasttrack/internal/graphgen"
 	"fasttrack/internal/trace"
@@ -33,10 +34,39 @@ func (o Options) withDefaults() Options {
 // Trace builds the push-mode BSP trace for g under the given partition on a
 // w×h PE grid.
 func Trace(g *graphgen.Graph, part graphgen.Partition, w, h int, opts Options) (*trace.Trace, error) {
+	b := trace.NewBuilder(name(g), w*h)
+	if err := emit(b, g, part, w, h, opts); err != nil {
+		return nil, err
+	}
+	return b.Build()
+}
+
+// WriteTo streams the same trace, event for event, to dst as an FTT1 file
+// without materializing it; the returned header's fingerprint equals
+// Trace(...).Fingerprint() for identical inputs.
+func WriteTo(g *graphgen.Graph, part graphgen.Partition, w, h int, opts Options, dst io.WriteSeeker) (trace.Header, error) {
+	bw, err := trace.NewWriter(dst, name(g), w*h)
+	if err != nil {
+		return trace.Header{}, err
+	}
+	if err := emit(bw, g, part, w, h, opts); err != nil {
+		return trace.Header{}, err
+	}
+	if err := bw.Close(); err != nil {
+		return trace.Header{}, err
+	}
+	return bw.Header(), nil
+}
+
+func name(g *graphgen.Graph) string { return fmt.Sprintf("graph/%s", g.Name) }
+
+// emit generates the event stream into any trace.Adder (shared by the
+// in-memory and streaming paths; see spmv.emit).
+func emit(b trace.Adder, g *graphgen.Graph, part graphgen.Partition, w, h int, opts Options) error {
 	opts = opts.withDefaults()
 	pes := w * h
 	if len(part) != g.N {
-		return nil, fmt.Errorf("graphwl: partition covers %d vertices, graph has %d", len(part), g.N)
+		return fmt.Errorf("graphwl: partition covers %d vertices, graph has %d", len(part), g.N)
 	}
 
 	// Source-side combining (standard in vertex-centric accelerators):
@@ -49,7 +79,7 @@ func Trace(g *graphgen.Graph, part graphgen.Partition, w, h int, opts Options) (
 	for u := 0; u < g.N; u++ {
 		pu := int(part[u])
 		if pu >= pes {
-			return nil, fmt.Errorf("graphwl: vertex %d mapped to PE %d of %d", u, pu, pes)
+			return fmt.Errorf("graphwl: vertex %d mapped to PE %d of %d", u, pu, pes)
 		}
 		for _, v := range g.Out[u] {
 			pv := int(part[v])
@@ -65,10 +95,9 @@ func Trace(g *graphgen.Graph, part graphgen.Partition, w, h int, opts Options) (
 		}
 	}
 	if len(msgs) == 0 {
-		return nil, fmt.Errorf("graphwl: graph %s has no cross-PE edges on %d PEs", g.Name, pes)
+		return fmt.Errorf("graphwl: graph %s has no cross-PE edges on %d PEs", g.Name, pes)
 	}
 
-	b := trace.NewBuilder(fmt.Sprintf("graph/%s", g.Name), pes)
 	incoming := make([][]int32, pes)
 	for step := 0; step < opts.Supersteps; step++ {
 		barrier := make(map[int]int32)
@@ -90,7 +119,7 @@ func Trace(g *graphgen.Graph, part graphgen.Partition, w, h int, opts Options) (
 		}
 		incoming = next
 	}
-	return b.Build()
+	return nil
 }
 
 // Benchmark pairs a synthetic graph with the partitioner the real system

@@ -10,6 +10,7 @@ package overlay
 
 import (
 	"fmt"
+	"io"
 
 	"fasttrack/internal/trace"
 	"fasttrack/internal/xrand"
@@ -53,9 +54,38 @@ func Benchmarks() []Benchmark {
 // activePEs clients participating (the paper runs 32 threads; mapping them
 // onto the lower half of an 8×8 overlay leaves the rest idle).
 func Trace(b Benchmark, w, h, activePEs int, seed uint64) (*trace.Trace, error) {
+	bl := trace.NewBuilder(name(b), w*h)
+	if err := emit(bl, b, w, h, activePEs, seed); err != nil {
+		return nil, err
+	}
+	return bl.Build()
+}
+
+// WriteTo streams the same trace, event for event, to dst as an FTT1 file
+// without materializing it; the returned header's fingerprint equals
+// Trace(...).Fingerprint() for identical inputs.
+func WriteTo(b Benchmark, w, h, activePEs int, seed uint64, dst io.WriteSeeker) (trace.Header, error) {
+	bw, err := trace.NewWriter(dst, name(b), w*h)
+	if err != nil {
+		return trace.Header{}, err
+	}
+	if err := emit(bw, b, w, h, activePEs, seed); err != nil {
+		return trace.Header{}, err
+	}
+	if err := bw.Close(); err != nil {
+		return trace.Header{}, err
+	}
+	return bw.Header(), nil
+}
+
+func name(b Benchmark) string { return fmt.Sprintf("overlay/%s", b.Name) }
+
+// emit generates the event stream into any trace.Adder (shared by the
+// in-memory and streaming paths; see spmv.emit).
+func emit(bl trace.Adder, b Benchmark, w, h, activePEs int, seed uint64) error {
 	pes := w * h
 	if activePEs <= 1 || activePEs > pes {
-		return nil, fmt.Errorf("overlay: activePEs %d out of range (2..%d)", activePEs, pes)
+		return fmt.Errorf("overlay: activePEs %d out of range (2..%d)", activePEs, pes)
 	}
 	stride := b.Stride
 	if stride <= 0 {
@@ -63,7 +93,7 @@ func Trace(b Benchmark, w, h, activePEs int, seed uint64) (*trace.Trace, error) 
 	}
 	total := b.Local + b.Pipeline + b.Uniform + b.Hotspot
 	if total <= 0 {
-		return nil, fmt.Errorf("overlay: benchmark %s has no destination mix", b.Name)
+		return fmt.Errorf("overlay: benchmark %s has no destination mix", b.Name)
 	}
 
 	rng := xrand.New(seed)
@@ -91,7 +121,6 @@ func Trace(b Benchmark, w, h, activePEs int, seed uint64) (*trace.Trace, error) 
 	if scale < 1 {
 		scale = 1
 	}
-	bl := trace.NewBuilder(fmt.Sprintf("overlay/%s", b.Name), pes)
 	for p := 0; p < activePEs; p++ {
 		r := rng.SplitBy(uint64(p))
 		for c := 0; c < b.Chains; c++ {
@@ -114,5 +143,5 @@ func Trace(b Benchmark, w, h, activePEs int, seed uint64) (*trace.Trace, error) 
 			}
 		}
 	}
-	return bl.Build()
+	return nil
 }

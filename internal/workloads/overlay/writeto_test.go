@@ -1,0 +1,47 @@
+package overlay
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"fasttrack/internal/trace"
+)
+
+// TestWriteToMatchesTrace: streaming and in-memory generation must agree
+// byte-for-byte (see the spmv counterpart).
+func TestWriteToMatchesTrace(t *testing.T) {
+	b := Benchmarks()[0]
+	tr, err := Trace(b, 4, 4, 8, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "t.ftt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdr, err := WriteTo(b, 4, 4, 8, 5, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if hdr != tr.Header() {
+		t.Fatalf("streamed header %+v != in-memory %+v", hdr, tr.Header())
+	}
+	rf, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rf.Close()
+	got, err := trace.ReadBinary(rf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tr, got) {
+		t.Fatal("streamed file decodes to a different trace")
+	}
+}

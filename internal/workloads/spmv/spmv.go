@@ -12,6 +12,7 @@ package spmv
 
 import (
 	"fmt"
+	"io"
 
 	"fasttrack/internal/matrixgen"
 	"fasttrack/internal/trace"
@@ -37,6 +38,36 @@ func (o Options) withDefaults() Options {
 
 // Trace builds the SpMV communication trace for matrix m on a w×h PE grid.
 func Trace(m *matrixgen.Matrix, w, h int, opts Options) (*trace.Trace, error) {
+	b := trace.NewBuilder(name(m), w*h)
+	if err := emit(b, m, w, h, opts); err != nil {
+		return nil, err
+	}
+	return b.Build()
+}
+
+// WriteTo streams the same trace, event for event, to dst as an FTT1 file
+// without materializing it; the returned header's fingerprint equals
+// Trace(...).Fingerprint() for identical inputs.
+func WriteTo(m *matrixgen.Matrix, w, h int, opts Options, dst io.WriteSeeker) (trace.Header, error) {
+	bw, err := trace.NewWriter(dst, name(m), w*h)
+	if err != nil {
+		return trace.Header{}, err
+	}
+	if err := emit(bw, m, w, h, opts); err != nil {
+		return trace.Header{}, err
+	}
+	if err := bw.Close(); err != nil {
+		return trace.Header{}, err
+	}
+	return bw.Header(), nil
+}
+
+func name(m *matrixgen.Matrix) string { return fmt.Sprintf("spmv/%s", m.Name) }
+
+// emit generates the event stream into any trace.Adder — the in-memory
+// Builder and the streaming Writer share this code, which is what keeps the
+// two paths fingerprint-identical.
+func emit(b trace.Adder, m *matrixgen.Matrix, w, h int, opts Options) error {
 	opts = opts.withDefaults()
 	pes := w * h
 	per := (m.N + pes - 1) / pes
@@ -68,10 +99,9 @@ func Trace(m *matrixgen.Matrix, w, h int, opts Options) (*trace.Trace, error) {
 		}
 	}
 	if len(msgs) == 0 {
-		return nil, fmt.Errorf("spmv: matrix %s produces no cross-PE traffic on %d PEs", m.Name, pes)
+		return fmt.Errorf("spmv: matrix %s produces no cross-PE traffic on %d PEs", m.Name, pes)
 	}
 
-	b := trace.NewBuilder(fmt.Sprintf("spmv/%s", m.Name), pes)
 	// incoming[p] collects the previous round's deliveries to PE p.
 	incoming := make([][]int32, pes)
 	for it := 0; it < opts.Iterations; it++ {
@@ -98,7 +128,7 @@ func Trace(m *matrixgen.Matrix, w, h int, opts Options) (*trace.Trace, error) {
 		}
 		incoming = next
 	}
-	return b.Build()
+	return nil
 }
 
 // Benchmarks returns synthetic stand-ins for the paper's Fig 15a Matrix

@@ -1,0 +1,49 @@
+package spmv
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"fasttrack/internal/matrixgen"
+	"fasttrack/internal/trace"
+)
+
+// TestWriteToMatchesTrace: the streaming path must produce the same trace —
+// same fingerprint, same events — as the in-memory Build path, which is what
+// lets a recorded trace share runner cache entries with a generated one.
+func TestWriteToMatchesTrace(t *testing.T) {
+	m := matrixgen.Circuit("wt", 200, 5, 42)
+	tr, err := Trace(m, 2, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "t.ftt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdr, err := WriteTo(m, 2, 2, Options{}, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if hdr != tr.Header() {
+		t.Fatalf("streamed header %+v != in-memory %+v", hdr, tr.Header())
+	}
+	rf, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rf.Close()
+	got, err := trace.ReadBinary(rf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tr, got) {
+		t.Fatal("streamed file decodes to a different trace")
+	}
+}

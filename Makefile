@@ -9,7 +9,7 @@ GO ?= go
 # pass so the assertion is meaningful).
 SWEEP_CACHE ?= .ftcache-quick
 
-.PHONY: build test vet race race-shards fuzz verify bench bench-sweep bench-check sweep-quick monitor-smoke serve-load serve-load-smoke trace-roundtrip
+.PHONY: build test vet race race-shards fuzz verify bench bench-sweep bench-check sweep-quick monitor-smoke serve-load serve-load-smoke trace-roundtrip metrics-lint
 
 build:
 	$(GO) build ./...
@@ -113,6 +113,14 @@ serve-load:
 serve-load-smoke:
 	$(GO) run ./cmd/ftload -clients 4 -requests 10 -max-p99 2s > /dev/null
 
+# Prometheus exposition lint: a test-embedded 0.0.4 text parser scrapes the
+# LIVE ops server and ftserve /metrics endpoints and rejects anything a real
+# scraper would choke on — samples without TYPE lines, bad label escaping,
+# duplicate or interleaved families, NaN/negative counters, non-monotone
+# histogram buckets (the rejection cases are themselves tested).
+metrics-lint:
+	$(GO) test -count=1 -run 'TestMetricsLint|TestPromLint' ./internal/monitor/
+
 # Live-monitoring smoke: a short run with the ops server, flight recorder
 # and span tracing all armed must still exit cleanly (the e2e HTTP
 # assertions live in internal/monitor's tests; this catches CLI wiring rot).
@@ -121,4 +129,4 @@ monitor-smoke:
 	$(GO) run ./cmd/ftexp -quick -run fig11 -no-cache -span-trace .smoke.spans.trace.json > /dev/null
 	rm -f .smoke.spans.trace.json
 
-verify: build vet test race race-shards sweep-quick trace-roundtrip monitor-smoke serve-load-smoke
+verify: build vet test race race-shards sweep-quick trace-roundtrip monitor-smoke serve-load-smoke metrics-lint

@@ -34,6 +34,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"reflect"
 	"runtime"
@@ -222,7 +223,15 @@ func main() {
 	checkSweep := flag.String("check-sweep", "", "sweep regression gate: re-measure the sweep and compare against this BENCH_sweep.json baseline")
 	sweepVerify := flag.Bool("sweep-verify", false, "assert the batched cold path is bit-identical to the per-job path on a small matrix, then exit")
 	mon := cliflags.RegisterMonitor(flag.CommandLine)
+	logf := cliflags.RegisterLogging(flag.CommandLine, "warn")
 	flag.Parse()
+
+	logger, err := logf.Logger(os.Stderr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ftbench: %v\n", err)
+		os.Exit(2)
+	}
+	slog.SetDefault(logger)
 
 	if *sweepVerify {
 		if err := runSweepVerify(); err != nil {

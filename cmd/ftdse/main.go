@@ -15,6 +15,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"text/tabwriter"
 
@@ -31,18 +32,28 @@ func main() {
 	channels := flag.Int("channels", 3, "max multi-channel Hoplite replication")
 	sweep := cliflags.RegisterSweep(flag.CommandLine)
 	mon := cliflags.RegisterMonitor(flag.CommandLine)
+	logf := cliflags.RegisterLogging(flag.CommandLine, "warn")
 	flag.Parse()
+
+	logger, err := logf.Logger(os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ftdse:", err)
+		os.Exit(2)
+	}
+	slog.SetDefault(logger)
 
 	orch, err := sweep.Orchestrator()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ftdse:", err)
 		os.Exit(1)
 	}
+	orch.Log = logger
 	ops, err := mon.Build(0, 0, orch)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ftdse:", err)
 		os.Exit(1)
 	}
+	ops.Log = logger
 
 	pts, stats, err := dse.Explore(context.Background(), dse.Options{
 		N: *n, WidthBits: *width,

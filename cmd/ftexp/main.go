@@ -21,6 +21,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"time"
 
@@ -35,10 +36,18 @@ func main() {
 	seed := flag.Uint64("seed", 1, "random seed for all workloads")
 	sweep := cliflags.RegisterSweep(flag.CommandLine)
 	mon := cliflags.RegisterMonitor(flag.CommandLine)
+	logf := cliflags.RegisterLogging(flag.CommandLine, "warn")
 	adaptive := flag.Bool("adaptive", false, "adaptive saturation search instead of dense rate grids (figs 11-13)")
 	progress := flag.Bool("progress", false, "live job progress/ETA on stderr")
 	assertCached := flag.Bool("assert-cached", false, "exit 1 if any simulation executed (warm-cache check)")
 	flag.Parse()
+
+	logger, err := logf.Logger(os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ftexp:", err)
+		os.Exit(2)
+	}
+	slog.SetDefault(logger)
 
 	if *list {
 		for _, e := range experiments.AllWithExtensions() {
@@ -59,6 +68,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ftexp:", err)
 		os.Exit(1)
 	}
+	orch.Log = logger
 	if *progress {
 		orch.Progress = os.Stderr
 	}
@@ -67,6 +77,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ftexp:", err)
 		os.Exit(1)
 	}
+	ops.Log = logger
 	sc.Orch = orch
 
 	var todo []experiments.Experiment

@@ -13,7 +13,10 @@
 //   - a deliberately panicking job yields a structured error while the
 //     daemon keeps serving;
 //   - a drain mid-load finishes every accepted job and answers 503 to new
-//     POSTs.
+//     POSTs;
+//   - exact observability reconciliation — for every accepted job, the
+//     per-stage span durations in /debug/trace/{id} sum to the exact
+//     /metrics histogram totals (bit-equal floats, not approximately).
 //
 // Exit status 0 and a final "SERVE LOAD OK" line mean all properties held.
 package main
@@ -34,6 +37,7 @@ import (
 	"sync"
 	"time"
 
+	"fasttrack/internal/cliflags"
 	"fasttrack/internal/serve"
 )
 
@@ -68,7 +72,15 @@ func main() {
 	queue := flag.Int("queue", 8, "daemon admission queue bound")
 	workers := flag.Int("workers", 2, "daemon job workers")
 	maxP99 := flag.Duration("max-p99", 500*time.Millisecond, "admission latency bound (p99 over all POSTs)")
+	// The load test provokes hundreds of rejections on purpose, each a Warn
+	// record, so default above them; -log-level warn shows the storm.
+	logf := cliflags.RegisterLogging(flag.CommandLine, "error")
 	flag.Parse()
+
+	logger, err := logf.Logger(os.Stderr)
+	if err != nil {
+		fail("%v", err)
+	}
 
 	cacheDir, err := os.MkdirTemp("", "ftload-cache-")
 	if err != nil {
@@ -81,6 +93,7 @@ func main() {
 		Workers:    *workers,
 		CacheDir:   cacheDir,
 		DebugHooks: true,
+		Logger:     logger,
 	})
 	if err != nil {
 		fail("%v", err)
@@ -256,8 +269,77 @@ func main() {
 	}
 	fmt.Printf("ftload: phase 4: drained with zero accepted-job loss (%d in-flight jobs terminal)\n", len(drainIDs))
 
+	// Phase 5: observability reconciliation. Every admitted job is terminal
+	// and admission is closed, so the trace spans and the stage histograms
+	// describe the same closed population. Each histogram sample IS one
+	// span's duration (shared int64 nanoseconds, converted to seconds the
+	// same way on both sides), so counts and sums must match bit-exactly.
+	type stageAgg struct {
+		count int
+		sumNS int64
+	}
+	aggs := map[string]*stageAgg{"queue_wait": {}, "run": {}, "job": {}}
+	for _, id := range t.accepted {
+		for _, ev := range fetchTrace(base, id) {
+			if ev.Ph != "X" {
+				continue
+			}
+			if a, ok := aggs[ev.Name]; ok {
+				a.count++
+				a.sumNS += ev.Args.DurNS
+			}
+		}
+	}
+	if got := aggs["job"].count; got != len(t.accepted) {
+		fail("reconciliation: %d accepted jobs but %d e2e spans", len(t.accepted), got)
+	}
+	m = scrapeMetrics(base)
+	checkStage := func(family, span string) {
+		a := aggs[span]
+		if got := m[family+"_count"]; got != float64(a.count) {
+			fail("%s_count: daemon says %v, traces hold %d %s spans", family, got, a.count, span)
+		}
+		if want := float64(a.sumNS) / 1e9; m[family+"_sum"] != want {
+			fail("%s_sum: daemon says %v, span durations sum to %v", family, m[family+"_sum"], want)
+		}
+	}
+	checkStage("ftserve_queue_wait_seconds", "queue_wait")
+	checkStage("ftserve_run_seconds", "run")
+	checkStage("ftserve_job_e2e_seconds", "job")
+	fmt.Printf("ftload: phase 5: spans reconcile exactly with histograms (%d jobs, %d run spans, e2e sum %.6fs)\n",
+		aggs["job"].count, aggs["run"].count, float64(aggs["job"].sumNS)/1e9)
+
 	_ = hs.Close()
 	fmt.Println("SERVE LOAD OK")
+}
+
+// traceEvent is the slice of the Chrome trace-event schema the
+// reconciliation needs: complete spans ("X") carry the exact span duration
+// in args.dur_ns (the "dur" field is display-clamped microseconds).
+type traceEvent struct {
+	Name string `json:"name"`
+	Ph   string `json:"ph"`
+	Args struct {
+		DurNS int64 `json:"dur_ns"`
+	} `json:"args"`
+}
+
+func fetchTrace(base, id string) []traceEvent {
+	resp, err := http.Get(base + "/debug/trace/" + id)
+	if err != nil {
+		fail("GET /debug/trace/%s: %v", id, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fail("GET /debug/trace/%s: status %d", id, resp.StatusCode)
+	}
+	var doc struct {
+		TraceEvents []traceEvent `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		fail("GET /debug/trace/%s: %v", id, err)
+	}
+	return doc.TraceEvents
 }
 
 // validSpec is a fast unique sim spec (seed varies identity).

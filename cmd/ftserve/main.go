@@ -22,13 +22,14 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"fasttrack/internal/cliflags"
 	"fasttrack/internal/runner"
 	"fasttrack/internal/serve"
 )
@@ -46,7 +47,15 @@ func main() {
 	retain := flag.Int("retain", 4096, "finished jobs kept fetchable before eviction")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight jobs on SIGTERM before cancellation")
 	debugHooks := flag.Bool("debug-hooks", false, "allow debug_panic specs (load testing only)")
+	logf := cliflags.RegisterLogging(flag.CommandLine, "info")
 	flag.Parse()
+
+	logger, err := logf.Logger(os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ftserve:", err)
+		os.Exit(2)
+	}
+	slog.SetDefault(logger)
 
 	s, err := serve.New(serve.Options{
 		QueueDepth:   *queue,
@@ -59,6 +68,7 @@ func main() {
 		NoCache:      *noCache,
 		RetainJobs:   *retain,
 		DebugHooks:   *debugHooks,
+		Logger:       logger,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ftserve:", err)
@@ -68,7 +78,7 @@ func main() {
 	hs := &http.Server{Addr: *addr, Handler: s.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
-	log.Printf("ftserve: serving on %s (queue=%d, drain timeout %s)", *addr, *queue, *drainTimeout)
+	logger.Info("ftserve serving", "addr", *addr, "queue", *queue, "drain_timeout", *drainTimeout)
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
@@ -77,7 +87,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ftserve:", err)
 		os.Exit(1)
 	case sig := <-sigc:
-		log.Printf("ftserve: %s: draining (grace %s)", sig, *drainTimeout)
+		logger.Info("draining on signal", "signal", sig.String(), "grace", *drainTimeout)
 	}
 
 	// Drain first — admission answers 503 while in-flight jobs finish — then
@@ -86,13 +96,13 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := s.Drain(ctx); err != nil {
-		log.Printf("ftserve: drain deadline hit; remaining jobs cancelled (%v)", err)
+		logger.Warn("drain deadline hit; remaining jobs cancelled", "error", err)
 	} else {
-		log.Printf("ftserve: drained cleanly")
+		logger.Info("drained cleanly")
 	}
 	shctx, shcancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer shcancel()
 	if err := hs.Shutdown(shctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Printf("ftserve: http shutdown: %v", err)
+		logger.Warn("http shutdown", "error", err)
 	}
 }

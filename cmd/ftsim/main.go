@@ -14,6 +14,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 
 	"fasttrack/internal/cliflags"
@@ -32,6 +33,7 @@ func main() {
 	flt := cliflags.RegisterFaults(flag.CommandLine)
 	telem := cliflags.RegisterTelemetry(flag.CommandLine)
 	mon := cliflags.RegisterMonitor(flag.CommandLine)
+	logf := cliflags.RegisterLogging(flag.CommandLine, "warn")
 	regulateRate := flag.Float64("regulate", 0, "token-bucket injection regulation rate (0 = off)")
 	heatmap := flag.Bool("heatmap", false, "render a per-source mean-latency heatmap")
 	watchdog := flag.Int64("watchdog", 0, "starvation watchdog: max in-flight packet age in cycles (0 = off)")
@@ -43,6 +45,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ftsim: %v\n", err)
 		os.Exit(2)
 	}
+	logger, err := logf.Logger(os.Stderr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ftsim: %v\n", err)
+		os.Exit(2)
+	}
+	slog.SetDefault(logger)
 
 	opts := core.SyntheticOptions{
 		RegulateRate:      *regulateRate,
@@ -62,15 +70,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ftsim: %v\n", err)
 		os.Exit(1)
 	}
+	ops.Log = logger
 	opts.Observer = telemetry.Multi(sinks.Observer, ops.Observer)
 
-	res, err := core.RunSynthetic(context.Background(), cfg, opts)
+	ctx := context.Background()
+	res, err := core.RunSynthetic(ctx, cfg, opts)
 	if err != nil {
 		// A tripped watchdog or invariant check is exactly what the flight
 		// recorder exists for: dump the forensic report before exiting.
 		var inv *sim.InvariantError
 		if errors.As(err, &inv) {
-			ops.DumpFlight(os.Stderr, 10)
+			ops.DumpFlight(ctx, 10)
 		}
 		fmt.Fprintf(os.Stderr, "ftsim: %v\n", err)
 		os.Exit(1)

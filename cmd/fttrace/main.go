@@ -23,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 
 	"fasttrack/internal/cliflags"
@@ -55,7 +56,14 @@ func main() {
 	rep := cliflags.RegisterReplay(flag.CommandLine)
 	telem := cliflags.RegisterTelemetry(flag.CommandLine)
 	mon := cliflags.RegisterMonitor(flag.CommandLine)
+	logf := cliflags.RegisterLogging(flag.CommandLine, "warn")
 	flag.Parse()
+
+	logger, err := logf.Logger(os.Stderr)
+	if err != nil {
+		fatal(err)
+	}
+	slog.SetDefault(logger)
 
 	switch {
 	case *list:
@@ -90,7 +98,7 @@ func main() {
 			fatal(err)
 		}
 		defer closer.Close()
-		replayTrace(src, *nocKind, *n, *d, *r, eng, rep, telem, mon)
+		replayTrace(src, *nocKind, *n, *d, *r, eng, rep, telem, mon, logger)
 	default:
 		tr, err := generate(*suite, *bench, *n, *seed)
 		if err != nil {
@@ -191,7 +199,7 @@ func recordInto(f io.WriteSeeker, from, suite, bench string, n int, seed uint64)
 // replayTrace runs src on the selected NoC. A binary source replays
 // streaming (constant memory, -trace-window bounds residency); a text
 // source replays in memory.
-func replayTrace(src trace.Source, nocKind string, n, d, r int, eng *cliflags.Engine, rep *cliflags.Replay, telem *cliflags.Telemetry, mon *cliflags.Monitor) {
+func replayTrace(src trace.Source, nocKind string, n, d, r int, eng *cliflags.Engine, rep *cliflags.Replay, telem *cliflags.Telemetry, mon *cliflags.Monitor, logger *slog.Logger) {
 	cfg := core.Hoplite(n)
 	if nocKind == "ft" {
 		cfg = core.FastTrack(n, d, r)
@@ -204,15 +212,17 @@ func replayTrace(src trace.Source, nocKind string, n, d, r int, eng *cliflags.En
 	if err != nil {
 		fatal(err)
 	}
+	ops.Log = logger
 	obs := telemetry.Multi(sinks.Observer, ops.Observer)
 	topts := core.TraceOptions{Observer: obs}
 	eng.ApplyTrace(&topts)
 	rep.Apply(&topts)
-	res, err := core.RunTrace(context.Background(), cfg, src, topts)
+	ctx := context.Background()
+	res, err := core.RunTrace(ctx, cfg, src, topts)
 	if err != nil {
 		var inv *sim.InvariantError
 		if errors.As(err, &inv) {
-			ops.DumpFlight(os.Stderr, 10)
+			ops.DumpFlight(ctx, 10)
 		}
 		fatal(err)
 	}

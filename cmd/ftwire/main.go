@@ -13,8 +13,10 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 
+	"fasttrack/internal/cliflags"
 	"fasttrack/internal/experiments"
 	"fasttrack/internal/fpga"
 )
@@ -23,7 +25,15 @@ func main() {
 	distance := flag.Int("distance", 0, "evaluate one (distance, hops) point instead of the sweep")
 	hops := flag.Int("hops", 0, "LUT hops / bypassed stages for -distance")
 	reach := flag.Float64("reach", 0, "print the max bypass distance at this frequency (MHz)")
+	logf := cliflags.RegisterLogging(flag.CommandLine, "warn")
 	flag.Parse()
+
+	logger, err := logf.Logger(os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ftwire:", err)
+		os.Exit(2)
+	}
+	slog.SetDefault(logger)
 
 	dev := fpga.Virtex7_485T()
 	switch {

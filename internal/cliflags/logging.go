@@ -1,0 +1,35 @@
+package cliflags
+
+import (
+	"flag"
+	"io"
+	"log/slog"
+
+	"fasttrack/internal/obs"
+)
+
+// Logging is the structured-logging flag group (-log-format, -log-level),
+// shared by every CLI so a fleet's log pipeline can rely on one spelling.
+// Logs go to stderr; results stay on stdout. The default level is "warn" so
+// tools are as quiet as before unless asked — daemons that narrate their
+// lifecycle (ftserve) register with a "info" default instead.
+type Logging struct {
+	Format string
+	Level  string
+}
+
+// RegisterLogging registers the logging flags on fs. defLevel is the
+// default for -log-level ("warn" for one-shot tools, "info" for daemons).
+func RegisterLogging(fs *flag.FlagSet, defLevel string) *Logging {
+	l := &Logging{}
+	fs.StringVar(&l.Format, "log-format", "text", "structured log format: text | json")
+	fs.StringVar(&l.Level, "log-level", defLevel, "minimum log level: debug | info | warn | error")
+	return l
+}
+
+// Logger builds the slog.Logger the parsed flags describe, writing to w.
+// Callers typically also slog.SetDefault it so library code that falls back
+// to the default logger honors the flags too.
+func (l *Logging) Logger(w io.Writer) (*slog.Logger, error) {
+	return obs.NewLogger(w, l.Format, l.Level)
+}

@@ -1,22 +1,27 @@
 package cliflags
 
 import (
+	"bytes"
+	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 
 	"fasttrack/internal/monitor"
+	"fasttrack/internal/obs"
 	"fasttrack/internal/runner"
 	"fasttrack/internal/telemetry"
 )
 
 // Monitor is the live-observability flag group (-http, -flight-recorder,
-// -span-trace). All off by default: a run without these flags attaches no
-// observer and starts no server, preserving the engine's nil-check-only
-// disabled path.
+// -flight-out, -span-trace). All off by default: a run without these flags
+// attaches no observer and starts no server, preserving the engine's
+// nil-check-only disabled path.
 type Monitor struct {
 	HTTP           string
 	FlightRecorder int
+	FlightOut      string
 	SpanTrace      string
 }
 
@@ -25,6 +30,7 @@ func RegisterMonitor(fs *flag.FlagSet) *Monitor {
 	m := &Monitor{}
 	fs.StringVar(&m.HTTP, "http", "", "serve live metrics on this address (/metrics, /live, /debug/pprof); \":0\" picks a free port")
 	fs.IntVar(&m.FlightRecorder, "flight-recorder", 0, "record per-packet lifecycles, keeping the N worst for forensics (0 = off)")
+	fs.StringVar(&m.FlightOut, "flight-out", "", "write the flight-recorder forensic report to this file on an invariant trip (default: inline in the log record)")
 	fs.StringVar(&m.SpanTrace, "span-trace", "", "write per-job sweep spans as Chrome trace-event JSON to this file (Perfetto-loadable)")
 	return m
 }
@@ -48,9 +54,13 @@ type Ops struct {
 	Flight    *monitor.FlightRecorder
 	// Server is the running ops server, nil without -http.
 	Server *monitor.Server
+	// Log receives the flight-recorder forensics record (DumpFlight);
+	// nil falls back to slog.Default().
+	Log *slog.Logger
 
-	spans    *runner.SpanLog
-	spanPath string
+	spans     *runner.SpanLog
+	spanPath  string
+	flightOut string
 }
 
 // Build starts the monitoring stack for a w×h run. orch, when non-nil, is
@@ -63,6 +73,7 @@ func (m *Monitor) Build(w, h int, orch *runner.Orchestrator) (*Ops, error) {
 	}
 	if m.FlightRecorder > 0 {
 		ops.Flight = monitor.NewFlightRecorder(m.FlightRecorder, w)
+		ops.flightOut = m.FlightOut
 	}
 	if m.SpanTrace != "" && orch != nil {
 		ops.spans = runner.NewSpanLog()
@@ -73,6 +84,7 @@ func (m *Monitor) Build(w, h int, orch *runner.Orchestrator) (*Ops, error) {
 	if m.HTTP != "" {
 		srv, err := monitor.StartServer(m.HTTP, monitor.ServerOptions{
 			Collector: ops.Collector, Flight: ops.Flight, Runner: orch,
+			Log: slog.Default(),
 		})
 		if err != nil {
 			return nil, err
@@ -83,15 +95,30 @@ func (m *Monitor) Build(w, h int, orch *runner.Orchestrator) (*Ops, error) {
 	return ops, nil
 }
 
-// DumpFlight writes the flight recorder's forensic report (the k worst
-// packet lifecycles plus deflection blame) to w; no-op without
-// -flight-recorder. CLIs call it when a run trips the watchdog or an
-// invariant check.
-func (o *Ops) DumpFlight(w *os.File, k int) {
+// DumpFlight emits the flight recorder's forensic report (the k worst
+// packet lifecycles plus deflection blame) as one structured log record
+// carrying any trace/job IDs on ctx; no-op without -flight-recorder. CLIs
+// and the daemon call it when a run trips the watchdog or an invariant
+// check. With -flight-out the raw report also lands in a file — a crashing
+// process keeps its forensics even when the log pipeline escapes newlines
+// or drops the record — and the log carries the path instead of the body.
+func (o *Ops) DumpFlight(ctx context.Context, k int) {
 	if o.Flight == nil {
 		return
 	}
-	o.Flight.WriteReport(w, k)
+	var buf bytes.Buffer
+	o.Flight.WriteReport(&buf, k)
+	log := obs.LoggerWith(ctx, o.Log)
+	if o.flightOut != "" {
+		if err := os.WriteFile(o.flightOut, buf.Bytes(), 0o644); err != nil {
+			log.Error("flight forensics: report file failed; inlining",
+				"error", err, "worst", k, "report", buf.String())
+			return
+		}
+		log.Error("flight forensics written", "worst", k, "path", o.flightOut)
+		return
+	}
+	log.Error("flight forensics", "worst", k, "report", buf.String())
 }
 
 // Close finalizes the stack: the collector is marked done (the /live page

@@ -14,15 +14,19 @@ import (
 // path. Batched runs are bit-identical to RunSynthetic, so this is purely a
 // capability check, never a semantics one: multi-channel networks have no
 // slab-backed batch constructor, wrapped workloads (faults, retry,
-// regulation) and observers need the per-job plumbing, the dense engine is
-// the reference the batch is measured against, and sharding composes with
-// batching at the job level rather than inside one instance.
+// regulation) need the per-job plumbing, the dense engine is the reference
+// the batch is measured against, and sharding composes with batching at the
+// job level rather than inside one instance. Observers batch fine: the
+// lockstep driver steps live instances in ascending instance order each
+// round, so each job's Observer sees the same deterministic event sequence
+// the per-job engine emits (it only forfeits the idle fast-forward, which
+// needs every cycle observed anyway).
 func Batchable(cfg Config, opts SyntheticOptions) bool {
 	if cfg.Kind != KindHoplite && cfg.Kind != KindFastTrack {
 		return false
 	}
 	return opts.Faults == nil && opts.Retry == nil && opts.RegulateRate <= 0 &&
-		opts.Observer == nil && opts.Engine == EngineSparse && opts.Shards <= 1
+		opts.Engine == EngineSparse && opts.Shards <= 1
 }
 
 // SyntheticBatch is a reusable lockstep harness for one configuration: up to
@@ -144,6 +148,7 @@ func (sb *SyntheticBatch) runChunk(ctx context.Context, chunk []SyntheticOptions
 				Context:           ctx,
 				ConvergeWindow:    o.ConvergeWindow,
 				ConvergeTol:       o.ConvergeTol,
+				Observer:          o.Observer,
 			},
 		}
 	}

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"fasttrack/internal/core"
+	"fasttrack/internal/monitor"
 )
 
 // TestBatchGoldenMatrix is the batched path's bit-exactness contract: for a
@@ -186,6 +187,11 @@ func TestBatchableRejections(t *testing.T) {
 	if core.Batchable(core.Hoplite(8), reg) {
 		t.Fatal("regulated workloads need the per-job plumbing")
 	}
+	observed := base
+	observed.Observer = monitor.NewCollector(8, 8)
+	if !core.Batchable(core.Hoplite(8), observed) {
+		t.Fatal("observed jobs batch (lockstep steps instances in deterministic order)")
+	}
 
 	sb, err := core.NewSyntheticBatch(core.Hoplite(8), 1)
 	if err != nil {
@@ -196,5 +202,55 @@ func TestBatchableRejections(t *testing.T) {
 	}
 	if _, err := core.NewSyntheticBatch(core.MultiChannel(8, 2), 2); err == nil {
 		t.Fatal("NewSyntheticBatch accepted multi-channel")
+	}
+}
+
+// TestBatchObserverGolden is the batch observer contract: running observed
+// jobs through the lockstep path must leave Results bit-identical to
+// RunSynthetic with the same observer arrangement, and each job's monitor
+// Collector must accumulate identical deterministic totals — batched sweeps
+// feed live telemetry instead of silently dropping it.
+func TestBatchObserverGolden(t *testing.T) {
+	cfg := core.Hoplite(8)
+	const width = 4
+	optsList := make([]core.SyntheticOptions, width)
+	cols := make([]*monitor.Collector, width)
+	for i := range optsList {
+		cols[i] = monitor.NewCollector(8, 8)
+		optsList[i] = core.SyntheticOptions{
+			Pattern: "RANDOM", Rate: 0.4, PacketsPerPE: 30,
+			Seed: 11 + uint64(i), Observer: cols[i],
+		}
+	}
+	sb, err := core.NewSyntheticBatch(cfg, width)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sb.Run(context.Background(), optsList)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// deterministic strips wall-clock fields; everything left must match the
+	// per-job run bit for bit.
+	deterministic := func(s monitor.Snapshot) monitor.Snapshot {
+		s.WallMS = 0
+		return s
+	}
+	for i := range optsList {
+		ref := monitor.NewCollector(8, 8)
+		refOpts := optsList[i]
+		refOpts.Observer = ref
+		want, err := core.RunSynthetic(context.Background(), cfg, refOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got[i], want) {
+			t.Fatalf("job %d result diverges with observers attached", i)
+		}
+		bs, rs := deterministic(cols[i].Snapshot()), deterministic(ref.Snapshot())
+		if !reflect.DeepEqual(bs, rs) {
+			t.Fatalf("job %d observer totals diverge:\nbatch: %+v\nref:   %+v", i, bs, rs)
+		}
 	}
 }

@@ -24,6 +24,7 @@ import (
 	"fasttrack/internal/hoplite"
 	"fasttrack/internal/multichannel"
 	"fasttrack/internal/noc"
+	"fasttrack/internal/obs"
 	"fasttrack/internal/regulate"
 	"fasttrack/internal/reliability"
 	"fasttrack/internal/sim"
@@ -277,6 +278,10 @@ type TraceOptions struct {
 // cycles. ctx deliberately stays out of SyntheticOptions so cache keys never
 // depend on it; pass context.Background() when cancellation is not needed.
 func RunSynthetic(ctx context.Context, cfg Config, opts SyntheticOptions) (Result, error) {
+	// One context lookup per run: when an ftserve job trace rides the ctx,
+	// the engine's wall clock becomes a sim_run span on it. The cycle loop
+	// itself stays untouched.
+	defer obs.TraceFrom(ctx).Begin("sim_run").Attr("config", cfg.String()).End()
 	pat, err := traffic.ByName(opts.Pattern)
 	if err != nil {
 		return Result{}, err
@@ -327,6 +332,7 @@ func RunSynthetic(ctx context.Context, cfg Config, opts SyntheticOptions) (Resul
 // billion-event recorded trace never has to fit in RAM. The two paths are
 // bit-exact whenever the window does not bind (golden-tested).
 func RunTrace(ctx context.Context, cfg Config, src TraceSource, opts TraceOptions) (Result, error) {
+	defer obs.TraceFrom(ctx).Begin("sim_run").Attr("config", cfg.String()).End()
 	net, err := cfg.Build()
 	if err != nil {
 		return Result{}, err

@@ -5,6 +5,7 @@ import (
 	"expvar"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -12,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"fasttrack/internal/obs"
 	"fasttrack/internal/runner"
 )
 
@@ -33,6 +35,9 @@ type ServerOptions struct {
 	// Extra, when non-nil, appends caller-owned metric families to /metrics
 	// (the hook an embedding daemon uses for its fleet-level sections).
 	Extra func(*PromWriter)
+	// Log receives the server lifecycle records and http.Server errors;
+	// nil keeps the server silent (tests, embedders with their own logs).
+	Log *slog.Logger
 }
 
 // Server is the embeddable HTTP ops server: /metrics (Prometheus text
@@ -57,7 +62,13 @@ func StartServer(addr string, opts ServerOptions) (*Server, error) {
 	}
 	s := &Server{opts: opts, ln: ln}
 	s.srv = &http.Server{Handler: s.Handler()}
+	if opts.Log != nil {
+		s.srv.ErrorLog = slog.NewLogLogger(opts.Log.Handler(), slog.LevelWarn)
+	}
 	go s.srv.Serve(ln)
+	if opts.Log != nil {
+		opts.Log.Info("monitor server listening", "addr", s.Addr())
+	}
 	return s, nil
 }
 
@@ -133,6 +144,24 @@ func (p *PromWriter) Counter(name, help string, v int64) {
 	p.Sample(name, "", float64(v))
 }
 
+// Histogram writes a Prometheus histogram family from an obs duration
+// snapshot: cumulative _bucket{le="..."} samples over the shared bucket
+// geometry, then _sum in seconds (converted float64(SumNS)/1e9 — the exact
+// rounding the span-vs-metrics reconciliation tests replay) and _count.
+func (p *PromWriter) Histogram(name, help string, s obs.HistSnapshot) {
+	p.Family(name, help, "histogram")
+	var cum int64
+	for i, b := range obs.HistBounds() {
+		cum += s.Counts[i]
+		le := strconv.FormatFloat(b.Seconds(), 'g', -1, 64)
+		p.Sample(name+"_bucket", `{le="`+le+`"}`, float64(cum))
+	}
+	cum += s.Counts[len(s.Counts)-1]
+	p.Sample(name+"_bucket", `{le="+Inf"}`, float64(cum))
+	p.Sample(name+"_sum", "", s.SumSeconds())
+	p.Sample(name+"_count", "", float64(s.Count))
+}
+
 // Gauge writes a single-sample gauge family.
 func (p *PromWriter) Gauge(name, help string, v float64) {
 	p.Family(name, help, "gauge")
@@ -200,6 +229,23 @@ func WriteRunnerMetrics(p *PromWriter, s runner.Snapshot) {
 	p.Gauge("fasttrack_runner_workers_active", "Jobs running right now.", float64(s.Active))
 	p.Gauge("fasttrack_runner_jobs_pending", "Jobs admitted to a batch but not yet started.", float64(s.Pending))
 	p.Gauge("fasttrack_runner_workers", "Worker pool size.", float64(s.Workers))
+
+	p.Histogram("fasttrack_runner_job_simulated_seconds",
+		"Per-job wall clock of fresh simulations (batched chunks split evenly).", s.HistSimulated)
+	p.Gauge("fasttrack_runner_job_simulated_p50_seconds",
+		"Ceil-rank median of fresh-simulation job duration, as a bucket upper bound.",
+		s.HistSimulated.Quantile(0.5).Seconds())
+	p.Gauge("fasttrack_runner_job_simulated_p99_seconds",
+		"Ceil-rank 99th percentile of fresh-simulation job duration, as a bucket upper bound.",
+		s.HistSimulated.Quantile(0.99).Seconds())
+	p.Histogram("fasttrack_runner_job_cached_seconds",
+		"Per-job cache-hit lookup latency.", s.HistCacheHit)
+	p.Gauge("fasttrack_runner_job_cached_p50_seconds",
+		"Ceil-rank median of cache-hit lookup latency, as a bucket upper bound.",
+		s.HistCacheHit.Quantile(0.5).Seconds())
+	p.Gauge("fasttrack_runner_job_cached_p99_seconds",
+		"Ceil-rank 99th percentile of cache-hit lookup latency, as a bucket upper bound.",
+		s.HistCacheHit.Quantile(0.99).Seconds())
 }
 
 func (s *Server) handleFlight(w http.ResponseWriter, r *http.Request) {

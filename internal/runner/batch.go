@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"fasttrack/internal/core"
 )
@@ -89,11 +90,15 @@ func DoSyntheticBatch(ctx context.Context, o *Orchestrator, pool *NetPool, jobs 
 	var order []string           // group insertion order, for determinism
 	for i, j := range jobs {
 		keys[i] = SyntheticKey(j.Cfg, j.Opts)
-		if o.Cache != nil && o.Cache.Get(keys[i], &out[i]) {
-			o.mu.Lock()
-			o.hits++
-			o.mu.Unlock()
-			continue
+		if o.Cache != nil {
+			t0 := time.Now()
+			if o.Cache.Get(keys[i], &out[i]) {
+				o.histCacheHit.Observe(time.Since(t0))
+				o.mu.Lock()
+				o.hits++
+				o.mu.Unlock()
+				continue
+			}
 		}
 		if !core.Batchable(j.Cfg, j.Opts) {
 			singles = append(singles, i)
@@ -162,12 +167,19 @@ func DoSyntheticBatch(ctx context.Context, o *Orchestrator, pool *NetPool, jobs 
 		if err != nil {
 			return err
 		}
+		t0 := time.Now()
 		results, err := sb.Run(jctx, optsList)
 		if pool != nil {
 			pool.Put(sb)
 		}
 		if err != nil {
 			return err
+		}
+		// The chunk's wall clock is shared; attribute an equal slice to each
+		// job so the simulated histogram's _count still equals Executed.
+		perJob := time.Since(t0) / time.Duration(len(un.idxs))
+		for range un.idxs {
+			o.histSimulated.Observe(perJob)
 		}
 		o.mu.Lock()
 		o.executed += int64(len(un.idxs))

@@ -15,9 +15,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"runtime"
 	"sync"
 	"time"
+
+	"fasttrack/internal/obs"
 )
 
 // JobError reports which job of a ForEach batch failed; Unwrap exposes the
@@ -54,6 +57,14 @@ type Orchestrator struct {
 	// errors.Is(err, context.DeadlineExceeded) — distinguishable from a
 	// simulation failure. 0 means no per-job deadline.
 	JobTimeout time.Duration
+	// Log, when non-nil, receives structured records for job failures, with
+	// trace_id/job_id attrs when the batch context carries them.
+	Log *slog.Logger
+
+	// Per-job duration histograms, split by how the job was satisfied:
+	// a cache hit's sample is the lookup, a miss's the simulation itself.
+	histCacheHit  obs.DurationHist
+	histSimulated obs.DurationHist
 
 	mu       sync.Mutex
 	executed int64
@@ -91,6 +102,9 @@ type Snapshot struct {
 	// admitted to a ForEach batch but not yet started (the orchestrator's
 	// internal queue depth); Workers the pool size.
 	Active, Pending, Workers int
+	// HistCacheHit/HistSimulated are the per-job duration histograms, split
+	// by how Do satisfied the job (cache lookup vs fresh simulation).
+	HistCacheHit, HistSimulated obs.HistSnapshot
 }
 
 // Snapshot captures the orchestrator's current counters and occupancy.
@@ -100,6 +114,8 @@ func (o *Orchestrator) Snapshot() Snapshot {
 	return Snapshot{
 		Executed: o.executed, CacheHits: o.hits, Failed: o.failed,
 		Active: o.active, Pending: o.pending, Workers: o.workers(),
+		HistCacheHit:  o.histCacheHit.Snapshot(),
+		HistSimulated: o.histSimulated.Snapshot(),
 	}
 }
 
@@ -166,7 +182,10 @@ func (o *Orchestrator) ForEach(ctx context.Context, n int, f func(ctx context.Co
 		jctx := cctx
 		var span *Span
 		if o.Spans != nil {
-			span = &Span{Index: i, Worker: worker, Queued: start}
+			span = &Span{
+				Index: i, Worker: worker, Queued: start,
+				TraceID: obs.TraceIDFrom(cctx), JobID: obs.JobIDFrom(cctx),
+			}
 			jctx = context.WithValue(cctx, spanKey, span)
 		}
 		var jcancel context.CancelFunc
@@ -196,6 +215,10 @@ func (o *Orchestrator) ForEach(ctx context.Context, n int, f func(ctx context.Co
 			o.failed++
 		}
 		o.mu.Unlock()
+		if err != nil && o.Log != nil {
+			obs.LoggerWith(jctx, o.Log).Warn("sweep job failed",
+				"index", i, "worker", worker, "error", err)
+		}
 		if span != nil {
 			span.Start, span.End = t0, t0.Add(d)
 			if err != nil {
@@ -260,19 +283,26 @@ func Do[T any](ctx context.Context, o *Orchestrator, key string, run func() (T, 
 		span.Key = key
 	}
 	var v T
-	if o.Cache != nil && o.Cache.Get(key, &v) {
-		o.mu.Lock()
-		o.hits++
-		o.mu.Unlock()
-		if span != nil {
-			span.CacheHit = true
+	if o.Cache != nil {
+		t0 := time.Now()
+		hit := o.Cache.Get(key, &v)
+		if hit {
+			o.histCacheHit.Observe(time.Since(t0))
+			o.mu.Lock()
+			o.hits++
+			o.mu.Unlock()
+			if span != nil {
+				span.CacheHit = true
+			}
+			return v, nil
 		}
-		return v, nil
 	}
+	t0 := time.Now()
 	v, err := run()
 	if err != nil {
 		return v, err
 	}
+	o.histSimulated.Observe(time.Since(t0))
 	o.mu.Lock()
 	o.executed++
 	o.mu.Unlock()

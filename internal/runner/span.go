@@ -20,6 +20,11 @@ type Span struct {
 	// Index is the job's ForEach index; Worker is the pool slot it ran on.
 	Index  int
 	Worker int
+	// TraceID/JobID are the request-scoped correlation handles inherited
+	// from the batch context (obs.WithTraceID / obs.WithJobID) when the
+	// sweep runs under an ftserve job; empty for CLI sweeps.
+	TraceID string
+	JobID   string
 	// Queued, Start and End are wall-clock instants: batch submission, job
 	// start, job completion.
 	Queued, Start, End time.Time
@@ -136,6 +141,12 @@ func (l *SpanLog) WriteChrome(w io.Writer) error {
 			"index":     s.Index,
 			"cache_hit": s.CacheHit,
 			"queued_us": s.Start.Sub(s.Queued).Microseconds(),
+		}
+		if s.TraceID != "" {
+			args["trace_id"] = s.TraceID
+		}
+		if s.JobID != "" {
+			args["job_id"] = s.JobID
 		}
 		if s.Key != "" {
 			args["key"] = s.Key

@@ -60,7 +60,7 @@ func TestGracefulDrain(t *testing.T) {
 
 	var jobs []*Job
 	for seed := uint64(100); seed < 106; seed++ {
-		j, _, rej := s.Admit(fastSpec(t, seed), "c1")
+		j, _, rej := s.Admit(fastSpec(t, seed), "c1", "")
 		if rej != nil {
 			t.Fatal(rej)
 		}
@@ -128,7 +128,7 @@ func TestDrainDeadlineCancelsMidSweep(t *testing.T) {
 		"topology":{"noc":"hoplite","n":16},
 		"workload":{"pattern":"RANDOM","rate":1.0,"packets":100000,"seed":200},
 		"rates":[0.2,0.4,0.6,0.8,1.0]}`)
-	j, _, rej := s.Admit(sweep, "c1")
+	j, _, rej := s.Admit(sweep, "c1", "")
 	if rej != nil {
 		t.Fatal(rej)
 	}
@@ -165,11 +165,11 @@ func TestDrainDeadlineCancelsMidSweep(t *testing.T) {
 // finished as canceled rather than silently dropped.
 func TestCloseCancelsQueuedJobs(t *testing.T) {
 	s := newTestServer(t, Options{Workers: 1, QueueDepth: 8})
-	blocker, _, rej := s.Admit(slowSpec(t, 300), "c1")
+	blocker, _, rej := s.Admit(slowSpec(t, 300), "c1", "")
 	if rej != nil {
 		t.Fatal(rej)
 	}
-	queued, _, rej := s.Admit(fastSpec(t, 301), "c1")
+	queued, _, rej := s.Admit(fastSpec(t, 301), "c1", "")
 	if rej != nil {
 		t.Fatal(rej)
 	}

@@ -10,7 +10,13 @@ import (
 	"time"
 
 	"fasttrack/internal/cliflags"
+	"fasttrack/internal/obs"
 )
+
+// TraceHeader is the inbound/outbound trace-correlation header: clients may
+// supply their own ID (validated by obs.ValidTraceID) and every submit
+// response echoes the job's effective ID back.
+const TraceHeader = "X-Ftserve-Trace-Id"
 
 // Handler returns the daemon's HTTP surface:
 //
@@ -18,6 +24,7 @@ import (
 //	GET  /jobs              list registered jobs, newest first
 //	GET  /jobs/{id}         job status + result
 //	GET  /jobs/{id}/stream  SSE: status transitions, progress, windowed metrics
+//	GET  /debug/trace/{id}  Perfetto trace-event JSON of the job's stage spans
 //	GET  /metrics           Prometheus fleet metrics
 //	GET  /healthz           200 serving / 503 draining
 func (s *Server) Handler() http.Handler {
@@ -26,6 +33,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs", s.handleList)
 	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /jobs/{id}/stream", s.handleStream)
+	mux.HandleFunc("GET /debug/trace/{id}", s.handleTrace)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	return mux
@@ -73,7 +81,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}})
 		return
 	}
-	j, dedup, rej := s.Admit(spec, clientKey(r))
+	traceID := r.Header.Get(TraceHeader)
+	if traceID != "" && !obs.ValidTraceID(traceID) {
+		// A malformed inbound ID is replaced, not rejected: correlation is
+		// best-effort, admission is not the place to fail a job over it.
+		traceID = ""
+	}
+	j, dedup, rej := s.Admit(spec, clientKey(r), traceID)
 	if rej != nil {
 		if rej.RetryAfter > 0 {
 			secs := int64(math.Ceil(rej.RetryAfter.Seconds()))
@@ -90,14 +104,34 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	status := http.StatusAccepted
 	if dedup {
-		// The identical job already exists; point the client at it.
+		// The identical job already exists; point the client at it. The
+		// echoed trace ID is the existing job's — the handle that actually
+		// indexes /debug/trace and the job's slog records.
 		status = http.StatusOK
 	}
+	w.Header().Set(TraceHeader, j.TraceID())
 	writeJSON(w, status, struct {
-		ID    string `json:"id"`
-		State State  `json:"state"`
-		Dedup bool   `json:"dedup,omitempty"`
-	}{j.ID, j.State(), dedup})
+		ID      string `json:"id"`
+		TraceID string `json:"trace_id"`
+		State   State  `json:"state"`
+		Dedup   bool   `json:"dedup,omitempty"`
+	}{j.ID, j.TraceID(), j.State(), dedup})
+}
+
+// handleTrace serves the job's stage spans as Chrome trace-event JSON,
+// loadable in Perfetto alongside the packet tracer (pid 1) and sweep span
+// log (pid 2) exports.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j := s.Job(r.PathValue("id"))
+	if j == nil {
+		writeJSON(w, http.StatusNotFound, errorBody{errorDetail{
+			Code: "unknown_job", Message: "no such job (unknown ID or evicted by retention)",
+		}})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set(TraceHeader, j.TraceID())
+	_ = j.trace.WriteChrome(w)
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
@@ -147,8 +181,16 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	ch := j.subscribe(s.opts.sseBuf())
 	defer j.unsubscribe(ch)
 
+	// The stream span covers this subscriber's whole SSE session; each
+	// frame's write+flush lands in the flush histogram, where a slow
+	// consumer shows up long before it starts dropping frames.
+	span := j.trace.Begin("sse_stream").Attr("client", clientKey(r))
+	frames := 0
+	defer func() { span.Attr("frames", frames).End() }()
+
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set(TraceHeader, j.TraceID())
 	rc := http.NewResponseController(w)
 	for {
 		select {
@@ -157,10 +199,13 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 				return // job finished: final status frame already sent
 			}
 			_ = rc.SetWriteDeadline(time.Now().Add(s.opts.sseWriteTimeout()))
+			t0 := time.Now()
 			if _, err := w.Write(frame); err != nil {
 				return
 			}
 			_ = rc.Flush()
+			s.histSSEFlush.Observe(time.Since(t0))
+			frames++
 		case <-r.Context().Done():
 			return
 		}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"fasttrack/internal/cliflags"
+	"fasttrack/internal/obs"
 	"fasttrack/internal/sim"
 )
 
@@ -73,6 +74,7 @@ func summarize(config string, rate float64, r sim.Result, cached bool) ResultSum
 // every SSE status frame.
 type Status struct {
 	ID       string     `json:"id"`
+	TraceID  string     `json:"trace_id,omitempty"`
 	Kind     string     `json:"kind"`
 	State    State      `json:"state"`
 	Cached   bool       `json:"cached,omitempty"`
@@ -92,8 +94,16 @@ type Job struct {
 	ID   string
 	Spec *cliflags.JobSpec
 	Key  string
+	// Client is the admission identity (X-Client header or remote host) of
+	// the submitter; it rides along as a slog attr.
+	Client string
 
 	srv *Server
+
+	// trace is the job's span recorder; queueWait is the pending span opened
+	// at admission and closed by runJob at the queued→running transition.
+	trace     *obs.JobTrace
+	queueWait *obs.Pending
 
 	mu       sync.Mutex
 	state    State
@@ -109,18 +119,29 @@ type Job struct {
 	done chan struct{}
 }
 
-func newJob(s *Server, seq int64, spec *cliflags.JobSpec, key string) *Job {
-	return &Job{
+func newJob(s *Server, seq int64, spec *cliflags.JobSpec, key string, tr *obs.JobTrace, client string) *Job {
+	j := &Job{
 		ID:      fmt.Sprintf("j%06d", seq),
 		Spec:    spec,
 		Key:     key,
+		Client:  client,
 		srv:     s,
+		trace:   tr,
 		state:   StateQueued,
 		created: time.Now(),
 		subs:    make(map[chan []byte]struct{}),
 		done:    make(chan struct{}),
 	}
+	tr.SetJobID(j.ID)
+	return j
 }
+
+// TraceID returns the job's correlation ID (inbound X-Ftserve-Trace-Id or
+// generated at admission).
+func (j *Job) TraceID() string { return j.trace.TraceID() }
+
+// Trace exposes the job's span recorder (the /debug/trace/{job} source).
+func (j *Job) Trace() *obs.JobTrace { return j.trace }
 
 // Done returns a channel closed at the job's terminal transition.
 func (j *Job) Done() <-chan struct{} { return j.done }
@@ -141,7 +162,8 @@ func (j *Job) Status() Status {
 
 func (j *Job) statusLocked() Status {
 	st := Status{
-		ID: j.ID, Kind: j.Spec.Kind, State: j.state, Cached: j.cached,
+		ID: j.ID, TraceID: j.trace.TraceID(), Kind: j.Spec.Kind,
+		State: j.state, Cached: j.cached,
 		Created: j.created, Error: j.failure,
 	}
 	if !j.started.IsZero() {
@@ -198,8 +220,9 @@ func (j *Job) publish(event string, payload any) {
 	j.mu.Unlock()
 }
 
-// subscribe registers an SSE consumer; the first frame (current status) is
-// already buffered. A subscription to a finished job yields that one frame
+// subscribe registers an SSE consumer. A live job's first buffered frame is
+// its current status; a finished job yields its span trace followed by the
+// terminal status frame (the same order finish emits: terminal status last)
 // and closes.
 func (j *Job) subscribe(buf int) chan []byte {
 	if buf < 2 {
@@ -208,11 +231,13 @@ func (j *Job) subscribe(buf int) chan []byte {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	ch := make(chan []byte, buf)
-	ch <- sseFrame("status", j.statusLocked())
 	if j.state.Terminal() {
+		ch <- sseFrame("trace", j.trace.Export())
+		ch <- sseFrame("status", j.statusLocked())
 		close(ch)
 		return ch
 	}
+	ch <- sseFrame("status", j.statusLocked())
 	j.subs[ch] = struct{}{}
 	return ch
 }
@@ -238,9 +263,12 @@ func (j *Job) setRunning() {
 	j.mu.Unlock()
 }
 
-// finish records the terminal state, emits the final status frame, and
-// closes every subscriber; after it returns the job is immutable.
+// finish records the terminal state, emits the job's span trace followed by
+// the final status frame, and closes every subscriber; after it returns the
+// job is immutable. The trace frame precedes the status frame so a client
+// that stops at the terminal status still saw its spans.
 func (j *Job) finish(state State, cached bool, result any, failure *Failure) {
+	traceFrame := sseFrame("trace", j.trace.Export())
 	j.mu.Lock()
 	j.state = state
 	j.cached = cached
@@ -249,6 +277,7 @@ func (j *Job) finish(state State, cached bool, result any, failure *Failure) {
 	j.finished = time.Now()
 	frame := sseFrame("status", j.statusLocked())
 	for ch := range j.subs {
+		j.offer(ch, traceFrame)
 		j.offer(ch, frame)
 		close(ch)
 	}

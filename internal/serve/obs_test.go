@@ -1,0 +1,345 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"fasttrack/internal/obs"
+)
+
+// TestTraceIDRoundTrip: a client-supplied X-Ftserve-Trace-Id is honored,
+// echoed on the submit response, attached to every status view, and indexes
+// a Perfetto-loadable span trace at /debug/trace/{job} covering the whole
+// lifecycle.
+func TestTraceIDRoundTrip(t *testing.T) {
+	s := newTestServer(t, Options{Workers: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body := `{"kind":"sim","topology":{"noc":"hoplite","n":4},
+	          "workload":{"pattern":"RANDOM","rate":0.1,"packets":20,"seed":900}}`
+	req, _ := http.NewRequest("POST", ts.URL+"/jobs", strings.NewReader(body))
+	req.Header.Set(TraceHeader, "client-supplied-id-1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get(TraceHeader); got != "client-supplied-id-1" {
+		t.Fatalf("submit echoed trace header %q", got)
+	}
+	var sub struct {
+		ID      string `json:"id"`
+		TraceID string `json:"trace_id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if sub.TraceID != "client-supplied-id-1" {
+		t.Fatalf("submit body trace_id %q", sub.TraceID)
+	}
+
+	j := s.Job(sub.ID)
+	st := waitTerminal(t, j, 10*time.Second)
+	if st.State != StateDone {
+		t.Fatalf("job ended %s: %+v", st.State, st.Error)
+	}
+	if st.TraceID != "client-supplied-id-1" {
+		t.Fatalf("status trace_id %q", st.TraceID)
+	}
+
+	resp, err = http.Get(ts.URL + "/debug/trace/" + sub.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace status %d", resp.StatusCode)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatalf("trace not valid JSON: %v", err)
+	}
+	seen := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		seen[ev.Name] = true
+		if ev.Name == "process_name" || ev.Name == "thread_name" {
+			continue
+		}
+		if ev.Args["trace_id"] != "client-supplied-id-1" {
+			t.Fatalf("event %q args %v missing trace_id", ev.Name, ev.Args)
+		}
+	}
+	for _, want := range []string{"admission", "rate_limit", "queue_wait", "run", "job"} {
+		if !seen[want] {
+			t.Errorf("trace missing %q span (have %v)", want, seen)
+		}
+	}
+}
+
+// TestTraceMalformedIDReplaced: a bogus inbound trace ID is replaced by a
+// generated one rather than rejecting the job.
+func TestTraceMalformedIDReplaced(t *testing.T) {
+	s := newTestServer(t, Options{Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	req, _ := http.NewRequest("POST", ts.URL+"/jobs",
+		strings.NewReader(`{"kind":"sim","topology":{"noc":"hoplite","n":4},
+		  "workload":{"pattern":"RANDOM","rate":0.1,"packets":20,"seed":901}}`))
+	req.Header.Set(TraceHeader, "bad id with spaces!")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+	got := resp.Header.Get(TraceHeader)
+	if got == "bad id with spaces!" || !obs.ValidTraceID(got) {
+		t.Fatalf("malformed inbound ID not replaced: %q", got)
+	}
+}
+
+// TestDedupJoinEvent: a duplicate POST joins the in-flight job and leaves a
+// dedup_join event (carrying the duplicate's own trace ID) on its trace.
+func TestDedupJoinEvent(t *testing.T) {
+	s := newTestServer(t, Options{Workers: 1})
+	blocker, _, rej := s.Admit(slowSpec(t, 902), "c1", "block-trace")
+	if rej != nil {
+		t.Fatal(rej)
+	}
+	dup, dedup, rej := s.Admit(slowSpec(t, 902), "c2", "dup-trace")
+	if rej != nil || !dedup {
+		t.Fatalf("expected dedup join, got rej=%v dedup=%v", rej, dedup)
+	}
+	if dup != blocker || dup.TraceID() != "block-trace" {
+		t.Fatalf("joined wrong job: %s trace %s", dup.ID, dup.TraceID())
+	}
+	var joined bool
+	for _, sp := range blocker.Trace().Spans() {
+		if sp.Name == "dedup_join" && sp.Attrs["joined_trace_id"] == "dup-trace" {
+			joined = true
+		}
+	}
+	if !joined {
+		t.Fatal("dedup_join event with joining trace ID not recorded")
+	}
+	_ = s.Close()
+}
+
+// TestSSETraceFrame: the SSE stream delivers a `trace` frame whose spans
+// match the job's recorded spans, before the terminal status frame.
+func TestSSETraceFrame(t *testing.T) {
+	s := newTestServer(t, Options{Workers: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	j, _, rej := s.Admit(fastSpec(t, 903), "c1", "sse-trace-job")
+	if rej != nil {
+		t.Fatal(rej)
+	}
+	resp, err := http.Get(ts.URL + "/jobs/" + j.ID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if got := resp.Header.Get(TraceHeader); got != "sse-trace-job" {
+		t.Fatalf("stream trace header %q", got)
+	}
+
+	var traceAt, doneAt = -1, -1
+	var export obs.Export
+	sc := bufio.NewScanner(resp.Body)
+	event, n := "", 0
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			n++
+			data := strings.TrimPrefix(line, "data: ")
+			switch event {
+			case "trace":
+				traceAt = n
+				if err := json.Unmarshal([]byte(data), &export); err != nil {
+					t.Fatalf("trace frame not JSON: %v", err)
+				}
+			case "status":
+				var st Status
+				if err := json.Unmarshal([]byte(data), &st); err != nil {
+					t.Fatal(err)
+				}
+				if st.TraceID != "sse-trace-job" {
+					t.Fatalf("status frame trace_id %q", st.TraceID)
+				}
+				if st.State.Terminal() {
+					doneAt = n
+				}
+			}
+		}
+	}
+	if traceAt < 0 || doneAt < 0 || traceAt > doneAt {
+		t.Fatalf("frame order: trace at %d, terminal status at %d", traceAt, doneAt)
+	}
+	if export.TraceID != "sse-trace-job" || export.JobID != j.ID {
+		t.Fatalf("trace frame ids: %+v", export)
+	}
+	var names []string
+	for _, sp := range export.Spans {
+		names = append(names, sp.Name)
+	}
+	for _, want := range []string{"queue_wait", "run", "job"} {
+		if !strings.Contains(strings.Join(names, ","), want) {
+			t.Errorf("trace frame missing %q span: %v", want, names)
+		}
+	}
+}
+
+// TestMetricsHistograms: after a finished job the stage histograms appear on
+// /metrics with consistent _count totals, and the e2e _sum equals the job
+// span's duration under the shared float64(ns)/1e9 conversion.
+func TestMetricsHistograms(t *testing.T) {
+	s := newTestServer(t, Options{Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	j, _, rej := s.Admit(fastSpec(t, 904), "c1", "")
+	if rej != nil {
+		t.Fatal(rej)
+	}
+	waitTerminal(t, j, 10*time.Second)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	text := string(body)
+	for _, fam := range []string{
+		"ftserve_queue_wait_seconds", "ftserve_run_seconds",
+		"ftserve_job_e2e_seconds", "ftserve_sse_flush_seconds",
+	} {
+		if !strings.Contains(text, "# TYPE "+fam+" histogram") {
+			t.Errorf("missing histogram family %s", fam)
+		}
+		if !strings.Contains(text, fam+`_bucket{le="+Inf"}`) {
+			t.Errorf("missing +Inf bucket for %s", fam)
+		}
+		base := strings.TrimSuffix(fam, "_seconds")
+		if !strings.Contains(text, "# TYPE "+base+"_p50_seconds gauge") {
+			t.Errorf("missing p50 gauge for %s", fam)
+		}
+	}
+	if !strings.Contains(text, "ftserve_queue_wait_seconds_count 1") ||
+		!strings.Contains(text, "ftserve_run_seconds_count 1") ||
+		!strings.Contains(text, "ftserve_job_e2e_seconds_count 1") {
+		t.Fatalf("stage counts != 1 after one job:\n%s", text)
+	}
+
+	// Exact reconciliation: the e2e histogram sum is the job span's dur_ns
+	// through the identical float64(ns)/1e9 conversion.
+	var jobNS int64
+	for _, sp := range j.Trace().Spans() {
+		if sp.Name == "job" {
+			jobNS = int64(sp.Dur())
+		}
+	}
+	if jobNS == 0 {
+		t.Fatal("job span not recorded")
+	}
+	want := float64(jobNS) / 1e9
+	var got float64
+	for _, line := range strings.Split(text, "\n") {
+		if rest, ok := strings.CutPrefix(line, "ftserve_job_e2e_seconds_sum "); ok {
+			if err := json.Unmarshal([]byte(rest), &got); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if got != want {
+		t.Fatalf("e2e sum %v != job span %v", got, want)
+	}
+}
+
+// syncWriter serializes test log writes: the daemon logs from worker
+// goroutines while the test reads.
+type syncWriter struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (w *syncWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.Write(p)
+}
+
+func (w *syncWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.String()
+}
+
+// TestServeSlogAttrs: daemon records carry trace_id/job_id/client attrs.
+func TestServeSlogAttrs(t *testing.T) {
+	var out syncWriter
+	logger := slog.New(slog.NewJSONHandler(&out, nil))
+	s := newTestServer(t, Options{Workers: 1, Logger: logger})
+
+	j, _, rej := s.Admit(fastSpec(t, 905), "client-x", "log-trace-1")
+	if rej != nil {
+		t.Fatal(rej)
+	}
+	waitTerminal(t, j, 10*time.Second)
+
+	// The terminal record lands just after the job's Done closes; poll.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var admitted, finished bool
+		text := out.String()
+		for _, line := range strings.Split(strings.TrimSpace(text), "\n") {
+			var rec map[string]any
+			if err := json.Unmarshal([]byte(line), &rec); err != nil {
+				t.Fatalf("non-JSON log line %q: %v", line, err)
+			}
+			if rec["trace_id"] != "log-trace-1" {
+				continue
+			}
+			switch rec["msg"] {
+			case "job admitted":
+				admitted = rec["client"] == "client-x" && rec["job_id"] == j.ID
+			case "job finished":
+				finished = rec["job_id"] == j.ID
+			}
+		}
+		if admitted && finished {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("lifecycle records missing (admitted=%v finished=%v):\n%s",
+				admitted, finished, text)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"fasttrack/internal/core"
 	"fasttrack/internal/dse"
 	"fasttrack/internal/monitor"
+	"fasttrack/internal/obs"
 	"fasttrack/internal/runner"
 )
 
@@ -77,6 +78,14 @@ func (s *Server) runJob(j *Job) {
 	s.c.running.Add(1)
 	defer s.c.running.Add(-1)
 
+	// The queue-wait span closes at the queued→running transition (or here,
+	// when a drain deadline canceled the job in the queue); the histogram
+	// sample is the identical duration the span recorded.
+	if j.queueWait != nil {
+		s.histQueueWait.Observe(j.queueWait.End())
+		j.queueWait = nil
+	}
+
 	// A drain deadline may have fired while this job sat in the queue;
 	// finish it as canceled without starting the simulation.
 	if s.baseCtx.Err() != nil {
@@ -85,12 +94,18 @@ func (s *Server) runJob(j *Job) {
 	}
 	j.setRunning()
 
-	ctx := s.baseCtx
+	// jctx carries the job's correlation handles and span recorder into
+	// runner.Do's cache peeks and core.Run*'s engine span.
+	jctx := obs.WithTrace(obs.WithJobID(obs.WithTraceID(s.baseCtx, j.TraceID()), j.ID), j.trace)
 	var cancel context.CancelFunc
+	ctx := jctx
 	if d := s.effectiveTimeout(j.Spec.Timeout()); d > 0 {
 		ctx, cancel = context.WithTimeout(ctx, d)
 	}
 
+	log := obs.LoggerWith(jctx, s.log).With("client", j.Client, "kind", j.Spec.Kind)
+	log.Info("job running")
+	run := j.trace.Begin("run")
 	result, cached, err := func() (result any, cached bool, err error) {
 		defer func() {
 			if r := recover(); r != nil {
@@ -110,10 +125,16 @@ func (s *Server) runJob(j *Job) {
 		}
 		return nil, false, fmt.Errorf("unknown job kind %q", j.Spec.Kind)
 	}()
+	s.histRun.Observe(run.Attr("cached", cached).End())
 	if cancel != nil {
 		cancel()
 	}
 	s.finishJob(j, result, cached, err)
+	if st := j.State(); st == StateDone {
+		log.Info("job finished", "state", st, "cached", cached)
+	} else {
+		log.Warn("job finished", "state", st, "error", err)
+	}
 }
 
 // effectiveTimeout combines the spec's requested deadline with the daemon
@@ -129,43 +150,53 @@ func (s *Server) effectiveTimeout(want time.Duration) time.Duration {
 	return want
 }
 
-// finishJob classifies the outcome, records the terminal state, and
-// retires the job from the in-flight dedup index.
+// finishJob classifies the outcome, records the end-to-end span and
+// histogram sample (before the terminal transition, so a client that sees
+// the final status frame scrapes consistent /metrics), records the terminal
+// state, and retires the job from the in-flight dedup index.
 func (s *Server) finishJob(j *Job, result any, cached bool, err error) {
+	state := StateDone
+	var failure *Failure
 	switch {
 	case err == nil:
 		s.c.finishedDone.Add(1)
 		if cached {
 			s.c.cacheHits.Add(1)
 		}
-		j.finish(StateDone, cached, result, nil)
 	default:
 		var pf *panicFailure
 		switch {
 		case errors.As(err, &pf):
 			s.c.panics.Add(1)
 			s.c.finishedFailed.Add(1)
-			j.finish(StateFailed, false, nil, &Failure{
-				Kind: "panic", Message: pf.Error(), Stack: string(pf.stack),
-			})
+			state = StateFailed
+			failure = &Failure{Kind: "panic", Message: pf.Error(), Stack: string(pf.stack)}
 		case s.baseCtx.Err() != nil || errors.Is(err, context.Canceled):
 			s.c.finishedCanceled.Add(1)
-			j.finish(StateCanceled, false, nil, &Failure{
-				Kind: "canceled", Message: "job canceled: " + err.Error(),
-			})
+			state = StateCanceled
+			failure = &Failure{Kind: "canceled", Message: "job canceled: " + err.Error()}
 		case errors.Is(err, context.DeadlineExceeded):
 			s.c.timeouts.Add(1)
 			s.c.finishedFailed.Add(1)
-			j.finish(StateFailed, false, nil, &Failure{
-				Kind: "timeout", Message: "job deadline exceeded: " + err.Error(),
-			})
+			state = StateFailed
+			failure = &Failure{Kind: "timeout", Message: "job deadline exceeded: " + err.Error()}
 		default:
 			s.c.finishedFailed.Add(1)
-			j.finish(StateFailed, false, nil, &Failure{
-				Kind: "error", Message: err.Error(),
-			})
+			state = StateFailed
+			failure = &Failure{Kind: "error", Message: err.Error()}
 		}
+		result, cached = nil, false
 	}
+	// Root span: the job's whole wall clock from trace creation (admission)
+	// to this terminal transition, sampled into the e2e histogram from the
+	// identical Span so both sides carry the same nanosecond count.
+	e2e := obs.Span{
+		Name: "job", Start: j.trace.Start(), End: time.Now(),
+		Attrs: map[string]any{"state": string(state), "kind": j.Spec.Kind},
+	}
+	j.trace.Add(e2e)
+	s.histE2E.Observe(e2e.Dur())
+	j.finish(state, cached, result, failure)
 	s.finishRegistration(j)
 }
 
@@ -205,8 +236,11 @@ func (s *Server) sampleMetrics(j *Job, col *monitor.Collector, stop <-chan struc
 func (s *Server) runOne(ctx context.Context, cfg core.Config, opts core.SyntheticOptions) (core.Result, bool, error) {
 	key := runner.SyntheticKey(cfg, opts)
 	if s.cache != nil {
+		peek := obs.TraceFrom(ctx).Begin("cache_peek").Attr("config", cfg.String())
 		var res core.Result
-		if s.cache.Get(key, &res) {
+		hit := s.cache.Get(key, &res)
+		peek.Attr("hit", hit).End()
+		if hit {
 			return res, true, nil
 		}
 	}

@@ -27,6 +27,7 @@ package serve
 
 import (
 	"context"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"sync"
@@ -34,6 +35,7 @@ import (
 	"time"
 
 	"fasttrack/internal/cliflags"
+	"fasttrack/internal/obs"
 	"fasttrack/internal/runner"
 )
 
@@ -73,6 +75,11 @@ type Options struct {
 	// SSEWriteTimeout bounds each frame write (default 10s).
 	SSEBuf          int
 	SSEWriteTimeout time.Duration
+	// Logger receives the daemon's structured records, every one carrying
+	// trace_id/job_id/client attrs where a request is in scope. nil discards
+	// (embedding tests stay quiet); cmd/ftserve passes the cliflags.Logging
+	// logger.
+	Logger *slog.Logger
 }
 
 func (o Options) queueDepth() int {
@@ -171,6 +178,15 @@ type Server struct {
 
 	limiter *limiter
 	c       counters
+	log     *slog.Logger
+
+	// Stage-latency histograms (fixed obs bucket geometry). Each sample is
+	// the exact duration of one recorded span, so /metrics sums reconcile
+	// bit-for-bit with the span log (see DESIGN.md §16).
+	histQueueWait obs.DurationHist
+	histRun       obs.DurationHist
+	histE2E       obs.DurationHist
+	histSSEFlush  obs.DurationHist
 
 	start time.Time
 }
@@ -196,7 +212,11 @@ func New(opts Options) (*Server, error) {
 		queue:     make(chan *Job, opts.queueDepth()),
 		drained:   make(chan struct{}),
 		limiter:   newLimiter(opts.RatePerSec, opts.burst()),
+		log:       opts.Logger,
 		start:     time.Now(),
+	}
+	if s.log == nil {
+		s.log = slog.New(slog.DiscardHandler)
 	}
 	for i := 0; i < opts.workers(); i++ {
 		s.wg.Add(1)
@@ -274,38 +294,51 @@ func (e *RejectError) Error() string { return e.Code + ": " + e.Message }
 
 // Admit runs the admission pipeline for a decoded, validated spec:
 // drain check, per-client rate limit, in-flight dedup, bounded queue.
-// clientKey identifies the caller for rate limiting. On success the job is
-// registered and queued (dedup=false), or an identical in-flight job is
-// returned (dedup=true).
-func (s *Server) Admit(spec *cliflags.JobSpec, clientKey string) (j *Job, dedup bool, rej *RejectError) {
+// clientKey identifies the caller for rate limiting; traceID is the
+// client-supplied correlation ID ("" generates one). On success the job is
+// registered and queued (dedup=false) with admission and queue-wait spans
+// already recording, or an identical in-flight job is returned (dedup=true)
+// with a dedup_join event appended to its trace.
+func (s *Server) Admit(spec *cliflags.JobSpec, clientKey, traceID string) (j *Job, dedup bool, rej *RejectError) {
+	tr := obs.NewJobTrace(traceID)
+	reject := func(rej *RejectError) (*Job, bool, *RejectError) {
+		s.log.Warn("admission rejected",
+			"trace_id", tr.TraceID(), "client", clientKey,
+			"reason", rej.Code)
+		return nil, false, rej
+	}
+	adm := tr.Begin("admission").Attr("client", clientKey)
 	if s.draining.Load() {
 		s.c.rejectedDraining.Add(1)
-		return nil, false, &RejectError{
+		return reject(&RejectError{
 			Code: "draining", Status: http.StatusServiceUnavailable,
 			Message: "daemon is draining; not admitting new jobs",
-		}
+		})
 	}
 	if spec.DebugPanic && !s.opts.DebugHooks {
 		s.c.badSpec.Add(1)
-		return nil, false, &RejectError{
+		return reject(&RejectError{
 			Code: "debug_disabled", Status: http.StatusBadRequest,
 			Message: "debug_panic requires a daemon started with debug hooks",
-		}
+		})
 	}
-	if ok, retry := s.limiter.allow(clientKey, time.Now()); !ok {
+	rl := tr.Begin("rate_limit")
+	ok, retry := s.limiter.allow(clientKey, time.Now())
+	rl.End()
+	if !ok {
 		s.c.rejectedRate.Add(1)
-		return nil, false, &RejectError{
+		return reject(&RejectError{
 			Code: "rate_limited", Status: http.StatusTooManyRequests,
 			Message:    "per-client admission rate exceeded",
 			RetryAfter: retry,
-		}
+		})
 	}
 	key, err := spec.CanonicalKey()
 	if err != nil {
 		s.c.badSpec.Add(1)
-		return nil, false, &RejectError{
+		return reject(&RejectError{
 			Code: "bad_spec", Status: http.StatusBadRequest, Message: err.Error(),
-		}
+		})
 	}
 
 	s.mu.Lock()
@@ -314,30 +347,45 @@ func (s *Server) Admit(spec *cliflags.JobSpec, clientKey string) (j *Job, dedup 
 	// mutex, so this ordering makes "send on closed queue" impossible.
 	if s.draining.Load() {
 		s.c.rejectedDraining.Add(1)
-		return nil, false, &RejectError{
+		return reject(&RejectError{
 			Code: "draining", Status: http.StatusServiceUnavailable,
 			Message: "daemon is draining; not admitting new jobs",
-		}
+		})
 	}
 	if prior := s.byKey[key]; prior != nil {
 		s.c.deduped.Add(1)
+		// The duplicate POST's own trace ID lands as an event attr on the
+		// job it joined, so both correlation handles survive.
+		prior.trace.Event("dedup_join", map[string]any{
+			"client": clientKey, "joined_trace_id": tr.TraceID(),
+		})
+		s.log.Info("dedup join",
+			"trace_id", prior.TraceID(), "job_id", prior.ID,
+			"client", clientKey, "joined_trace_id", tr.TraceID())
 		return prior, true, nil
 	}
 	s.seq++
-	j = newJob(s, s.seq, spec, key)
+	j = newJob(s, s.seq, spec, key, tr, clientKey)
+	adm.End()
+	// The queue-wait span must open before the channel send: the send is the
+	// happens-before edge to the worker that will close it.
+	j.queueWait = tr.Begin("queue_wait")
 	select {
 	case s.queue <- j:
 	default:
 		s.c.rejectedQueue.Add(1)
-		return nil, false, &RejectError{
+		return reject(&RejectError{
 			Code: "queue_full", Status: http.StatusTooManyRequests,
 			Message:    "admission queue is full",
 			RetryAfter: time.Second,
-		}
+		})
 	}
 	s.jobs[j.ID] = j
 	s.byKey[key] = j
 	s.c.admitted.Add(1)
+	s.log.Info("job admitted",
+		"trace_id", j.TraceID(), "job_id", j.ID, "client", clientKey,
+		"kind", spec.Kind, "queue_depth", len(s.queue))
 	return j, false, nil
 }
 

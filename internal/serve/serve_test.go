@@ -67,7 +67,7 @@ func waitTerminal(t *testing.T, j *Job, timeout time.Duration) Status {
 // TestSubmitRunFetch: the happy path — a spec goes in, a result comes out.
 func TestSubmitRunFetch(t *testing.T) {
 	s := newTestServer(t, Options{Workers: 2})
-	j, dedup, rej := s.Admit(fastSpec(t, 1), "c1")
+	j, dedup, rej := s.Admit(fastSpec(t, 1), "c1", "")
 	if rej != nil || dedup {
 		t.Fatalf("admission failed: dedup=%v rej=%v", dedup, rej)
 	}
@@ -89,15 +89,15 @@ func TestSubmitRunFetch(t *testing.T) {
 func TestInFlightDedup(t *testing.T) {
 	s := newTestServer(t, Options{Workers: 1, QueueDepth: 8})
 	// Occupy the single worker so the next admissions stay queued.
-	blocker, _, rej := s.Admit(slowSpec(t, 2), "c1")
+	blocker, _, rej := s.Admit(slowSpec(t, 2), "c1", "")
 	if rej != nil {
 		t.Fatal(rej)
 	}
-	a, dedup, rej := s.Admit(fastSpec(t, 3), "c1")
+	a, dedup, rej := s.Admit(fastSpec(t, 3), "c1", "")
 	if rej != nil || dedup {
 		t.Fatalf("first copy: dedup=%v rej=%v", dedup, rej)
 	}
-	b, dedup, rej := s.Admit(fastSpec(t, 3), "c1")
+	b, dedup, rej := s.Admit(fastSpec(t, 3), "c1", "")
 	if rej != nil {
 		t.Fatal(rej)
 	}
@@ -114,14 +114,14 @@ func TestInFlightDedup(t *testing.T) {
 // content-addressed cache without simulating again.
 func TestCacheDedup(t *testing.T) {
 	s := newTestServer(t, Options{Workers: 1})
-	first, _, rej := s.Admit(fastSpec(t, 4), "c1")
+	first, _, rej := s.Admit(fastSpec(t, 4), "c1", "")
 	if rej != nil {
 		t.Fatal(rej)
 	}
 	if st := waitTerminal(t, first, 10*time.Second); st.State != StateDone {
 		t.Fatalf("first run: %s (%+v)", st.State, st.Error)
 	}
-	second, dedup, rej := s.Admit(fastSpec(t, 4), "c1")
+	second, dedup, rej := s.Admit(fastSpec(t, 4), "c1", "")
 	if rej != nil || dedup {
 		t.Fatalf("finished jobs must not in-flight-dedup: dedup=%v rej=%v", dedup, rej)
 	}
@@ -194,17 +194,17 @@ func TestQueueFullRejects(t *testing.T) {
 // rate_limited and a positive retry hint; other clients are unaffected.
 func TestRateLimitRejects(t *testing.T) {
 	s := newTestServer(t, Options{Workers: 1, RatePerSec: 0.001, Burst: 1})
-	if _, _, rej := s.Admit(fastSpec(t, 20), "greedy"); rej != nil {
+	if _, _, rej := s.Admit(fastSpec(t, 20), "greedy", ""); rej != nil {
 		t.Fatalf("first admission within burst must pass: %v", rej)
 	}
-	_, _, rej := s.Admit(fastSpec(t, 21), "greedy")
+	_, _, rej := s.Admit(fastSpec(t, 21), "greedy", "")
 	if rej == nil || rej.Code != "rate_limited" {
 		t.Fatalf("want rate_limited, got %v", rej)
 	}
 	if rej.RetryAfter <= 0 {
 		t.Fatal("rate_limited without a retry hint")
 	}
-	if _, _, rej := s.Admit(fastSpec(t, 22), "patient"); rej != nil {
+	if _, _, rej := s.Admit(fastSpec(t, 22), "patient", ""); rej != nil {
 		t.Fatalf("other clients must not share the bucket: %v", rej)
 	}
 	if got := s.c.rejectedRate.Load(); got != 1 {
@@ -252,7 +252,7 @@ func TestBadSpecRejects(t *testing.T) {
 // stack, and the daemon keeps serving.
 func TestPanicIsolation(t *testing.T) {
 	s := newTestServer(t, Options{Workers: 1, DebugHooks: true})
-	j, _, rej := s.Admit(decodeSpec(t, `{"kind":"sim","debug_panic":true}`), "c1")
+	j, _, rej := s.Admit(decodeSpec(t, `{"kind":"sim","debug_panic":true}`), "c1", "")
 	if rej != nil {
 		t.Fatal(rej)
 	}
@@ -267,7 +267,7 @@ func TestPanicIsolation(t *testing.T) {
 		t.Fatalf("panic counter: want 1, got %d", got)
 	}
 	// The daemon survived: the next job runs normally.
-	k, _, rej := s.Admit(fastSpec(t, 30), "c1")
+	k, _, rej := s.Admit(fastSpec(t, 30), "c1", "")
 	if rej != nil {
 		t.Fatal(rej)
 	}
@@ -280,7 +280,7 @@ func TestPanicIsolation(t *testing.T) {
 // admission, so production daemons cannot be crashed by request.
 func TestDebugPanicRequiresHooks(t *testing.T) {
 	s := newTestServer(t, Options{Workers: 1})
-	_, _, rej := s.Admit(decodeSpec(t, `{"kind":"sim","debug_panic":true}`), "c1")
+	_, _, rej := s.Admit(decodeSpec(t, `{"kind":"sim","debug_panic":true}`), "c1", "")
 	if rej == nil || rej.Code != "debug_disabled" {
 		t.Fatalf("want debug_disabled, got %v", rej)
 	}
@@ -295,7 +295,7 @@ func TestJobTimeout(t *testing.T) {
 	spec := decodeSpec(t, `{"kind":"sim","timeout_ms":20,
 		"topology":{"noc":"hoplite","n":8},
 		"workload":{"pattern":"RANDOM","rate":1.0,"packets":200000,"seed":31}}`)
-	j, _, rej := s.Admit(spec, "c1")
+	j, _, rej := s.Admit(spec, "c1", "")
 	if rej != nil {
 		t.Fatal(rej)
 	}
@@ -315,7 +315,7 @@ func TestStreamDeliversTerminalStatus(t *testing.T) {
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
-	j, _, rej := s.Admit(fastSpec(t, 40), "c1")
+	j, _, rej := s.Admit(fastSpec(t, 40), "c1", "")
 	if rej != nil {
 		t.Fatal(rej)
 	}
@@ -346,7 +346,7 @@ func TestMetricsEndpoint(t *testing.T) {
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
-	j, _, rej := s.Admit(fastSpec(t, 50), "c1")
+	j, _, rej := s.Admit(fastSpec(t, 50), "c1", "")
 	if rej != nil {
 		t.Fatal(rej)
 	}

@@ -56,6 +56,14 @@ type BatchResult struct {
 // construction, and the watchdog state is advanced exactly as if they had
 // run. Context polling happens at most once per executed cycle, so
 // cancellation latency over a skipped stretch collapses to its end.
+//
+// Per-job Options.Observer is honored: each instance's observer sees the
+// exact event sequence the per-job engine would emit for that instance (the
+// engine wires it before the first cycle, and an observed instance never
+// fast-forwards). The driver is single-threaded and steps live instances in
+// ascending instance order every round, so observer delivery is
+// deterministic — the fan-in discipline telemetry.ShardFanIn established
+// for sharded runs, at the batch level.
 func RunBatch(jobs []BatchJob) []BatchResult {
 	out := make([]BatchResult, len(jobs))
 
